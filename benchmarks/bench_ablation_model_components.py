@@ -1,0 +1,156 @@
+"""Ablation benches: which model component produces which paper finding.
+
+DESIGN.md promises that every paper finding is produced by a mechanism,
+not a lookup table. These ablations disable one mechanism at a time and
+show the corresponding finding disappearing:
+
+* skew sensitivity -> the Table 10 "fails G26 / passes D1000" split;
+* the distribution shock -> Giraph's 2-machine cliff (§4.4);
+* hyper-threading yield -> the 16->32-thread gains of Giraph/PGX.D (§4.3);
+* the swap penalty -> GraphMat's single-machine PR outlier (§4.4);
+* queue-based BFS -> OpenG's R2 win (§4.1).
+"""
+
+import dataclasses
+
+from paper import print_table
+
+from repro.harness.datasets import get_dataset
+from repro.platforms.cluster import ClusterResources
+from repro.platforms.registry import create_driver
+
+
+def _ablate(model, **overrides):
+    return dataclasses.replace(model, **overrides)
+
+
+def R(machines=1, threads=None):
+    return ClusterResources(machines=machines, threads=threads)
+
+
+def test_ablation_skew_sensitivity(benchmark):
+    """Without skew sensitivity, Giraph would no longer fail G26 while
+    passing D1000 — the §4.6 graph-characteristics finding vanishes."""
+    model = create_driver("giraph").model
+    flat = _ablate(model, skew_sensitivity=0.0)
+    g26 = get_dataset("G26").profile
+    d1000 = get_dataset("D1000").profile
+
+    def check():
+        return (
+            model.fits_in_memory("bfs", g26, R()),
+            model.fits_in_memory("bfs", d1000, R()),
+            flat.fits_in_memory("bfs", g26, R()),
+            flat.fits_in_memory("bfs", d1000, R()),
+        )
+
+    full_g26, full_d1000, flat_g26, flat_d1000 = benchmark(check)
+    print_table(
+        "Ablation: Giraph skew sensitivity (fits in memory?)",
+        ["model", "G26", "D1000"],
+        [("calibrated", full_g26, full_d1000), ("no skew", flat_g26, flat_d1000)],
+    )
+    assert (full_g26, full_d1000) == (False, True)   # the paper's split
+    assert flat_g26 == flat_d1000                    # split disappears
+
+
+def test_ablation_distribution_shock(benchmark):
+    """Without the shock, Giraph's 1->2-machine cliff disappears."""
+    model = create_driver("giraph").model
+    smooth = _ablate(model, dist_shock=1.0, dist_shock_adjust={})
+    profile = get_dataset("D1000").profile
+
+    def check():
+        return (
+            model.processing_time("bfs", profile, R(1)),
+            model.processing_time("bfs", profile, R(2)),
+            smooth.processing_time("bfs", profile, R(1)),
+            smooth.processing_time("bfs", profile, R(2)),
+        )
+
+    t1, t2, s1, s2 = benchmark(check)
+    print_table(
+        "Ablation: Giraph distribution shock (BFS Tproc on D1000)",
+        ["model", "1 machine", "2 machines"],
+        [("calibrated", t1, t2), ("no shock", s1, s2)],
+    )
+    assert t2 > t1        # the cliff
+    assert s2 < s1        # without the shock, 2 machines would win
+
+
+def test_ablation_hyperthreading(benchmark):
+    """Without HT yield, PGX.D gains nothing from 32 threads (§4.3)."""
+    model = create_driver("pgxd").model
+    no_ht = _ablate(model, ht_yield=0.0)
+    profile = get_dataset("D300").profile
+
+    def check():
+        return (
+            model.processing_time("bfs", profile, R(threads=16)),
+            model.processing_time("bfs", profile, R(threads=32)),
+            no_ht.processing_time("bfs", profile, R(threads=16)),
+            no_ht.processing_time("bfs", profile, R(threads=32)),
+        )
+
+    t16, t32, n16, n32 = benchmark(check)
+    print_table(
+        "Ablation: PGX.D hyper-threading (BFS Tproc on D300)",
+        ["model", "16 threads", "32 threads"],
+        [("calibrated", t16, t32), ("no HT yield", n16, n32)],
+    )
+    assert t32 < t16
+    assert n32 == n16
+
+
+def test_ablation_swap_penalty(benchmark):
+    """Without swapping, GraphMat's single-machine PR outlier (§4.4)
+    disappears: one machine would beat two."""
+    model = create_driver("graphmat").model
+    no_swap = _ablate(model, swap_penalty=1.0)
+    profile = get_dataset("D1000").profile
+
+    def check():
+        return (
+            model.processing_time("pr", profile, R(1)),
+            model.processing_time("pr", profile, R(2)),
+            no_swap.processing_time("pr", profile, R(1)),
+            no_swap.processing_time("pr", profile, R(2)),
+        )
+
+    t1, t2, n1, n2 = benchmark(check)
+    print_table(
+        "Ablation: GraphMat swap penalty (PR Tproc on D1000)",
+        ["model", "1 machine", "2 machines"],
+        [("calibrated", t1, t2), ("no swapping", n1, n2)],
+    )
+    assert t1 > t2        # the outlier
+    assert n1 < n2        # no outlier without swapping
+
+
+def test_ablation_queue_based_bfs(benchmark):
+    """Without the queue-based BFS, OpenG loses its R2 advantage over
+    PowerGraph (§4.1)."""
+    openg = create_driver("openg").model
+    iterative = _ablate(openg, queue_based_bfs=False)
+    powergraph = create_driver("powergraph").model
+    profile = get_dataset("R2").profile
+
+    def check():
+        return (
+            openg.processing_time("bfs", profile, R()),
+            iterative.processing_time("bfs", profile, R()),
+            powergraph.processing_time("bfs", profile, R()),
+        )
+
+    queue, full_sweep, rival = benchmark(check)
+    print_table(
+        "Ablation: OpenG queue-based BFS on R2 (10% coverage)",
+        ["variant", "Tproc"],
+        [
+            ("queue-based (calibrated)", queue),
+            ("iterative (ablated)", full_sweep),
+            ("PowerGraph (reference rival)", rival),
+        ],
+    )
+    assert queue < rival
+    assert full_sweep > queue

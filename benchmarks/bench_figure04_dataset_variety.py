@@ -1,0 +1,53 @@
+"""Figure 4: dataset variety — Tproc for BFS and PR, all datasets <= L.
+
+Reproduces the §4.1 key findings:
+* GraphMat and PGX.D significantly outperform the competition;
+* PowerGraph and OpenG are ~an order of magnitude slower than the leaders;
+* Giraph and GraphX are consistently ~two orders of magnitude slower.
+"""
+
+from paper import PLATFORM_LABELS, PLATFORM_NAMES, print_table
+
+from repro.harness.experiments import get_experiment
+
+
+def test_figure04_dataset_variety(benchmark, runner):
+    report = benchmark.pedantic(
+        lambda: get_experiment("dataset-variety").run(runner),
+        rounds=1,
+        iterations=1,
+    )
+    for algorithm in ("bfs", "pr"):
+        rows = []
+        datasets = []
+        for row in report.rows:
+            if row["algorithm"] == algorithm and row["dataset"] not in datasets:
+                datasets.append(row["dataset"])
+        for dataset in datasets:
+            cells = [dataset]
+            for key in PLATFORM_NAMES:
+                match = [
+                    r for r in report.rows
+                    if r["algorithm"] == algorithm
+                    and r["dataset"] == dataset
+                    and r["platform"] == PLATFORM_NAMES[key]
+                ]
+                cells.append(match[0]["tproc"] if match else None)
+            rows.append(cells)
+        print_table(
+            f"Figure 4 ({algorithm.upper()}): Tproc in seconds per dataset",
+            ["dataset"] + list(PLATFORM_LABELS.values()),
+            rows,
+        )
+
+    # Key finding assertions on a representative mid-size dataset.
+    def tproc(platform, dataset="D300", algorithm="bfs"):
+        return report.rows_for(
+            platform=platform, dataset=dataset, algorithm=algorithm
+        )[0]["tproc"]
+
+    leaders = min(tproc("GraphMat"), tproc("PGX.D"))
+    middle = min(tproc("PowerGraph"), tproc("OpenG"))
+    jvm = min(tproc("Giraph"), tproc("GraphX"))
+    assert middle > 3 * leaders       # "roughly an order of magnitude"
+    assert jvm > 25 * leaders         # "two orders of magnitude"

@@ -1,0 +1,57 @@
+"""Figure 5: EPS and EVPS for BFS across datasets.
+
+Reproduces the §4.1 normalization finding: "Ideally, a platform's
+performance should be directly related to the size of the graph, thus
+the normalized performance should be close to constant. As evident from
+the figure, all platforms show signs of dataset sensitivity."
+"""
+
+from paper import PLATFORM_LABELS, PLATFORM_NAMES, print_table
+
+from repro.harness.experiments import get_experiment
+
+
+def test_figure05_throughput(benchmark, runner):
+    report = benchmark.pedantic(
+        lambda: get_experiment("dataset-variety").run(runner),
+        rounds=1,
+        iterations=1,
+    )
+    for metric in ("eps", "evps"):
+        datasets = []
+        for row in report.rows:
+            if row["algorithm"] == "bfs" and row["dataset"] not in datasets:
+                datasets.append(row["dataset"])
+        rows = []
+        for dataset in datasets:
+            cells = [dataset]
+            for key in PLATFORM_NAMES:
+                match = [
+                    r for r in report.rows
+                    if r["algorithm"] == "bfs"
+                    and r["dataset"] == dataset
+                    and r["platform"] == PLATFORM_NAMES[key]
+                ]
+                cells.append(match[0][metric] if match else None)
+            rows.append(cells)
+        print_table(
+            f"Figure 5 ({metric.upper()}) for BFS",
+            ["dataset"] + list(PLATFORM_LABELS.values()),
+            rows,
+        )
+
+    # Dataset sensitivity: per platform, EPS varies by > 2x across datasets.
+    for key, name in PLATFORM_NAMES.items():
+        eps = [
+            r["eps"]
+            for r in report.rows
+            if r["algorithm"] == "bfs"
+            and r["platform"] == name
+            and r["eps"]
+        ]
+        assert max(eps) > 2 * min(eps), f"{name} shows no dataset sensitivity"
+
+    # EVPS > EPS always (it adds vertices to the numerator).
+    for row in report.rows:
+        if row["eps"] and row["evps"]:
+            assert row["evps"] > row["eps"]

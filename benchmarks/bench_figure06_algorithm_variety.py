@@ -1,0 +1,74 @@
+"""Figure 6: algorithm variety — all six algorithms on R4(S) and D300(L).
+
+Reproduces the §4.2 key findings: relative performance similar for BFS,
+WCC, PR, SSSP; LCC completes only on OpenG and PowerGraph; PGX.D has no
+LCC (NA); GraphX cannot complete CDLP; OpenG best on CDLP; PGX.D's WCC
+degrades on the many-component graph.
+"""
+
+from paper import PLATFORM_LABELS, PLATFORM_NAMES, print_table
+
+from repro.harness.experiments import get_experiment
+
+
+def test_figure06_algorithm_variety(benchmark, runner):
+    report = benchmark.pedantic(
+        lambda: get_experiment("algorithm-variety").run(runner),
+        rounds=1,
+        iterations=1,
+    )
+    for dataset in ("R4", "D300"):
+        rows = []
+        for algorithm in ("bfs", "wcc", "cdlp", "pr", "lcc", "sssp"):
+            cells = [algorithm]
+            for key in PLATFORM_NAMES:
+                match = [
+                    r for r in report.rows
+                    if r["dataset"] == dataset
+                    and r["algorithm"] == algorithm
+                    and r["platform"] in (key, PLATFORM_NAMES[key])
+                ]
+                if not match:
+                    cells.append(None)
+                elif match[0]["status"] != "ok":
+                    cells.append(match[0]["status"])
+                else:
+                    cells.append(match[0]["tproc"])
+            rows.append(cells)
+        print_table(
+            f"Figure 6 ({dataset}): Tproc in seconds (F=failed, NA=missing)",
+            ["alg"] + list(PLATFORM_LABELS.values()),
+            rows,
+        )
+
+    def status(platform, algorithm, dataset):
+        return report.rows_for(
+            platform=platform, algorithm=algorithm, dataset=dataset
+        )[0]["status"]
+
+    for dataset in ("R4", "D300"):
+        # LCC: only OpenG and PowerGraph complete within the SLA.
+        assert status("OpenG", "lcc", dataset) == "ok"
+        assert status("PowerGraph", "lcc", dataset) == "ok"
+        assert status("Giraph", "lcc", dataset) == "F"
+        assert status("GraphX", "lcc", dataset) == "F"
+        assert status("GraphMat", "lcc", dataset) == "F"
+        assert status("PGX.D", "lcc", dataset) == "NA"
+        # GraphX fails CDLP even on R4(S).
+        assert status("GraphX", "cdlp", dataset) == "F"
+
+    # OpenG performs best on CDLP.
+    cdlp = {
+        r["platform"]: r["tproc"]
+        for r in report.rows
+        if r["algorithm"] == "cdlp" and r["status"] == "ok"
+    }
+    assert min(cdlp, key=cdlp.get) == "OpenG"
+
+    # GraphMat uses the D backend for SSSP (not supported in S).
+    sssp_backends = {
+        r["backend"]
+        for r in report.rows
+        if r["algorithm"] == "sssp" and r["platform"] == "GraphMat"
+    }
+    assert sssp_backends == {"D"}

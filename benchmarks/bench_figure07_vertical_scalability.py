@@ -1,0 +1,63 @@
+"""Figure 7 + Table 9: vertical scalability — 1..32 threads on D300(L).
+
+Reproduces the §4.3 findings: all platforms benefit from additional
+cores; only PGX.D and GraphMat approach optimal efficiency; most
+platforms see little or no gain from Hyper-Threading; the Table 9
+maximum speedups.
+"""
+
+import pytest
+from paper import PAPER_TABLE9, PLATFORM_LABELS, PLATFORM_NAMES, print_table
+
+from repro.harness.experiments import get_experiment
+
+
+def test_figure07_and_table09(benchmark, runner):
+    report = benchmark.pedantic(
+        lambda: get_experiment("vertical-scalability").run(runner),
+        rounds=1,
+        iterations=1,
+    )
+    threads = (1, 2, 4, 8, 16, 32)
+    for algorithm in ("bfs", "pr"):
+        rows = []
+        for key, label in PLATFORM_LABELS.items():
+            series = [
+                r["tproc"]
+                for t in threads
+                for r in report.rows
+                if r["algorithm"] == algorithm
+                and r["threads"] == t
+                and r["platform"] == PLATFORM_NAMES[key]
+            ]
+            rows.append([label] + series)
+        print_table(
+            f"Figure 7 ({algorithm.upper()}): Tproc vs #threads",
+            ["platform"] + [str(t) for t in threads],
+            rows,
+        )
+
+    # Table 9: max speedups vs the paper.
+    rows = []
+    for name, label in PLATFORM_LABELS.items():
+        speedups = []
+        for i, algorithm in enumerate(("bfs", "pr")):
+            series = {
+                r["threads"]: r["tproc"]
+                for r in report.rows
+                if r["algorithm"] == algorithm
+                and r["platform"] == PLATFORM_NAMES[name]
+            }
+            s = max(series[1] / series[t] for t in threads)
+            speedups.append(s)
+            # Jittered runs: allow 25% around Table 9.
+            assert s == pytest.approx(PAPER_TABLE9[name][i], rel=0.25)
+        rows.append(
+            (label, speedups[0], PAPER_TABLE9[name][0],
+             speedups[1], PAPER_TABLE9[name][1])
+        )
+    print_table(
+        "Table 9: max vertical speedup (1 -> 32 threads)",
+        ["platform", "bfs", "paper", "pr", "paper"],
+        rows,
+    )

@@ -1,0 +1,68 @@
+"""Figure 8: strong horizontal scalability — D1000(XL), 1..16 machines.
+
+Reproduces the §4.4 key findings: PGX.D and GraphMat show reasonable
+speedup; Giraph degrades badly at 2 machines (PR breaks the SLA there)
+and recovers with more; PowerGraph and GraphX scale poorly; PGX.D fails
+on a single machine and is sub-second on BFS from 4 machines; GraphMat
+shows a single-machine PR outlier (swapping).
+"""
+
+from paper import PLATFORM_LABELS, PLATFORM_NAMES, print_table
+
+from repro.harness.experiments import get_experiment
+
+MACHINES = (1, 2, 4, 8, 16)
+
+
+def test_figure08_strong_scalability(benchmark, runner):
+    report = benchmark.pedantic(
+        lambda: get_experiment("strong-scalability").run(runner),
+        rounds=1,
+        iterations=1,
+    )
+    for algorithm in ("bfs", "pr"):
+        rows = []
+        for name, label in PLATFORM_LABELS.items():
+            if name == "openg":
+                continue  # single-machine platform, not in this experiment
+            series = []
+            for m in MACHINES:
+                match = [
+                    r for r in report.rows
+                    if r["algorithm"] == algorithm
+                    and r["machines"] == m
+                    and r["platform"] == PLATFORM_NAMES[name]
+                ]
+                if match and match[0]["status"] == "ok":
+                    series.append(match[0]["tproc"])
+                else:
+                    series.append("F")
+            rows.append([label] + series)
+        print_table(
+            f"Figure 8 ({algorithm.upper()}): Tproc vs #machines (F=failed)",
+            ["platform"] + [str(m) for m in MACHINES],
+            rows,
+        )
+
+    def cell(platform, algorithm, machines):
+        return report.rows_for(
+            platform=platform, algorithm=algorithm, machines=machines
+        )[0]
+
+    # Giraph: 2-machine cliff; PR SLA failure at 2 machines only.
+    assert cell("Giraph", "bfs", 2)["tproc"] > cell("Giraph", "bfs", 1)["tproc"]
+    assert cell("Giraph", "pr", 2)["status"] == "F"
+    assert cell("Giraph", "pr", 1)["status"] == "ok"
+    assert cell("Giraph", "pr", 4)["status"] == "ok"
+    # GraphX: needs 2 machines (BFS) / 4 machines (PR).
+    assert cell("GraphX", "bfs", 1)["status"] == "F"
+    assert cell("GraphX", "pr", 2)["status"] == "F"
+    assert cell("GraphX", "pr", 4)["status"] == "ok"
+    # PGX.D: fails on one machine; BFS sub-2s from 4 machines.
+    assert cell("PGX.D", "bfs", 1)["status"] == "F"
+    assert cell("PGX.D", "bfs", 4)["tproc"] < 2.0
+    # GraphMat: single-machine PR outlier (slower than 2 machines).
+    assert cell("GraphMat", "pr", 1)["tproc"] > cell("GraphMat", "pr", 2)["tproc"]
+    # PowerGraph completes everywhere.
+    for m in MACHINES:
+        assert cell("PowerGraph", "bfs", m)["status"] == "ok"

@@ -1,0 +1,79 @@
+"""Figure 9: weak horizontal scalability — G22@1 .. G26@16 machines.
+
+Reproduces the §4.5 key findings: no platform achieves optimal weak
+scalability; Giraph is worst at 2 machines and recovers; GraphMat and
+PowerGraph scale reasonably; GraphX scales poorly (worst slowdown);
+PGX.D fails configurations due to memory limits.
+"""
+
+from paper import PLATFORM_LABELS, PLATFORM_NAMES, print_table
+
+from repro.harness.experiments import get_experiment
+
+SERIES = (("G22", 1), ("G23", 2), ("G24", 4), ("G25", 8), ("G26", 16))
+
+
+def test_figure09_weak_scalability(benchmark, runner):
+    report = benchmark.pedantic(
+        lambda: get_experiment("weak-scalability").run(runner),
+        rounds=1,
+        iterations=1,
+    )
+    for algorithm in ("bfs", "pr"):
+        rows = []
+        for name, label in PLATFORM_LABELS.items():
+            if name == "openg":
+                continue
+            series = []
+            for dataset, machines in SERIES:
+                match = [
+                    r for r in report.rows
+                    if r["algorithm"] == algorithm
+                    and r["dataset"] == dataset
+                    and r["machines"] == machines
+                    and r["platform"] == PLATFORM_NAMES[name]
+                ]
+                if match and match[0]["status"] == "ok":
+                    series.append(match[0]["tproc"])
+                else:
+                    series.append("F")
+            rows.append([label] + series)
+        print_table(
+            f"Figure 9 ({algorithm.upper()}): Tproc along G22@1 .. G26@16",
+            ["platform"] + [f"{d}@{m}" for d, m in SERIES],
+            rows,
+        )
+
+    def slowdowns(platform, algorithm):
+        out = []
+        for dataset, machines in SERIES:
+            rows = report.rows_for(
+                platform=platform, algorithm=algorithm,
+                dataset=dataset, machines=machines,
+            )
+            out.append(rows[0]["slowdown"] if rows and rows[0]["slowdown"] else None)
+        return out
+
+    # Nobody is ideal (slowdown would stay ~1.0 throughout).
+    for platform in ("Giraph", "GraphX", "PowerGraph", "GraphMat"):
+        finite = [s for s in slowdowns(platform, "bfs") if s]
+        assert max(finite) > 1.5, platform
+
+    # GraphX is the worst weak scaler on PR.
+    worst = {
+        p: max(s for s in slowdowns(p, "pr") if s)
+        for p in ("Giraph", "GraphX", "PowerGraph", "GraphMat")
+    }
+    assert max(worst, key=worst.get) == "GraphX"
+
+    # Giraph: worst at 2 machines, then improves monotonically.
+    giraph = slowdowns("Giraph", "pr")
+    assert giraph[1] == max(giraph)
+    assert giraph[1] > giraph[2] > giraph[3] > giraph[4]
+
+    # PGX.D fails at least one configuration on memory.
+    pgxd_failures = [
+        r for r in report.rows
+        if r["platform"] == "PGX.D" and r["status"] == "F"
+    ]
+    assert pgxd_failures

@@ -1,0 +1,101 @@
+"""Figure 10: Datagen execution time — old vs new flow; cluster sizes.
+
+Left panel: v0.2.6 vs v0.2.1 on 16 machines, SF 30..3000 (paper speedups
+1.16/1.33/1.83/2.15/2.9x). Right panel: v0.2.6 on 4/8/16 machines up to
+SF 10000 (paper: 44 min for 1B edges on 16 machines; 10 B edges in < 8 h;
+4->16 machine speedups 1.1/1.4/2.0/3.0).
+"""
+
+import pytest
+from paper import PAPER_FIGURE10_SPEEDUPS, print_table
+
+from repro.datagen.flow import FlowVersion, estimate_generation_time
+from repro.datagen.generator import DatagenConfig, generate_with_flow
+
+SCALE_FACTORS = (30, 100, 300, 1000, 3000)
+
+
+def _left_panel():
+    rows = []
+    for sf in SCALE_FACTORS:
+        t_old = estimate_generation_time(sf, machines=16, version=FlowVersion.V0_2_1)
+        t_new = estimate_generation_time(sf, machines=16, version=FlowVersion.V0_2_6)
+        rows.append((sf, t_old, t_new, t_old / t_new))
+    return rows
+
+
+def _right_panel():
+    rows = []
+    for sf in SCALE_FACTORS + (10000,):
+        times = [
+            estimate_generation_time(sf, machines=m) for m in (4, 8, 16)
+        ]
+        rows.append((sf, *times))
+    return rows
+
+
+def test_figure10_left_old_vs_new(benchmark):
+    rows = benchmark(_left_panel)
+    printable = [
+        (sf, t_old, t_new, ratio, PAPER_FIGURE10_SPEEDUPS[sf])
+        for sf, t_old, t_new, ratio in rows
+    ]
+    print_table(
+        "Figure 10 (left): v0.2.1 vs v0.2.6, 16 machines",
+        ["SF (M edges)", "v0.2.1 (s)", "v0.2.6 (s)", "speedup", "paper"],
+        printable,
+    )
+    ratios = [r[3] for r in rows]
+    assert ratios == sorted(ratios)  # speedup grows with scale factor
+    for sf, _, _, ratio in rows:
+        assert ratio == pytest.approx(PAPER_FIGURE10_SPEEDUPS[sf], rel=0.40)
+    # Headline: 1B edges in ~44 min new vs ~95 min old.
+    sf1000 = next(r for r in rows if r[0] == 1000)
+    assert 35 * 60 <= sf1000[2] <= 60 * 60
+    assert 75 * 60 <= sf1000[1] <= 115 * 60
+
+
+def test_figure10_right_cluster_sizes(benchmark):
+    rows = benchmark(_right_panel)
+    print_table(
+        "Figure 10 (right): v0.2.6 by cluster size",
+        ["SF (M edges)", "4 machines (s)", "8 machines (s)", "16 machines (s)"],
+        rows,
+    )
+    # More machines always helps, and helps more at larger SF.
+    speedups = []
+    for sf, t4, t8, t16 in rows:
+        assert t16 < t8 < t4
+        speedups.append(t4 / t16)
+    assert speedups == sorted(speedups)
+    # 10B edges generated in < 8 hours on 16 machines (paper headline).
+    sf10000 = next(r for r in rows if r[0] == 10000)
+    assert sf10000[3] < 8 * 3600
+
+
+def test_figure10_real_miniature_generation(benchmark):
+    """Really generate a miniature graph through both flows and check
+    they produce the identical graph (the functional contract that
+    justifies comparing only their cost)."""
+
+    def both():
+        config = DatagenConfig(num_persons=500, seed=5)
+        g_old, t_old = generate_with_flow(config, FlowVersion.V0_2_1)
+        g_new, t_new = generate_with_flow(config, FlowVersion.V0_2_6)
+        return g_old, g_new, t_old, t_new
+
+    g_old, g_new, trace_old, trace_new = benchmark.pedantic(
+        both, rounds=2, iterations=1
+    )
+    assert g_old.num_edges == g_new.num_edges
+    assert trace_old.total_records_sorted > trace_new.steps[0].records_sorted
+    print_table(
+        "Miniature flow traces (records sorted per step)",
+        ["flow"] + [s.dimension for s in trace_old.steps] + ["merge"],
+        [
+            ["v0.2.1"] + [s.records_sorted for s in trace_old.steps] + [0],
+            ["v0.2.6"]
+            + [s.records_sorted for s in trace_new.steps]
+            + [trace_new.merge_records],
+        ],
+    )

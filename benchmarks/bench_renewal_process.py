@@ -1,0 +1,99 @@
+"""The renewal process (paper §2.4, requirement R4).
+
+Not a numbered table, but a core contribution: "Graphalytics also
+specifies a novel process for renewing its core parameters, to withstand
+the test of time." This bench drives one full renewal round from the
+modeled stress-test data: re-running the two-stage selection (stable
+with the paper's surveys) and recalibrating class L from the best
+single-machine BFS makespans.
+"""
+
+from paper import print_table
+
+from repro.harness.datasets import DATASETS
+from repro.harness.renewal import RenewalProcess
+from repro.harness.survey import SurveyClass
+from repro.platforms.cluster import ClusterResources
+from repro.platforms.registry import PLATFORMS, create_driver
+
+CORE = ("bfs", "pr", "wcc", "cdlp", "lcc", "sssp")
+
+
+def _best_bfs_makespans():
+    """Best (min across platforms) single-machine BFS makespan per scale."""
+    makespans = {}
+    for ds in DATASETS.values():
+        best = None
+        for name in PLATFORMS:
+            model = create_driver(name).model
+            resources = ClusterResources()
+            if not model.fits_in_memory("bfs", ds.profile, resources):
+                continue
+            value = model.makespan("bfs", ds.profile, resources)
+            best = value if best is None else min(best, value)
+        if best is not None:
+            makespans[ds.profile.scale] = min(
+                best, makespans.get(ds.profile.scale, float("inf"))
+            )
+    return makespans
+
+
+def test_renewal_round(benchmark):
+    def renew():
+        process = RenewalProcess(CORE, version=1)
+        return process.renew(_best_bfs_makespans())
+
+    decision = benchmark(renew)
+    print_table(
+        "Renewal round (v1 -> v2)",
+        ["field", "value"],
+        [
+            ("algorithms", ", ".join(a.upper() for a in decision.algorithms)),
+            ("added", ", ".join(decision.added_algorithms) or "-"),
+            ("obsoleted", ", ".join(decision.obsoleted_algorithms) or "-"),
+            ("reference class", decision.reference_class),
+        ],
+    )
+    # With the paper's own surveys the core set is stable...
+    assert set(decision.algorithms) == set(CORE)
+    assert decision.added_algorithms == ()
+    # ...and 2016-era platforms push the hour-feasible class to XL.
+    assert decision.reference_class in ("L", "XL")
+
+
+def test_renewal_with_shifted_survey(benchmark):
+    """A future survey round where machine-learning-on-graphs rises and
+    label propagation fades: the process adds/retires algorithms."""
+    future_unweighted = (
+        SurveyClass("Statistics", 30, ("pr", "lcc")),
+        SurveyClass("Traversal", 50, ("bfs",)),
+        SurveyClass("Embeddings", 40, ("node2vec",)),
+        SurveyClass("Components", 8, ("wcc", "cdlp")),  # faded below 10%
+        SurveyClass("Other", 14),
+    )
+    future_weighted = (
+        SurveyClass("Distances/Paths", 20, ("sssp",)),
+        SurveyClass("Other", 20),
+    )
+
+    def renew():
+        process = RenewalProcess(CORE, version=2)
+        return process.renew(
+            {8.5: 900.0},
+            unweighted_survey=future_unweighted,
+            weighted_survey=future_weighted,
+        )
+
+    decision = benchmark(renew)
+    print_table(
+        "Hypothetical future renewal (v2 -> v3)",
+        ["field", "value"],
+        [
+            ("added", ", ".join(decision.added_algorithms)),
+            ("obsoleted", ", ".join(decision.obsoleted_algorithms)),
+            ("reference class", decision.reference_class),
+        ],
+    )
+    assert "node2vec" in decision.added_algorithms
+    assert "wcc" in decision.obsoleted_algorithms
+    assert "cdlp" in decision.obsoleted_algorithms

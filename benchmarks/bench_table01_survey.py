@@ -1,0 +1,59 @@
+"""Table 1: results of the graph-algorithm literature surveys.
+
+Regenerates the class/count/percentage table from the stored survey data
+and benchmarks the two-stage selection process itself.
+"""
+
+from paper import print_table
+
+from repro.harness.survey import survey_table, two_stage_selection
+
+#: Percentages as printed in Table 1.
+PAPER_ROWS = {
+    ("Unweighted", "Statistics"): (24, 17.0),
+    ("Unweighted", "Traversal"): (69, 48.9),
+    ("Unweighted", "Components"): (20, 14.2),
+    ("Unweighted", "Graph Evolution"): (6, 4.2),
+    ("Unweighted", "Other"): (22, 15.6),
+    ("Weighted", "Distances/Paths"): (17, 34.0),
+    ("Weighted", "Clustering"): (7, 14.0),
+    ("Weighted", "Partitioning"): (5, 10.0),
+    ("Weighted", "Routing"): (5, 10.0),
+    ("Weighted", "Other"): (16, 32.0),
+}
+
+
+def test_table01_survey(benchmark):
+    rows = benchmark(survey_table)
+    printable = []
+    for row in rows:
+        paper_count, paper_pct = PAPER_ROWS[(row["survey"], row["class"])]
+        printable.append(
+            (
+                row["survey"],
+                row["class"],
+                ",".join(row["candidates"]) or "-",
+                row["count"],
+                paper_count,
+                row["percentage"],
+                paper_pct,
+            )
+        )
+        assert row["count"] == paper_count
+        assert abs(row["percentage"] - paper_pct) < 0.2
+    print_table(
+        "Table 1: algorithm surveys (paper vs reproduced)",
+        ["survey", "class", "candidates", "count", "paper#", "%", "paper%"],
+        printable,
+    )
+
+
+def test_table01_two_stage_selection(benchmark):
+    selected = benchmark(two_stage_selection)
+    # The process must land on exactly the paper's six core algorithms.
+    assert set(selected) == {"bfs", "pr", "wcc", "cdlp", "lcc", "sssp"}
+    print_table(
+        "Two-stage selection outcome",
+        ["selected algorithms"],
+        [[", ".join(a.upper() for a in selected)]],
+    )

@@ -1,0 +1,36 @@
+"""Table 2: mapping of dataset scale ranges to "T-shirt" labels."""
+
+from paper import print_table
+
+from repro.harness.scale import SCALE_CLASSES, scale_class
+
+PAPER_MAPPING = [
+    (6.5, "2XS"),
+    (7.2, "XS"),
+    (7.7, "S"),
+    (8.2, "M"),
+    (8.7, "L"),
+    (9.2, "XL"),
+    (9.8, "2XL"),
+]
+
+
+def _classify_all():
+    return [(scale, scale_class(scale)) for scale, _ in PAPER_MAPPING]
+
+
+def test_table02_scale_classes(benchmark):
+    produced = benchmark(_classify_all)
+    rows = []
+    for (scale, label), (_, expected) in zip(produced, PAPER_MAPPING):
+        rows.append((scale, label, expected))
+        assert label == expected
+    print_table(
+        "Table 2: scale ranges to T-shirt labels",
+        ["scale", "label", "paper"],
+        rows,
+    )
+    # The class table itself matches the paper's boundaries.
+    assert [(low, high) for low, high, _ in SCALE_CLASSES][1:-1] == [
+        (7.0, 7.5), (7.5, 8.0), (8.0, 8.5), (8.5, 9.0), (9.0, 9.5),
+    ]

@@ -1,0 +1,55 @@
+"""Table 4: the synthetic dataset catalog (Datagen + Graph500)."""
+
+from paper import print_table
+
+from repro.harness.datasets import SYNTHETIC_DATASETS, get_dataset
+
+PAPER_TABLE4 = {
+    "D100": ("datagen-100", 1.67e6, 102e6, 8.0),
+    "D100'": ("datagen-100-cc0.05", 1.67e6, 103e6, 8.0),
+    "D100\"": ("datagen-100-cc0.15", 1.67e6, 103e6, 8.0),
+    "D300": ("datagen-300", 4.35e6, 304e6, 8.5),
+    "D1000": ("datagen-1000", 12.8e6, 1.01e9, 9.0),
+    "G22": ("graph500-22", 2.40e6, 64.2e6, 7.8),
+    "G23": ("graph500-23", 4.61e6, 129e6, 8.1),
+    "G24": ("graph500-24", 8.87e6, 260e6, 8.4),
+    "G25": ("graph500-25", 17.1e6, 524e6, 8.7),
+    "G26": ("graph500-26", 32.8e6, 1.05e9, 9.0),
+}
+
+
+def test_table04_catalog(benchmark):
+    rows = benchmark(
+        lambda: [(d.dataset_id, d.profile) for d in SYNTHETIC_DATASETS]
+    )
+    printable = []
+    for dataset_id, profile in rows:
+        name, v, e, scale = PAPER_TABLE4[dataset_id]
+        assert profile.name == name
+        assert profile.num_vertices == int(round(v))
+        assert profile.num_edges == int(round(e))
+        assert profile.scale == scale
+        printable.append(
+            (dataset_id, name, profile.num_vertices, profile.num_edges,
+             profile.scale, get_dataset(dataset_id).tshirt)
+        )
+    print_table(
+        "Table 4: synthetic datasets",
+        ["id", "name", "|V|", "|E|", "scale", "class"],
+        printable,
+    )
+
+
+def test_table04_datagen_miniature(benchmark):
+    graph = benchmark.pedantic(
+        lambda: get_dataset("D300").materializer(7), rounds=3, iterations=1
+    )
+    assert not graph.directed
+    assert graph.is_weighted
+
+
+def test_table04_graph500_miniature(benchmark):
+    graph = benchmark.pedantic(
+        lambda: get_dataset("G26").materializer(7), rounds=3, iterations=1
+    )
+    assert graph.num_edges > 50_000

@@ -1,0 +1,40 @@
+"""Table 5: the selected graph-analysis platform roster."""
+
+from paper import print_table
+
+from repro.platforms.registry import PLATFORMS, create_driver
+
+PAPER_TABLE5 = [
+    ("giraph", "C, D", "Giraph", "Apache", "Java", "Pregel", "1.1.0"),
+    ("graphx", "C, D", "GraphX", "Apache", "Scala", "Spark", "1.6.0"),
+    ("powergraph", "C, D", "PowerGraph", "CMU", "C++", "GAS", "2.2"),
+    ("graphmat", "I, D", "GraphMat", "Intel", "C++", "SpMV", "Feb '16"),
+    ("openg", "I, S", "OpenG", "Georgia Tech", "C++", "Native code", "Feb '16"),
+    ("pgxd", "I, D", "PGX.D", "Oracle", "C++", "Push-pull", "Feb '16"),
+]
+
+
+def test_table05_roster(benchmark):
+    infos = benchmark(lambda: [(k, v[0]) for k, v in PLATFORMS.items()])
+    rows = []
+    for (key, info), expected in zip(infos, PAPER_TABLE5):
+        _, type_code, name, vendor, lang, model, version = expected
+        assert key == expected[0]
+        assert info.type_code == type_code
+        assert (info.name, info.vendor, info.language) == (name, vendor, lang)
+        assert (info.programming_model, info.version) == (model, version)
+        rows.append((type_code, name, vendor, lang, model, version))
+    print_table(
+        "Table 5: selected platforms",
+        ["type", "name", "vendor", "lang", "model", "version"],
+        rows,
+    )
+
+
+def test_table05_driver_instantiation(benchmark):
+    drivers = benchmark(lambda: [create_driver(name) for name in PLATFORMS])
+    assert len(drivers) == 6
+    # Capability quirks from the paper.
+    by_name = {d.name: d for d in drivers}
+    assert not by_name["PGX.D"].supports("lcc")
+    assert "cdlp" in by_name["GraphX"].crash_algorithms

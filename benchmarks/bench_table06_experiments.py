@@ -1,0 +1,43 @@
+"""Table 6: the experiment catalog driven by the harness."""
+
+from paper import print_table
+
+from repro.harness.experiments import EXPERIMENTS
+
+PAPER_TABLE6 = [
+    ("4.1", "Baseline", ("bfs", "pr"), 1),
+    ("4.2", "Baseline", ("bfs", "pr", "wcc", "cdlp", "lcc", "sssp"), 1),
+    ("4.3", "Scalability", ("bfs", "pr"), 1),
+    ("4.4", "Scalability", ("bfs", "pr"), 16),
+    ("4.5", "Scalability", ("bfs", "pr"), 16),
+    ("4.6", "Robustness", ("bfs",), 1),
+    ("4.7", "Robustness", ("bfs",), 16),
+    ("4.8", "Self-test", (), 16),
+]
+
+
+def test_table06_catalog(benchmark):
+    experiments = benchmark(lambda: list(EXPERIMENTS.values()))
+    rows = []
+    for exp, (section, category, algorithms, max_nodes) in zip(
+        experiments, PAPER_TABLE6
+    ):
+        assert exp.section == section
+        assert exp.category == category
+        assert exp.algorithms == algorithms
+        assert max(exp.nodes) == max_nodes
+        rows.append(
+            (
+                exp.section,
+                exp.category,
+                exp.title,
+                ",".join(a.upper() for a in exp.algorithms) or "-",
+                "/".join(str(n) for n in exp.nodes),
+                ",".join(exp.metrics),
+            )
+        )
+    print_table(
+        "Table 6: experiments used for benchmarks",
+        ["sec", "category", "experiment", "algorithms", "#nodes", "metrics"],
+        rows,
+    )

@@ -1,0 +1,33 @@
+"""Table 7: hardware specifications of the DAS-5 benchmarking nodes.
+
+The cluster resource model must carry exactly the paper's node
+description — it drives the vertical-scaling thread counts (16 cores,
+32 HT threads) and the memory bound (64 GiB) behind every Table 10
+failure.
+"""
+
+from paper import print_table
+
+from repro.platforms.cluster import DAS5_MACHINE, ClusterResources
+
+
+def test_table07_hardware(benchmark):
+    machine = benchmark(lambda: DAS5_MACHINE)
+    rows = [
+        ("CPU", machine.name, "2 x Intel Xeon E5-2630 @ 2.40 GHz"),
+        ("Cores", machine.cores, "16 (32 threads with Hyper-Threading)"),
+        ("Threads", machine.threads, "32"),
+        ("Memory", f"{machine.memory_bytes // 2**30} GiB", "64 GiB"),
+        ("Network", f"{machine.network_gbps:g} Gbit/s Ethernet",
+         "1 Gbit/s Ethernet, FDR InfiniBand"),
+    ]
+    print_table("Table 7: hardware specifications", ["component", "model", "paper"], rows)
+    assert machine.cores == 16
+    assert machine.threads == 32
+    assert machine.memory_bytes == 64 * 2 ** 30
+    assert "E5-2630" in machine.name
+
+    # The resource model exposes exactly these limits to the benchmark.
+    resources = ClusterResources(machines=16)
+    assert resources.threads_per_machine == 32
+    assert resources.total_memory_bytes == 16 * 64 * 2 ** 30

@@ -1,0 +1,51 @@
+"""Table 8: Tproc vs makespan for BFS on D300(L), via Granula.
+
+The makespan breakdown comes from each job's Granula performance archive
+(paper §2.5.2): the harness extracts Tproc from the archive's processing
+phase and the overhead ratio from the archive itself.
+"""
+
+import pytest
+from paper import PAPER_TABLE8, PLATFORM_LABELS, print_table
+
+from repro.granula.archiver import build_archive
+from repro.harness.datasets import get_dataset
+from repro.platforms.registry import PLATFORMS, create_driver
+
+
+def _run_all():
+    dataset = get_dataset("D300")
+    graph = dataset.materialize()
+    archives = {}
+    for name in PLATFORMS:
+        driver = create_driver(name)
+        handle = driver.upload(graph, profile=dataset.profile)
+        job = driver.execute(handle, "bfs", dataset.algorithm_parameters("bfs"))
+        archives[name] = build_archive(job)
+    return archives
+
+
+def test_table08_makespan(benchmark):
+    archives = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    rows = []
+    for name, archive in archives.items():
+        paper_tproc, paper_makespan = PAPER_TABLE8[name]
+        tproc = archive.processing_time
+        makespan = archive.makespan
+        rows.append(
+            (
+                PLATFORM_LABELS[name],
+                makespan, paper_makespan,
+                tproc, paper_tproc,
+                100 * archive.overhead_ratio(),
+                100 * paper_tproc / paper_makespan,
+            )
+        )
+        # Jitter applies per run; allow 25% around the paper values.
+        assert tproc == pytest.approx(paper_tproc, rel=0.25)
+        assert makespan == pytest.approx(paper_makespan, rel=0.15)
+    print_table(
+        "Table 8: BFS on D300(L) — makespan / Tproc / ratio",
+        ["platform", "makespan", "paper", "tproc", "paper", "ratio%", "paper%"],
+        rows,
+    )

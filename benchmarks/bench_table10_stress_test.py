@@ -1,0 +1,54 @@
+"""Table 10: stress test — smallest dataset failing BFS on one machine.
+
+Reproduces all six paper entries exactly, plus the §4.6 key findings:
+most platforms fail on a Graph500 graph while succeeding on a Datagen
+graph of comparable scale; PowerGraph and OpenG process graphs up to
+scale 9.0 on one machine.
+"""
+
+from paper import PAPER_TABLE10, PLATFORM_LABELS, print_table
+
+from repro.harness.datasets import get_dataset
+from repro.harness.experiments import get_experiment
+
+
+def test_table10_stress_test(benchmark, runner):
+    report = benchmark.pedantic(
+        lambda: get_experiment("stress-test").run(runner),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for row in report.rows_for(summary="stress-limit"):
+        platform = row["platform"]
+        paper_dataset, paper_scale = PAPER_TABLE10[platform]
+        rows.append(
+            (
+                PLATFORM_LABELS[platform],
+                row["dataset"], paper_dataset,
+                row["scale"], paper_scale,
+            )
+        )
+        assert row["dataset"] == paper_dataset
+        assert row["scale"] == paper_scale
+    print_table(
+        "Table 10: smallest dataset failing BFS on one machine",
+        ["platform", "dataset", "paper", "scale", "paper"],
+        rows,
+    )
+
+    # §4.6: Giraph/GraphMat fail G26 but pass D1000 of the same scale.
+    def status(platform_key, dataset):
+        matches = [
+            r for r in report.rows
+            if r.get("platform") == PLATFORM_LABELS[platform_key].replace(
+                "P'Graph", "PowerGraph"
+            ).replace("G'Mat", "GraphMat")
+            and r.get("dataset") == dataset and "status" in r
+        ]
+        return matches[0]["status"]
+
+    assert get_dataset("G26").profile.scale == get_dataset("D1000").profile.scale
+    for platform_key in ("giraph", "graphmat"):
+        assert status(platform_key, "G26") == "F"
+        assert status(platform_key, "D1000") == "ok"

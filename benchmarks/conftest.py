@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table or figure of the paper and
+prints a paper-vs-reproduced comparison. A session-scoped runner shares
+dataset materializations and uploads across benchmarks.
+"""
+
+import pytest
+
+from repro.harness.config import BenchmarkConfig
+from repro.harness.runner import BenchmarkRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return BenchmarkRunner(BenchmarkConfig(seed=0))
+
+
+def pytest_collection_modifyitems(items):
+    """Keep benches in file order (tables first, then figures)."""
+    items.sort(key=lambda item: item.nodeid)

@@ -1,0 +1,115 @@
+"""Paper reference values and table-printing helpers for the benchmarks.
+
+Every ``PAPER_*`` constant below is transcribed from the paper; the
+bench modules print these next to the reproduced values so the output is
+a self-contained paper-vs-measured report (also summarized in
+EXPERIMENTS.md).
+"""
+
+from typing import Iterable, List, Sequence
+
+__all__ = [
+    "print_table",
+    "fmt",
+    "PAPER_TABLE8",
+    "PAPER_TABLE9",
+    "PAPER_TABLE10",
+    "PAPER_TABLE11",
+    "PAPER_FIGURE10_SPEEDUPS",
+    "PLATFORM_LABELS",
+]
+
+#: registry key -> display name used in the paper's tables.
+PLATFORM_LABELS = {
+    "giraph": "Giraph",
+    "graphx": "GraphX",
+    "powergraph": "P'Graph",
+    "graphmat": "G'Mat",
+    "openg": "OpenG",
+    "pgxd": "PGX.D",
+}
+
+#: registry key -> the name drivers stamp on result records.
+PLATFORM_NAMES = {
+    "giraph": "Giraph",
+    "graphx": "GraphX",
+    "powergraph": "PowerGraph",
+    "graphmat": "GraphMat",
+    "openg": "OpenG",
+    "pgxd": "PGX.D",
+}
+
+#: Table 8: BFS on D300(L) — (Tproc seconds, makespan seconds).
+PAPER_TABLE8 = {
+    "giraph": (22.3, 276.6),
+    "graphx": (101.5, 298.3),
+    "powergraph": (2.1, 214.7),
+    "graphmat": (0.3, 22.8),
+    "openg": (1.8, 5.4),
+    "pgxd": (0.5, 268.7),
+}
+
+#: Table 9: vertical speedups on D300(L), 1 -> 32 threads (BFS, PR).
+PAPER_TABLE9 = {
+    "giraph": (6.0, 8.1),
+    "graphx": (4.5, 2.9),
+    "powergraph": (11.8, 10.3),
+    "graphmat": (6.9, 11.3),
+    "openg": (6.3, 6.4),
+    "pgxd": (15.0, 13.9),
+}
+
+#: Table 10: smallest dataset failing BFS on one machine (id, scale).
+PAPER_TABLE10 = {
+    "giraph": ("G26", 9.0),
+    "graphx": ("G25", 8.7),
+    "powergraph": ("R5", 9.3),
+    "graphmat": ("G26", 9.0),
+    "openg": ("R5", 9.3),
+    "pgxd": ("G25", 8.7),
+}
+
+#: Table 11: variability — config -> platform -> (mean s, CV).
+PAPER_TABLE11 = {
+    "S": {
+        "giraph": (22.3, 0.050),
+        "graphx": (101.5, 0.026),
+        "powergraph": (2.1, 0.015),
+        "graphmat": (0.3, 0.097),
+        "openg": (2.0, 0.048),
+        "pgxd": (0.5, 0.082),
+    },
+    "D": {
+        "giraph": (38.0, 0.098),
+        "graphx": (335.5, 0.045),
+        "powergraph": (6.6, 0.045),
+        "graphmat": (0.5, 0.057),
+        "pgxd": (0.5, 0.071),
+    },
+}
+
+#: §4.8: v0.2.6 over v0.2.1 speedups at SF 30..3000 on 16 machines.
+PAPER_FIGURE10_SPEEDUPS = {30: 1.16, 100: 1.33, 300: 1.83, 1000: 2.15, 3000: 2.9}
+
+
+def fmt(value, width=9) -> str:
+    """Format one cell: numbers to 3 significant digits."""
+    if value is None:
+        return "-".rjust(width)
+    if isinstance(value, float):
+        return f"{value:.3g}".rjust(width)
+    return str(value).rjust(width)
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print one paper-vs-reproduced comparison table."""
+    rows = list(rows)
+    widths: List[int] = [
+        max(len(str(header[i])), *(len(fmt(r[i]).strip()) for r in rows), 6)
+        for i in range(len(header))
+    ]
+    print()
+    print(f"== {title} ==")
+    print("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(fmt(c, w) for c, w in zip(row, widths)))

@@ -1,0 +1,73 @@
+"""Capacity planning with the platform models and tuning policies.
+
+A DevOps-flavored scenario (paper Figure 1 names the "System
+Customer/DevOp" as a benchmark user): given a planned workload, find —
+without trial runs — which platforms can run it, on how many machines,
+and at what predicted cost; then verify one recommendation with an
+actual benchmark job and a statistical comparison.
+
+Run with::
+
+    python examples/capacity_planning.py
+"""
+
+from repro.harness.analysis import compare_platforms
+from repro.harness.config import BenchmarkConfig
+from repro.harness.datasets import get_dataset
+from repro.harness.runner import BenchmarkRunner
+from repro.platforms.registry import PLATFORMS, create_driver
+from repro.platforms.tuning import capacity_frontier, recommend_resources
+
+
+def main():
+    # The planned workload: PageRank over datagen-1000 (12.8M vertices,
+    # 1.01B edges — class XL).
+    profile = get_dataset("D1000").profile
+    algorithm = "pr"
+    print(f"workload: {algorithm.upper()} on {profile.name} "
+          f"(|V|={profile.num_vertices:,}, |E|={profile.num_edges:,})\n")
+
+    print(f"{'platform':>12s} {'baseline':>9s} {'Tproc@base':>11s} "
+          f"{'memory':>7s}  note")
+    for name in PLATFORMS:
+        driver = create_driver(name)
+        decision = recommend_resources(driver, algorithm, profile)
+        if decision.feasible:
+            print(
+                f"{driver.name:>12s} {decision.resources.machines:>7d}m "
+                f"{decision.predicted_tproc:>10.1f}s "
+                f"{decision.predicted_memory_fraction:>6.0%}  "
+                f"{decision.reason}"
+            )
+        else:
+            print(f"{driver.name:>12s} {'-':>9s} {'-':>11s} {'-':>7s}  "
+                  f"{decision.reason}")
+
+    # The feasibility frontier for the pickiest platform.
+    print("\nPGX.D capacity frontier (machines -> predicted Tproc):")
+    for machines, tproc in capacity_frontier(
+        create_driver("pgxd"), algorithm, profile
+    ):
+        status = f"{tproc:.1f} s" if tproc is not None else "infeasible"
+        print(f"  {machines:>2d} machines: {status}")
+
+    # Verify the head-to-head with repeated benchmark jobs + a t-test.
+    config = BenchmarkConfig(
+        platforms=["graphmat", "powergraph"], datasets=["D1000"],
+        algorithms=[algorithm], repetitions=6,
+    )
+    database = BenchmarkRunner(config).run()
+    comparison = compare_platforms(
+        database, "GraphMat", "PowerGraph",
+        algorithm=algorithm, dataset="D1000",
+    )
+    print(
+        f"\nmeasured head-to-head (6 repetitions each): {comparison.faster} "
+        f"is {comparison.speedup:.1f}x faster than {comparison.slower} "
+        f"(p={comparison.p_value:.2e}, "
+        f"{'significant' if comparison.significant else 'not significant'})"
+    )
+
+
+if __name__ == "__main__":
+    main()

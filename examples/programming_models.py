@@ -1,0 +1,69 @@
+"""Programming models: the same algorithm in three platform paradigms.
+
+Graphalytics defines algorithms abstractly precisely so platforms with
+different programming models can compete (paper §2.2.3, requirement R1).
+This example runs PageRank as a Pregel vertex program (Giraph's model),
+as a gather-apply-scatter program (PowerGraph's model), and as semiring
+sparse-matrix products (GraphMat's model), shows the three outputs are
+equivalent, and times the abstractions.
+
+It then runs a benchmark job on Giraph in *native* execution mode, where
+the driver really computes through the Pregel engine.
+
+Run with::
+
+    python examples/programming_models.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.algorithms import (
+    pagerank,
+    validate_output,
+    weakly_connected_components,
+)
+from repro.datagen.generator import generate
+from repro.engines import gas, pregel, spmv
+from repro.platforms.registry import create_driver
+
+
+def main():
+    graph = generate(400, mean_degree=12, seed=21)
+    print(f"workload: {graph}\n")
+
+    reference = pagerank(graph, iterations=20)
+    print(f"{'model':>22s} {'seconds':>9s} {'max |delta| vs reference':>26s}")
+    for name, runner in (
+        ("Pregel (vertex msgs)", lambda: pregel.run_pagerank(graph, 20)),
+        ("GAS (gather/apply)", lambda: gas.run_pagerank(graph, 20)),
+        ("SpMV (semiring)", lambda: spmv.run_pagerank(graph, 20)),
+    ):
+        started = time.perf_counter()
+        result = runner()
+        elapsed = time.perf_counter() - started
+        validate_output("pr", result, reference)
+        delta = float(np.abs(result - reference).max())
+        print(f"{name:>22s} {elapsed:>9.4f} {delta:>26.2e}")
+    print("\nall three pass the Graphalytics epsilon-equivalence rule.")
+    print("the SpMV formulation wins on wall-clock: vertex programs pay")
+    print("per-vertex interpretation, matrix products vectorize —")
+    print("GraphMat's design argument (paper section 3.1), measured.\n")
+
+    # A driver in native mode: the simulated Giraph really computes
+    # through the Pregel engine.
+    driver = create_driver("giraph", execution="native")
+    handle = driver.upload(graph)
+    job = driver.execute(handle, "wcc")
+    print(
+        f"Giraph (native Pregel execution): WCC on the miniature in "
+        f"{job.measured_processing_seconds * 1000:.1f} ms, "
+        f"status={job.status.value}"
+    )
+    assert np.array_equal(job.output, weakly_connected_components(graph))
+    print("native output equals the reference implementation.")
+
+
+if __name__ == "__main__":
+    main()

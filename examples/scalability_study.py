@@ -1,0 +1,83 @@
+"""Scalability study: the paper's §4.3–4.5 experiments on demand.
+
+Sweeps threads (vertical), machines with a fixed dataset (strong
+horizontal), and machines with a growing dataset (weak horizontal) for
+two platforms with very different scaling behavior, printing the
+speedup/slowdown curves the paper plots in Figures 7–9.
+
+Run with::
+
+    python examples/scalability_study.py
+"""
+
+from repro.harness.datasets import get_dataset
+from repro.harness.metrics import speedup
+from repro.harness.sla import sla_compliant
+from repro.harness.config import BenchmarkConfig
+from repro.harness.runner import BenchmarkRunner
+from repro.platforms.cluster import ClusterResources
+
+PLATFORMS = ("powergraph", "pgxd")
+
+
+def vertical(runner):
+    print("Vertical scalability: PR on D300(L), 1..32 threads")
+    print(f"{'platform':>12s} " + " ".join(f"{t:>8d}" for t in (1, 2, 4, 8, 16, 32)))
+    for platform in PLATFORMS:
+        times = []
+        for threads in (1, 2, 4, 8, 16, 32):
+            result = runner.run_job(
+                platform, "D300", "pr",
+                resources=ClusterResources(threads=threads),
+            )
+            times.append(result.modeled_processing_time)
+        cells = " ".join(f"{t:>8.2f}" for t in times)
+        print(f"{platform:>12s} {cells}   (speedup {speedup(times[0], min(times)):.1f}x)")
+
+
+def strong(runner):
+    print("\nStrong horizontal scalability: BFS on D1000(XL), 1..16 machines")
+    print(f"{'platform':>12s} " + " ".join(f"{m:>8d}" for m in (1, 2, 4, 8, 16)))
+    for platform in PLATFORMS:
+        cells = []
+        for machines in (1, 2, 4, 8, 16):
+            result = runner.run_job(
+                platform, "D1000", "bfs",
+                resources=ClusterResources(machines=machines),
+            )
+            if result.succeeded and result.sla_compliant:
+                cells.append(f"{result.modeled_processing_time:>8.2f}")
+            else:
+                cells.append(f"{'FAIL':>8s}")
+        print(f"{platform:>12s} " + " ".join(cells))
+
+
+def weak(runner):
+    series = (("G22", 1), ("G23", 2), ("G24", 4), ("G25", 8), ("G26", 16))
+    print("\nWeak horizontal scalability: BFS on G22@1 .. G26@16")
+    print(f"{'platform':>12s} " + " ".join(f"{d}@{m:>2d}" for d, m in series))
+    for platform in PLATFORMS:
+        cells = []
+        for dataset, machines in series:
+            result = runner.run_job(
+                platform, dataset, "bfs",
+                resources=ClusterResources(machines=machines),
+            )
+            if result.succeeded and result.sla_compliant:
+                cells.append(f"{result.modeled_processing_time:>6.2f}")
+            else:
+                cells.append(f"{'FAIL':>6s}")
+        print(f"{platform:>12s} " + "  ".join(cells))
+    print("\nIdeal weak scaling keeps Tproc constant along the series; the")
+    print("upward drift (and PGX.D's memory failure) match paper §4.5.")
+
+
+def main():
+    runner = BenchmarkRunner(BenchmarkConfig(seed=0))
+    vertical(runner)
+    strong(runner)
+    weak(runner)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Social-network analysis: the paper's motivating workload (§1).
+
+"Algorithmically analyzing large graphs is an important class of
+problems in Big Data processing, with applications such as the analysis
+of human behavior and preferences in social networks."
+
+This example generates Datagen social networks with different target
+clustering coefficients (the paper's §2.5.1 extension, Figure 2),
+detects communities, identifies influencers, and compares the resulting
+structure.
+
+Run with::
+
+    python examples/social_network_analysis.py
+"""
+
+import numpy as np
+
+from repro.algorithms import (
+    community_detection_lp,
+    local_clustering_coefficient,
+    pagerank,
+    weakly_connected_components,
+)
+from repro.datagen.generator import generate
+from repro.graph.stats import compute_statistics
+
+
+def modularity(graph, labels) -> float:
+    """Newman modularity of a community labeling."""
+    m = graph.num_edges
+    if m == 0:
+        return 0.0
+    degrees = graph.degrees().astype(np.float64)
+    internal = sum(
+        1 for s, d in zip(graph.edge_src, graph.edge_dst) if labels[s] == labels[d]
+    )
+    groups = {}
+    for v, label in enumerate(labels):
+        groups.setdefault(int(label), []).append(v)
+    expected = sum(
+        (degrees[np.array(members)].sum() / (2 * m)) ** 2
+        for members in groups.values()
+    )
+    return internal / m - expected
+
+
+def analyze(target_cc, seed=11):
+    graph = generate(
+        800,
+        mean_degree=18,
+        target_clustering_coefficient=target_cc,
+        seed=seed,
+    )
+    stats = compute_statistics(graph)
+    communities = community_detection_lp(graph, iterations=10)
+    ranks = pagerank(graph, iterations=30)
+    components = weakly_connected_components(graph)
+    lcc = local_clustering_coefficient(graph)
+
+    sizes = np.unique(communities, return_counts=True)[1]
+    hubs = np.argsort(ranks)[::-1][:5]
+    return {
+        "target_cc": target_cc,
+        "measured_cc": stats.mean_clustering_coefficient,
+        "communities": len(sizes),
+        "largest_community": int(sizes.max()),
+        "modularity": modularity(graph, communities),
+        "components": len(np.unique(components)),
+        "influencers": [int(graph.vertex_ids[h]) for h in hubs],
+        "influencer_lcc": float(lcc[hubs].mean()),
+    }
+
+
+def main():
+    print("Tunable clustering coefficient (paper Figure 2):\n")
+    header = (
+        f"{'target cc':>9s} {'measured':>9s} {'#comm':>6s} {'largest':>8s} "
+        f"{'modularity':>10s} {'hub lcc':>8s}"
+    )
+    print(header)
+    for target in (0.05, 0.15, 0.3):
+        r = analyze(target)
+        print(
+            f"{r['target_cc']:>9.2f} {r['measured_cc']:>9.3f} "
+            f"{r['communities']:>6d} {r['largest_community']:>8d} "
+            f"{r['modularity']:>10.3f} {r['influencer_lcc']:>8.3f}"
+        )
+    print(
+        "\nHigher targets produce denser, better-defined communities —"
+        "\nthe paper's visual finding, quantified by modularity."
+    )
+
+    r = analyze(0.3)
+    print(f"\nTop influencers (PageRank) at cc=0.3: {r['influencers']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim for editable installs in offline environments.
+
+All package metadata lives in pyproject.toml; this file only lets
+``pip install -e .`` work where the `wheel` package (required for PEP 660
+editable wheels) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,94 @@
+"""The six Graphalytics core algorithms and output validation.
+
+Paper §2.2.3 selects five core algorithms for unweighted graphs — BFS,
+PageRank, WCC, CDLP, LCC — and one for weighted graphs, SSSP. Each
+module provides the reference implementation; correctness of a platform
+is *defined* as output equivalence to these references (validated by the
+rules in :mod:`repro.algorithms.validation`).
+
+All algorithms are deterministic, take dense vertex indices internally,
+and return numpy arrays indexed by dense index. Use :func:`as_vertex_map`
+to convert to an ``{external_id: value}`` mapping.
+"""
+
+from typing import Dict
+
+import numpy as np
+
+from repro.algorithms.bfs import breadth_first_search, BFS_UNREACHABLE
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.wcc import weakly_connected_components
+from repro.algorithms.cdlp import community_detection_lp
+from repro.algorithms.lcc import local_clustering_coefficient
+from repro.algorithms.sssp import single_source_shortest_paths, SSSP_UNREACHABLE
+from repro.algorithms.registry import (
+    Algorithm,
+    ALGORITHMS,
+    UNWEIGHTED_ALGORITHMS,
+    WEIGHTED_ALGORITHMS,
+    get_algorithm,
+    run_reference,
+)
+from repro.algorithms.validation import (
+    ExactMatchRule,
+    EpsilonMatchRule,
+    EquivalenceMatchRule,
+    validation_rule_for,
+    validate_output,
+)
+from repro.algorithms.extras import (
+    triangle_count,
+    diameter,
+    estimate_diameter,
+    average_clustering_coefficient,
+    degree_distribution,
+    assortativity,
+)
+from repro.algorithms.output_io import (
+    write_output,
+    read_output,
+    align_output,
+    validate_output_file,
+)
+from repro.algorithms import variants
+
+
+def as_vertex_map(graph, values: np.ndarray) -> Dict[int, object]:
+    """Convert a dense-index result array to {external_vertex_id: value}."""
+    ids = graph.vertex_ids
+    return {int(ids[i]): values[i].item() for i in range(len(ids))}
+
+
+__all__ = [
+    "breadth_first_search",
+    "BFS_UNREACHABLE",
+    "pagerank",
+    "weakly_connected_components",
+    "community_detection_lp",
+    "local_clustering_coefficient",
+    "single_source_shortest_paths",
+    "SSSP_UNREACHABLE",
+    "Algorithm",
+    "ALGORITHMS",
+    "UNWEIGHTED_ALGORITHMS",
+    "WEIGHTED_ALGORITHMS",
+    "get_algorithm",
+    "run_reference",
+    "ExactMatchRule",
+    "EpsilonMatchRule",
+    "EquivalenceMatchRule",
+    "validation_rule_for",
+    "validate_output",
+    "as_vertex_map",
+    "triangle_count",
+    "diameter",
+    "estimate_diameter",
+    "average_clustering_coefficient",
+    "degree_distribution",
+    "assortativity",
+    "write_output",
+    "read_output",
+    "align_output",
+    "validate_output_file",
+    "variants",
+]

@@ -1,0 +1,49 @@
+"""Breadth-first search.
+
+Graphalytics definition: for every vertex, the minimum number of hops
+required to reach it from a given source vertex. Directed graphs follow
+out-edges only. Unreachable vertices are assigned
+:data:`BFS_UNREACHABLE` (the official Graphalytics reference output uses
+the maximum signed 64-bit integer for unreachable vertices).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphFormatError
+from repro.algorithms.common import gather_neighbors
+from repro.graph.graph import Graph
+
+__all__ = ["breadth_first_search", "BFS_UNREACHABLE"]
+
+#: Depth assigned to vertices not reachable from the source.
+BFS_UNREACHABLE: int = np.iinfo(np.int64).max
+
+
+def breadth_first_search(graph: Graph, source: int) -> np.ndarray:
+    """Level-synchronous BFS from ``source`` (an external vertex id).
+
+    Returns an int64 array of hop counts indexed by dense vertex index;
+    unreachable vertices hold :data:`BFS_UNREACHABLE`.
+    """
+    if not graph.has_vertex(source):
+        raise GraphFormatError(f"BFS source vertex {source} not in graph")
+    n = graph.num_vertices
+    depth = np.full(n, BFS_UNREACHABLE, dtype=np.int64)
+    root = graph.index_of(source)
+    depth[root] = 0
+    frontier = np.array([root], dtype=np.int64)
+    level = 0
+    indptr, indices = graph.out_indptr, graph.out_indices
+    while len(frontier) > 0:
+        level += 1
+        candidates = gather_neighbors(indptr, indices, frontier)
+        if len(candidates) == 0:
+            break
+        fresh = candidates[depth[candidates] == BFS_UNREACHABLE]
+        if len(fresh) == 0:
+            break
+        frontier = np.unique(fresh)
+        depth[frontier] = level
+    return depth

@@ -1,0 +1,136 @@
+"""Reference-output files: ``<vertex-id> <value>`` per line.
+
+The Graphalytics benchmark ships *reference output* for every
+(algorithm, dataset) pair; a platform's output file is validated against
+it (paper §2.2.3 and Figure 1's "Results Validation" box). This module
+reads and writes that format:
+
+* integer values for BFS (unreachable = max int64), WCC and CDLP labels;
+* float values (``repr``-round-trip doubles) for PR, LCC and SSSP, with
+  ``infinity`` spelled out for unreachable SSSP vertices.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.exceptions import GraphFormatError, ValidationError
+from repro.algorithms.registry import get_algorithm
+from repro.graph.graph import Graph
+
+__all__ = [
+    "write_output",
+    "read_output",
+    "align_output",
+    "validate_output_file",
+]
+
+PathLike = Union[str, os.PathLike]
+
+#: Algorithms whose per-vertex values are integers.
+_INTEGER_VALUED = frozenset({"bfs", "wcc", "cdlp"})
+
+
+def _is_integer_valued(algorithm: str) -> bool:
+    get_algorithm(algorithm)  # raises for unknown acronyms
+    return algorithm.lower() in _INTEGER_VALUED
+
+
+def write_output(
+    graph: Graph, values: np.ndarray, path: PathLike, *, algorithm: str
+) -> Path:
+    """Write a per-vertex output array (dense-index order) to a file."""
+    values = np.asarray(values)
+    if len(values) != graph.num_vertices:
+        raise ValidationError(
+            f"output has {len(values)} values for {graph.num_vertices} vertices"
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    integer = _is_integer_valued(algorithm)
+    with open(path, "w", encoding="ascii") as handle:
+        for idx in range(graph.num_vertices):
+            vid = int(graph.vertex_ids[idx])
+            value = values[idx]
+            if integer:
+                handle.write(f"{vid} {int(value)}\n")
+            else:
+                v = float(value)
+                if math.isinf(v):
+                    handle.write(f"{vid} infinity\n")
+                else:
+                    handle.write(f"{vid} {v!r}\n")
+    return path
+
+
+def read_output(path: PathLike, *, algorithm: str) -> Dict[int, Union[int, float]]:
+    """Read an output file into ``{vertex_id: value}``."""
+    integer = _is_integer_valued(algorithm)
+    out: Dict[int, Union[int, float]] = {}
+    with open(path, "r", encoding="ascii") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise GraphFormatError(
+                    f"output line {lineno}: expected 2 fields, got {len(parts)}"
+                )
+            try:
+                vid = int(parts[0])
+                if integer:
+                    value: Union[int, float] = int(parts[1])
+                elif parts[1].lower() in ("infinity", "inf", "+inf"):
+                    value = float("inf")
+                else:
+                    value = float(parts[1])
+            except ValueError as exc:
+                raise GraphFormatError(f"output line {lineno}: {exc}") from exc
+            if vid in out:
+                raise GraphFormatError(
+                    f"output line {lineno}: duplicate vertex {vid}"
+                )
+            out[vid] = value
+    return out
+
+
+def align_output(graph: Graph, mapping: Dict[int, Union[int, float]], *,
+                 algorithm: str) -> np.ndarray:
+    """Turn a ``{vertex_id: value}`` mapping into a dense-index array."""
+    if set(mapping) != {int(v) for v in graph.vertex_ids}:
+        missing = {int(v) for v in graph.vertex_ids} - set(mapping)
+        extra = set(mapping) - {int(v) for v in graph.vertex_ids}
+        raise ValidationError(
+            f"output vertex set mismatch: {len(missing)} missing, "
+            f"{len(extra)} extra"
+        )
+    dtype = np.int64 if _is_integer_valued(algorithm) else np.float64
+    values = np.empty(graph.num_vertices, dtype=dtype)
+    for idx in range(graph.num_vertices):
+        values[idx] = mapping[int(graph.vertex_ids[idx])]
+    return values
+
+
+def validate_output_file(
+    graph: Graph,
+    path: PathLike,
+    reference: np.ndarray,
+    *,
+    algorithm: str,
+) -> None:
+    """Validate an output *file* against a reference array.
+
+    Raises :class:`ValidationError` on any mismatch — the exact check a
+    platform submission goes through.
+    """
+    from repro.algorithms.validation import validate_output
+
+    mapping = read_output(path, algorithm=algorithm)
+    actual = align_output(graph, mapping, algorithm=algorithm)
+    validate_output(algorithm, actual, reference)

@@ -1,0 +1,570 @@
+"""Command-line interface: ``graphalytics <command>``.
+
+Commands:
+
+* ``datasets`` — print the dataset catalog (Tables 3 and 4);
+* ``platforms`` — print the platform roster (Table 5);
+* ``experiments`` — list the experiment suite (Table 6);
+* ``run`` — run one experiment and print its report;
+* ``job`` — run a single (platform, dataset, algorithm) job;
+* ``generate`` — generate a Datagen graph and write it in EVL format;
+* ``granula`` — run one job and render its Granula archive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.exceptions import GraphalyticsError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="graphalytics",
+        description="LDBC Graphalytics reproduction benchmark",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="print the dataset catalog")
+    sub.add_parser("selfcheck", help="verify this installation is healthy")
+    sub.add_parser("platforms", help="print the platform roster")
+    sub.add_parser("experiments", help="list the experiment suite")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment id (e.g. dataset-variety)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--figure", action="store_true",
+        help="render an ASCII log-scale figure instead of raw rows",
+    )
+
+    job = sub.add_parser("job", help="run a single benchmark job")
+    job.add_argument("platform")
+    job.add_argument("dataset")
+    job.add_argument("algorithm")
+    job.add_argument("--machines", type=int, default=1)
+    job.add_argument("--threads", type=int, default=None)
+    job.add_argument("--seed", type=int, default=0)
+
+    gen = sub.add_parser("generate", help="generate a synthetic graph (EVL files)")
+    gen.add_argument("prefix", help="output path prefix (writes .v and .e)")
+    gen.add_argument(
+        "--generator", choices=("datagen", "graph500"), default="datagen"
+    )
+    gen.add_argument("--persons", type=int, default=1000,
+                     help="datagen: number of persons")
+    gen.add_argument("--mean-degree", type=float, default=18.0,
+                     help="datagen: target mean degree")
+    gen.add_argument("--target-cc", type=float, default=None,
+                     help="datagen: target average clustering coefficient")
+    gen.add_argument("--scale", type=int, default=12,
+                     help="graph500: 2^scale vertex slots")
+    gen.add_argument("--edgefactor", type=int, default=16,
+                     help="graph500: edges per vertex slot")
+    gen.add_argument("--weighted", action="store_true")
+    gen.add_argument("--seed", type=int, default=0)
+
+    gran = sub.add_parser("granula", help="run a job and render its archive")
+    gran.add_argument("platform")
+    gran.add_argument("dataset")
+    gran.add_argument("algorithm")
+    gran.add_argument("--html", help="write an HTML report to this path")
+
+    report = sub.add_parser(
+        "report", help="run a benchmark selection and render a Markdown report"
+    )
+    report.add_argument("--platforms", nargs="*", default=None)
+    report.add_argument("--datasets", nargs="*", default=None)
+    report.add_argument("--algorithms", nargs="*", default=None)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--output", help="write the report to this path")
+
+    val = sub.add_parser(
+        "validate",
+        help="validate a platform output file against the reference",
+    )
+    val.add_argument("dataset")
+    val.add_argument("algorithm")
+    val.add_argument("output_file")
+    val.add_argument("--seed", type=int, default=0)
+
+    mat = sub.add_parser(
+        "materialize",
+        help="write the dataset archive (EVL files + reference outputs)",
+    )
+    mat.add_argument("directory")
+    mat.add_argument("--datasets", nargs="*", default=None)
+    mat.add_argument("--algorithms", nargs="*", default=None)
+    mat.add_argument("--seed", type=int, default=0)
+
+    est = sub.add_parser(
+        "estimate",
+        help="model Tproc/makespan/memory for a hypothetical workload",
+    )
+    est.add_argument("platform")
+    est.add_argument("algorithm")
+    est.add_argument("--vertices", type=float, required=True,
+                     help="full-scale vertex count (e.g. 4.35e6)")
+    est.add_argument("--edges", type=float, required=True,
+                     help="full-scale edge count (e.g. 304e6)")
+    est.add_argument("--skew", type=float, default=1.0,
+                     help="memory-skew factor (Datagen ~1.0, Graph500 ~1.5)")
+    est.add_argument("--degree-cv2", type=float, default=2.0)
+    est.add_argument("--machines", type=int, default=1)
+    est.add_argument("--threads", type=int, default=None)
+
+    ana = sub.add_parser(
+        "analyze",
+        help="repeated-run head-to-head of two platforms (t-test)",
+    )
+    ana.add_argument("platform_a")
+    ana.add_argument("platform_b")
+    ana.add_argument("dataset")
+    ana.add_argument("algorithm")
+    ana.add_argument("--repetitions", type=int, default=6)
+    ana.add_argument("--seed", type=int, default=0)
+
+    repo = sub.add_parser(
+        "repository", help="query a public results repository directory"
+    )
+    repo.add_argument("directory")
+    repo_sub = repo.add_subparsers(dest="repo_command", required=True)
+    repo_sub.add_parser("list", help="list stored runs")
+    best = repo_sub.add_parser("best", help="fastest platform for a workload")
+    best.add_argument("algorithm")
+    best.add_argument("dataset")
+    regress = repo_sub.add_parser(
+        "regressions", help="workloads slower in a newer run"
+    )
+    regress.add_argument("old_run")
+    regress.add_argument("new_run")
+    regress.add_argument("--threshold", type=float, default=1.10)
+
+    full = sub.add_parser(
+        "full-run", help="run the complete experiment suite (Table 6)"
+    )
+    full.add_argument("--seed", type=int, default=0)
+    full.add_argument("--report", help="write the composite report here")
+    full.add_argument(
+        "--repository", help="submit the validated run to this repository dir"
+    )
+    full.add_argument(
+        "--experiments", nargs="*", default=None,
+        help="subset of experiment ids (default: all eight)",
+    )
+
+    return parser
+
+
+def _cmd_datasets() -> int:
+    from repro.harness.datasets import DATASETS
+
+    print(f"{'id':7s} {'name':22s} {'|V|':>10s} {'|E|':>12s} "
+          f"{'scale':>5s} {'class':>5s} {'domain'}")
+    for ds in DATASETS.values():
+        p = ds.profile
+        print(f"{ds.dataset_id:7s} {p.name:22s} {p.num_vertices:>10,d} "
+              f"{p.num_edges:>12,d} {p.scale:>5.1f} {ds.tshirt:>5s} {ds.domain}")
+    return 0
+
+
+def _cmd_selfcheck() -> int:
+    from repro.harness.selfcheck import run_selfcheck
+
+    results = run_selfcheck()
+    failed = 0
+    for result in results:
+        status = "ok" if result.passed else "FAIL"
+        print(f"[{status:>4s}] {result.name}: {result.detail}")
+        if not result.passed:
+            failed += 1
+    if failed:
+        print(f"{failed} of {len(results)} checks failed")
+        return 1
+    print(f"all {len(results)} checks passed")
+    return 0
+
+
+def _cmd_platforms() -> int:
+    from repro.platforms.registry import PLATFORMS
+
+    print(f"{'type':6s} {'name':12s} {'vendor':14s} {'lang':6s} "
+          f"{'model':12s} {'version'}")
+    for info, _ in PLATFORMS.values():
+        print(f"{info.type_code:6s} {info.name:12s} {info.vendor:14s} "
+              f"{info.language:6s} {info.programming_model:12s} {info.version}")
+    return 0
+
+
+def _cmd_experiments() -> int:
+    from repro.harness.experiments import EXPERIMENTS
+
+    print(f"{'id':22s} {'sec':4s} {'category':12s} {'title'}")
+    for exp in EXPERIMENTS.values():
+        print(f"{exp.experiment_id:22s} {exp.section:4s} "
+              f"{exp.category:12s} {exp.title}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.harness.experiments import get_experiment
+
+    experiment = get_experiment(args.experiment)
+    print(f"running experiment {experiment.experiment_id} "
+          f"({experiment.title}, paper §{experiment.section}) ...")
+    report = experiment.run(seed=args.seed)
+    if args.figure:
+        _print_figure(experiment, report)
+    else:
+        for row in report.rows:
+            print("  " + "  ".join(f"{k}={_fmt(v)}" for k, v in row.items()))
+    for note in report.notes:
+        print(f"# {note}")
+    return 0
+
+
+def _print_figure(experiment, report) -> None:
+    from repro.harness.figures import render_dataset_variety, render_scaling
+
+    algorithms = experiment.algorithms or ("bfs",)
+    for algorithm in algorithms:
+        if any("machines" in row for row in report.rows):
+            print(render_scaling(
+                report, algorithm, x_values=experiment.nodes or (1,)
+            ))
+        elif any("threads" in row for row in report.rows):
+            print(render_scaling(
+                report, algorithm, x_field="threads",
+                x_values=experiment.threads or (1,),
+            ))
+        elif any("dataset" in row for row in report.rows):
+            print(render_dataset_variety(report, algorithm))
+        else:
+            print("(this experiment has no figure rendering)")
+            return
+        print()
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def _cmd_job(args) -> int:
+    from repro.harness.config import BenchmarkConfig
+    from repro.harness.runner import BenchmarkRunner
+    from repro.platforms.cluster import ClusterResources
+
+    runner = BenchmarkRunner(BenchmarkConfig(seed=args.seed))
+    result = runner.run_job(
+        args.platform,
+        args.dataset,
+        args.algorithm,
+        resources=ClusterResources(machines=args.machines, threads=args.threads),
+    )
+    for key, value in result.as_dict().items():
+        print(f"{key:28s} {_fmt(value) if value is not None else '-'}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.graph.io import write_graph
+
+    if args.generator == "graph500":
+        from repro.datagen.graph500 import graph500
+
+        graph = graph500(
+            args.scale,
+            edgefactor=args.edgefactor,
+            weighted=args.weighted,
+            seed=args.seed,
+        )
+    else:
+        from repro.datagen.generator import generate
+
+        graph = generate(
+            args.persons,
+            mean_degree=args.mean_degree,
+            target_clustering_coefficient=args.target_cc,
+            weighted=args.weighted,
+            seed=args.seed,
+        )
+    vertex_path, edge_path = write_graph(graph, args.prefix)
+    print(f"wrote {graph.num_vertices} vertices to {vertex_path}")
+    print(f"wrote {graph.num_edges} edges to {edge_path}")
+    return 0
+
+
+def _cmd_granula(args) -> int:
+    from repro.granula.archiver import build_archive
+    from repro.granula.visualizer import render_text, save_html
+    from repro.harness.datasets import get_dataset
+    from repro.platforms.registry import create_driver
+
+    dataset = get_dataset(args.dataset)
+    driver = create_driver(args.platform)
+    handle = driver.upload(dataset.materialize(), profile=dataset.profile)
+    job = driver.execute(
+        handle, args.algorithm, dataset.algorithm_parameters(args.algorithm)
+    )
+    if not job.succeeded:
+        print(f"job failed: {job.status.value} ({job.failure_reason})")
+        return 1
+    archive = build_archive(job)
+    print(render_text(archive))
+    if args.html:
+        path = save_html(archive, args.html)
+        print(f"HTML report written to {path}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.harness.config import BenchmarkConfig
+    from repro.harness.report import render_report, save_report
+    from repro.harness.runner import BenchmarkRunner
+
+    overrides = {}
+    if args.platforms:
+        overrides["platforms"] = args.platforms
+    if args.datasets:
+        overrides["datasets"] = args.datasets
+    if args.algorithms:
+        overrides["algorithms"] = args.algorithms
+    config = BenchmarkConfig(seed=args.seed, **overrides)
+    database = BenchmarkRunner(config).run()
+    if args.output:
+        path = save_report(database, args.output)
+        print(f"report written to {path}")
+    else:
+        print(render_report(database))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.exceptions import ValidationError
+    from repro.algorithms.output_io import validate_output_file
+    from repro.algorithms.registry import run_reference
+    from repro.harness.datasets import get_dataset
+
+    dataset = get_dataset(args.dataset)
+    graph = dataset.materialize(args.seed)
+    params = dataset.algorithm_parameters(args.algorithm, args.seed)
+    reference = run_reference(args.algorithm, graph, params)
+    try:
+        validate_output_file(
+            graph, args.output_file, reference, algorithm=args.algorithm
+        )
+    except ValidationError as exc:
+        print(f"VALIDATION FAILED: {exc}")
+        return 1
+    print(
+        f"output matches the {args.algorithm.upper()} reference for "
+        f"{dataset.label}"
+    )
+    return 0
+
+
+def _cmd_materialize(args) -> int:
+    from repro.harness.archive import materialize_archive
+
+    written = materialize_archive(
+        args.directory,
+        dataset_ids=args.datasets,
+        algorithms=args.algorithms,
+        seed=args.seed,
+    )
+    for directory in written:
+        print(f"archived {directory}")
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    from repro.harness.scale import scale_class
+    from repro.harness.sla import SLA_MAKESPAN_SECONDS
+    from repro.platforms.cluster import ClusterResources
+    from repro.platforms.model import WorkloadProfile
+    from repro.platforms.registry import create_driver
+
+    driver = create_driver(args.platform)
+    v, e = int(args.vertices), int(args.edges)
+    profile = WorkloadProfile(
+        name="hypothetical",
+        num_vertices=v,
+        num_edges=e,
+        directed=False,
+        weighted=True,
+        mean_degree=2.0 * e / max(1, v),
+        degree_cv2=args.degree_cv2,
+        memory_skew=args.skew,
+    )
+    resources = ClusterResources(machines=args.machines, threads=args.threads)
+    model = driver.model
+    print(f"workload: |V|={v:,} |E|={e:,} scale={profile.scale} "
+          f"({scale_class(profile.scale)})")
+    print(f"resources: {resources.describe()}")
+    demand = model.memory_demand_per_machine(args.algorithm, profile, resources)
+    capacity = model.memory_capacity_per_machine(resources)
+    print(f"memory/machine: {demand / 2**30:.1f} GiB of "
+          f"{capacity / 2**30:.1f} GiB usable "
+          f"({'fits' if demand <= capacity else 'OUT OF MEMORY'})")
+    if demand > capacity:
+        return 1
+    tproc = model.processing_time(args.algorithm, profile, resources)
+    makespan = model.makespan(args.algorithm, profile, resources,
+                              processing_time=tproc)
+    print(f"modeled Tproc: {tproc:.2f} s")
+    print(f"modeled makespan: {makespan:.1f} s "
+          f"({'within' if makespan <= SLA_MAKESPAN_SECONDS else 'BREAKS'} "
+          f"the 1-hour SLA)")
+    print(f"modeled EVPS: {profile.elements / tproc:.3g}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.harness.analysis import compare_platforms, summarize_measurements
+    from repro.harness.config import BenchmarkConfig
+    from repro.harness.runner import BenchmarkRunner
+
+    config = BenchmarkConfig(
+        platforms=[args.platform_a, args.platform_b],
+        datasets=[args.dataset],
+        algorithms=[args.algorithm],
+        repetitions=args.repetitions,
+        seed=args.seed,
+    )
+    database = BenchmarkRunner(config).run()
+    for platform in (args.platform_a, args.platform_b):
+        times = database.processing_times(
+            platform=platform, algorithm=args.algorithm, dataset=args.dataset
+        )
+        if len(times) >= 2:
+            summary = summarize_measurements(times)
+            print(
+                f"{platform}: mean {summary.mean:.3g} s "
+                f"(95% CI {summary.ci_low:.3g}..{summary.ci_high:.3g}, "
+                f"CV {summary.cv * 100:.1f}%, n={summary.count})"
+            )
+        else:
+            print(f"{platform}: insufficient successful runs ({len(times)})")
+    comparison = compare_platforms(
+        database, args.platform_a, args.platform_b,
+        algorithm=args.algorithm, dataset=args.dataset,
+    )
+    verdict = "significant" if comparison.significant else "not significant"
+    p_text = f", p={comparison.p_value:.2e}" if comparison.p_value else ""
+    print(
+        f"{comparison.faster} is {comparison.speedup:.2f}x faster than "
+        f"{comparison.slower} ({verdict}{p_text})"
+    )
+    return 0
+
+
+def _cmd_repository(args) -> int:
+    from repro.harness.repository import ResultsRepository
+
+    repo = ResultsRepository(args.directory)
+    if args.repo_command == "list":
+        run_ids = repo.run_ids()
+        if not run_ids:
+            print("(no runs stored)")
+            return 0
+        for run_id in run_ids:
+            meta = repo.metadata(run_id)
+            jobs = len(repo.load(run_id))
+            print(f"{run_id:24s} {meta.system_under_test:32s} {jobs} jobs")
+        return 0
+    if args.repo_command == "best":
+        best = repo.best_platform(args.algorithm, args.dataset)
+        if best is None:
+            print("no compliant result for that workload")
+            return 1
+        print(
+            f"{best['platform']} at {best['tproc']:.3g} s "
+            f"(run {best['run_id']})"
+        )
+        return 0
+    # regressions
+    found = repo.regressions(
+        args.old_run, args.new_run, threshold=args.threshold
+    )
+    if not found:
+        print("no regressions")
+        return 0
+    for regression in found:
+        print(
+            f"{regression.platform} {regression.algorithm} on "
+            f"{regression.dataset}: {regression.old_seconds:.3g} s -> "
+            f"{regression.new_seconds:.3g} s ({regression.slowdown:.2f}x)"
+        )
+    return 1
+
+
+def _cmd_full_run(args) -> int:
+    from repro.harness.full_run import run_full_benchmark
+    from repro.harness.repository import ResultsRepository
+
+    repository = ResultsRepository(args.repository) if args.repository else None
+    result = run_full_benchmark(
+        seed=args.seed,
+        experiment_ids=args.experiments,
+        report_path=args.report,
+        repository=repository,
+    )
+    print(
+        f"ran {len(result.reports)} experiments, {result.job_count} jobs"
+    )
+    for note in result.notes:
+        print(f"# {note}")
+    if args.report:
+        print(f"report written to {args.report}")
+    if repository is not None:
+        print(f"run stored in {args.repository}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "datasets":
+            return _cmd_datasets()
+        if args.command == "selfcheck":
+            return _cmd_selfcheck()
+        if args.command == "platforms":
+            return _cmd_platforms()
+        if args.command == "experiments":
+            return _cmd_experiments()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "job":
+            return _cmd_job(args)
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "granula":
+            return _cmd_granula(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        if args.command == "validate":
+            return _cmd_validate(args)
+        if args.command == "materialize":
+            return _cmd_materialize(args)
+        if args.command == "estimate":
+            return _cmd_estimate(args)
+        if args.command == "repository":
+            return _cmd_repository(args)
+        if args.command == "analyze":
+            return _cmd_analyze(args)
+        if args.command == "full-run":
+            return _cmd_full_run(args)
+    except GraphalyticsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Programming-model engines (paper requirement R1).
+
+"For platforms, we do not distinguish between programming model and
+support different models, including vertex-centric, gather-apply-
+scatter, and sparse matrix operations." (§2.1)
+
+The six simulated platforms *model* those systems; this package makes
+the programming models themselves executable, in miniature:
+
+* :mod:`repro.engines.pregel` — Giraph's model: superstep-synchronous
+  vertex programs exchanging messages, voting to halt;
+* :mod:`repro.engines.gas` — PowerGraph's model: gather / apply /
+  scatter over vertex neighborhoods with selective activation;
+* :mod:`repro.engines.spmv` — GraphMat's model: iterated generalized
+  sparse-matrix–vector products over algebraic semirings.
+
+Every engine implements the applicable core algorithms, and the test
+suite proves each implementation output-equivalent to the reference
+kernels under the Graphalytics validation rules — the concrete meaning
+of "the definition of the algorithms of Graphalytics is abstract"
+(§2.2.3): one abstract task, three programming models, identical output.
+"""
+
+from repro.engines.pregel import PregelEngine, VertexProgram
+from repro.engines.gas import GASEngine, GASProgram
+from repro.engines.spmv import SpMVEngine, Semiring
+
+__all__ = [
+    "PregelEngine",
+    "VertexProgram",
+    "GASEngine",
+    "GASProgram",
+    "SpMVEngine",
+    "Semiring",
+]

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the Graphalytics reproduction.
+
+All library errors derive from :class:`GraphalyticsError` so callers can
+catch one base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class GraphalyticsError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphFormatError(GraphalyticsError):
+    """A graph file or edge list violates the Graphalytics data model."""
+
+
+class ValidationError(GraphalyticsError):
+    """Algorithm output does not match the reference output."""
+
+
+class UnsupportedAlgorithmError(GraphalyticsError):
+    """A platform driver does not implement the requested algorithm."""
+
+    def __init__(self, platform: str, algorithm: str):
+        super().__init__(f"platform {platform!r} does not support algorithm {algorithm!r}")
+        self.platform = platform
+        self.algorithm = algorithm
+
+
+class SLAViolationError(GraphalyticsError):
+    """A benchmark job broke the service-level agreement (timeout/crash)."""
+
+
+class OutOfMemoryError(GraphalyticsError):
+    """The modeled memory demand of a job exceeds cluster capacity."""
+
+    def __init__(self, demand_bytes: int, capacity_bytes: int, detail: str = ""):
+        msg = (
+            f"modeled memory demand {demand_bytes / 2**30:.1f} GiB exceeds "
+            f"capacity {capacity_bytes / 2**30:.1f} GiB"
+        )
+        if detail:
+            msg = f"{msg} ({detail})"
+        super().__init__(msg)
+        self.demand_bytes = demand_bytes
+        self.capacity_bytes = capacity_bytes
+
+
+class ConfigurationError(GraphalyticsError):
+    """A benchmark configuration is inconsistent or incomplete."""
+
+
+class DatasetError(GraphalyticsError):
+    """A dataset is unknown, or its materialization failed."""
+
+
+class GenerationError(GraphalyticsError):
+    """A synthetic graph generator received invalid parameters."""

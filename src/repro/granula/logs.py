@@ -1,0 +1,132 @@
+"""Platform log files: the archiver's raw input (paper §2.5.2).
+
+"Such information is either gathered from log files produced by the
+platform, or derived using rules defined in the performance model."
+Real Granula tails platform logs; here, drivers can *dump* their event
+stream as a structured log file, and the archiver can rebuild a
+performance archive from the file alone — so archives remain
+reproducible from artifacts on disk after the job is gone.
+
+Log format (one event per line, greppable)::
+
+    GRANULA job=<id> platform=<name> algorithm=<alg> dataset=<ds> \
+        phase=<phase> start=<seconds> end=<seconds> [key=value ...]
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.exceptions import GraphFormatError
+from repro.granula.archiver import PerformanceArchive, build_archive
+
+__all__ = ["write_job_log", "read_job_log", "archive_from_log", "LoggedJob"]
+
+PathLike = Union[str, os.PathLike]
+
+_LINE = re.compile(r"^GRANULA\s+(.*)$")
+_PAIR = re.compile(r"(\w+)=((?:\"[^\"]*\")|\S+)")
+
+#: Keys every log line must carry.
+_REQUIRED = ("job", "platform", "algorithm", "dataset", "phase", "start", "end")
+
+
+@dataclass
+class LoggedJob:
+    """A job reconstructed from its log file (archiver input)."""
+
+    job_id: str
+    platform: str
+    algorithm: str
+    dataset: str
+    events: List[Dict[str, object]] = field(default_factory=list)
+
+
+def _escape(value: object) -> str:
+    text = str(value)
+    if " " in text:
+        return f'"{text}"'
+    return text
+
+
+def write_job_log(job, path: PathLike, *, job_id: str = "job-0") -> Path:
+    """Serialize a job result's event stream as a Granula log file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = []
+    for event in job.events:
+        pairs = {
+            "job": job_id,
+            "platform": job.platform,
+            "algorithm": job.algorithm,
+            "dataset": job.dataset,
+            "phase": event["phase"],
+            "start": repr(float(event["start"])),
+            "end": repr(float(event["end"])),
+        }
+        for key, value in event.items():
+            if key not in ("phase", "start", "end"):
+                pairs[key] = value
+        lines.append(
+            "GRANULA " + " ".join(f"{k}={_escape(v)}" for k, v in pairs.items())
+        )
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def read_job_log(path: PathLike) -> LoggedJob:
+    """Parse a log file back into a job the archiver understands."""
+    path = Path(path)
+    job: LoggedJob = None  # type: ignore[assignment]
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            match = _LINE.match(line)
+            if not match:
+                raise GraphFormatError(
+                    f"log line {lineno}: not a GRANULA record: {line!r}"
+                )
+            pairs = {
+                key: value.strip('"')
+                for key, value in _PAIR.findall(match.group(1))
+            }
+            missing = [key for key in _REQUIRED if key not in pairs]
+            if missing:
+                raise GraphFormatError(
+                    f"log line {lineno}: missing fields {missing}"
+                )
+            if job is None:
+                job = LoggedJob(
+                    job_id=pairs["job"],
+                    platform=pairs["platform"],
+                    algorithm=pairs["algorithm"],
+                    dataset=pairs["dataset"],
+                )
+            elif pairs["job"] != job.job_id:
+                raise GraphFormatError(
+                    f"log line {lineno}: mixed job ids "
+                    f"({pairs['job']!r} vs {job.job_id!r})"
+                )
+            event: Dict[str, object] = {
+                "phase": pairs["phase"],
+                "start": float(pairs["start"]),
+                "end": float(pairs["end"]),
+            }
+            for key, value in pairs.items():
+                if key not in (*_REQUIRED,):
+                    event[key] = value
+            job.events.append(event)
+    if job is None:
+        raise GraphFormatError(f"{path} contains no GRANULA records")
+    return job
+
+
+def archive_from_log(path: PathLike) -> PerformanceArchive:
+    """Build a performance archive straight from a log file."""
+    return build_archive(read_job_log(path))

@@ -1,0 +1,147 @@
+"""Small deterministic graph generators for tests and examples.
+
+These produce structured graphs with known analytic properties (path,
+cycle, star, complete, grid, binary tree), plus seeded Erdős–Rényi
+graphs. The benchmark-scale generators (Datagen, Graph500) live in
+``repro.datagen``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import GenerationError
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "binary_tree",
+    "erdos_renyi",
+]
+
+
+def _require_positive(n: int, what: str = "n") -> int:
+    n = int(n)
+    if n <= 0:
+        raise GenerationError(f"{what} must be positive, got {n}")
+    return n
+
+
+def path_graph(n: int, *, directed: bool = False) -> Graph:
+    """Path 0-1-...-(n-1). Diameter n-1; hop count from 0 to i is i."""
+    n = _require_positive(n)
+    builder = GraphBuilder(directed=directed)
+    builder.add_vertex(0)
+    for i in range(n - 1):
+        builder.add_edge(i, i + 1)
+    return builder.build(name=f"path-{n}")
+
+
+def cycle_graph(n: int, *, directed: bool = False) -> Graph:
+    """Cycle over n >= 3 vertices."""
+    n = _require_positive(n)
+    if n < 3:
+        raise GenerationError(f"cycle needs at least 3 vertices, got {n}")
+    builder = GraphBuilder(directed=directed)
+    for i in range(n):
+        builder.add_edge(i, (i + 1) % n)
+    return builder.build(name=f"cycle-{n}")
+
+
+def star_graph(n_leaves: int, *, directed: bool = False) -> Graph:
+    """Hub (vertex 0) connected to n_leaves leaves. LCC of every vertex is 0."""
+    n_leaves = _require_positive(n_leaves, "n_leaves")
+    builder = GraphBuilder(directed=directed)
+    for leaf in range(1, n_leaves + 1):
+        builder.add_edge(0, leaf)
+    return builder.build(name=f"star-{n_leaves}")
+
+
+def complete_graph(n: int, *, directed: bool = False) -> Graph:
+    """Clique over n vertices. LCC of every vertex is 1 (for n >= 3)."""
+    n = _require_positive(n)
+    builder = GraphBuilder(directed=directed)
+    builder.add_vertex(0)
+    for i in range(n):
+        for j in range(n):
+            if i < j:
+                builder.add_edge(i, j)
+                if directed:
+                    builder.add_edge(j, i)
+    return builder.build(name=f"complete-{n}")
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """rows x cols undirected lattice; vertex (r,c) has id r*cols + c."""
+    rows = _require_positive(rows, "rows")
+    cols = _require_positive(cols, "cols")
+    builder = GraphBuilder(directed=False)
+    builder.add_vertex(0)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                builder.add_edge(v, v + 1)
+            if r + 1 < rows:
+                builder.add_edge(v, v + cols)
+    return builder.build(name=f"grid-{rows}x{cols}")
+
+
+def binary_tree(depth: int, *, directed: bool = False) -> Graph:
+    """Complete binary tree of the given depth (root at 0; depth 0 = root only)."""
+    if depth < 0:
+        raise GenerationError(f"depth must be >= 0, got {depth}")
+    builder = GraphBuilder(directed=directed)
+    builder.add_vertex(0)
+    n = 2 ** (depth + 1) - 1
+    for v in range(n):
+        for child in (2 * v + 1, 2 * v + 2):
+            if child < n:
+                builder.add_edge(v, child)
+    return builder.build(name=f"btree-{depth}")
+
+
+def erdos_renyi(
+    n: int,
+    p: float,
+    *,
+    directed: bool = False,
+    weighted: bool = False,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Graph:
+    """G(n, p) random graph with a deterministic seed.
+
+    Weighted graphs get uniform(0, 1] weights. Self-loops are never
+    generated; undirected graphs sample each unordered pair once.
+    """
+    n = _require_positive(n)
+    if not 0.0 <= p <= 1.0:
+        raise GenerationError(f"p must be in [0,1], got {p}")
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder(directed=directed, weighted=weighted)
+    builder.add_vertices(range(n))
+    if directed:
+        mask = rng.random((n, n)) < p
+        np.fill_diagonal(mask, False)
+        srcs, dsts = np.nonzero(mask)
+    else:
+        mask = rng.random((n, n)) < p
+        iu = np.triu_indices(n, k=1)
+        keep = mask[iu]
+        srcs, dsts = iu[0][keep], iu[1][keep]
+    if weighted:
+        weights = rng.uniform(np.finfo(np.float64).tiny, 1.0, size=len(srcs))
+        for s, d, w in zip(srcs, dsts, weights):
+            builder.add_edge(int(s), int(d), float(w))
+    else:
+        for s, d in zip(srcs, dsts):
+            builder.add_edge(int(s), int(d))
+    return builder.build(name=name or f"er-{n}-{p}")

@@ -1,0 +1,338 @@
+"""The in-memory graph: immutable, CSR-backed, directed or undirected.
+
+Vertices carry arbitrary non-negative integer identifiers (as in the
+Graphalytics datasets, where ids are sparse). Internally every vertex is
+mapped to a dense index ``0..n-1``; all adjacency arrays are indexed by
+dense index. Use :meth:`Graph.index_of` / :meth:`Graph.id_of` to convert.
+
+Adjacency is stored in compressed-sparse-row form:
+
+* ``out_indptr`` / ``out_indices`` — out-neighbors (for undirected graphs,
+  each edge appears in both endpoints' lists);
+* ``in_indptr`` / ``in_indices`` — in-neighbors (aliases the out arrays
+  for undirected graphs);
+* ``out_weights`` / ``in_weights`` — edge weights aligned with the
+  corresponding index arrays, present only for weighted graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphFormatError
+
+__all__ = ["Graph"]
+
+
+def _build_csr(
+    n: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: Optional[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Build (indptr, indices, weights) for edges src->dst over n vertices."""
+    degree = np.bincount(src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degree, out=indptr[1:])
+    order = np.argsort(src, kind="stable")
+    indices = dst[order].astype(np.int64, copy=False)
+    w = weights[order] if weights is not None else None
+    # Sort each adjacency list by neighbor for deterministic iteration and
+    # O(log d) membership tests.
+    for v in range(n):
+        lo, hi = indptr[v], indptr[v + 1]
+        if hi - lo > 1:
+            sub = np.argsort(indices[lo:hi], kind="stable")
+            indices[lo:hi] = indices[lo:hi][sub]
+            if w is not None:
+                w[lo:hi] = w[lo:hi][sub]
+    return indptr, indices, w
+
+
+def _build_csr_fast(
+    n: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: Optional[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Vectorized CSR build: lexicographic sort by (src, dst)."""
+    order = np.lexsort((dst, src))
+    src_sorted = src[order]
+    indices = dst[order].astype(np.int64, copy=False)
+    w = weights[order] if weights is not None else None
+    degree = np.bincount(src_sorted, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degree, out=indptr[1:])
+    return indptr, indices, w
+
+
+class Graph:
+    """An immutable graph in the Graphalytics data model.
+
+    Build instances with :meth:`from_edges`, :class:`~repro.graph.builder.
+    GraphBuilder`, or :func:`~repro.graph.io.read_graph`; direct construction
+    is internal.
+    """
+
+    def __init__(
+        self,
+        *,
+        vertex_ids: np.ndarray,
+        src: np.ndarray,
+        dst: np.ndarray,
+        directed: bool,
+        weights: Optional[np.ndarray] = None,
+        name: str = "",
+    ):
+        self._vertex_ids = np.asarray(vertex_ids, dtype=np.int64)
+        self._directed = bool(directed)
+        self._name = name
+        n = len(self._vertex_ids)
+        self._index = {int(v): i for i, v in enumerate(self._vertex_ids)}
+        if len(self._index) != n:
+            raise GraphFormatError("duplicate vertex identifiers")
+
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise GraphFormatError("edge source/destination arrays differ in length")
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != src.shape:
+                raise GraphFormatError("edge weight array length mismatch")
+        self._num_edges = len(src)
+        self._edge_src = src
+        self._edge_dst = dst
+        self._edge_weights = weights
+
+        if self._directed:
+            out = _build_csr_fast(n, src, dst, weights)
+            inn = _build_csr_fast(n, dst, src, weights)
+            self._out_indptr, self._out_indices, self._out_weights = out
+            self._in_indptr, self._in_indices, self._in_weights = inn
+        else:
+            both_src = np.concatenate([src, dst])
+            both_dst = np.concatenate([dst, src])
+            both_w = np.concatenate([weights, weights]) if weights is not None else None
+            out = _build_csr_fast(n, both_src, both_dst, both_w)
+            self._out_indptr, self._out_indices, self._out_weights = out
+            self._in_indptr = self._out_indptr
+            self._in_indices = self._out_indices
+            self._in_weights = self._out_weights
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Dataset name, if any (e.g. ``"datagen-300"``)."""
+        return self._name
+
+    @property
+    def directed(self) -> bool:
+        return self._directed
+
+    @property
+    def is_weighted(self) -> bool:
+        return self._edge_weights is not None
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertex_ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Logical edge count: ordered pairs if directed, unordered if not."""
+        return self._num_edges
+
+    @property
+    def scale(self) -> float:
+        """Graphalytics scale, ``log10(|V| + |E|)`` rounded to one decimal."""
+        total = self.num_vertices + self.num_edges
+        if total <= 0:
+            return 0.0
+        return round(float(np.log10(total)), 1)
+
+    # -- vertex id mapping --------------------------------------------------
+
+    @property
+    def vertex_ids(self) -> np.ndarray:
+        """External identifiers, indexed by dense index (read-only view)."""
+        view = self._vertex_ids.view()
+        view.flags.writeable = False
+        return view
+
+    def index_of(self, vertex_id: int) -> int:
+        """Dense index of an external vertex identifier."""
+        try:
+            return self._index[int(vertex_id)]
+        except KeyError:
+            raise GraphFormatError(f"unknown vertex id {vertex_id}") from None
+
+    def id_of(self, index: int) -> int:
+        """External identifier of a dense index."""
+        return int(self._vertex_ids[index])
+
+    def has_vertex(self, vertex_id: int) -> bool:
+        return int(vertex_id) in self._index
+
+    # -- adjacency -----------------------------------------------------------
+
+    @property
+    def out_indptr(self) -> np.ndarray:
+        return self._out_indptr
+
+    @property
+    def out_indices(self) -> np.ndarray:
+        return self._out_indices
+
+    @property
+    def out_weights(self) -> Optional[np.ndarray]:
+        return self._out_weights
+
+    @property
+    def in_indptr(self) -> np.ndarray:
+        return self._in_indptr
+
+    @property
+    def in_indices(self) -> np.ndarray:
+        return self._in_indices
+
+    @property
+    def in_weights(self) -> Optional[np.ndarray]:
+        return self._in_weights
+
+    def out_neighbors(self, index: int) -> np.ndarray:
+        """Out-neighbors (dense indices) of a vertex, sorted ascending."""
+        return self._out_indices[self._out_indptr[index]:self._out_indptr[index + 1]]
+
+    def in_neighbors(self, index: int) -> np.ndarray:
+        """In-neighbors (dense indices) of a vertex, sorted ascending."""
+        return self._in_indices[self._in_indptr[index]:self._in_indptr[index + 1]]
+
+    def out_edges(self, index: int) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """(neighbors, weights) leaving a vertex; weights is None if unweighted."""
+        lo, hi = self._out_indptr[index], self._out_indptr[index + 1]
+        w = self._out_weights[lo:hi] if self._out_weights is not None else None
+        return self._out_indices[lo:hi], w
+
+    def out_degrees(self) -> np.ndarray:
+        return np.diff(self._out_indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        return np.diff(self._in_indptr)
+
+    def degrees(self) -> np.ndarray:
+        """Total degree: in+out for directed graphs, plain degree otherwise."""
+        if self._directed:
+            return self.out_degrees() + self.in_degrees()
+        return self.out_degrees()
+
+    def has_edge(self, src_index: int, dst_index: int) -> bool:
+        """Whether an edge src->dst exists (either direction if undirected)."""
+        neighbors = self.out_neighbors(src_index)
+        pos = np.searchsorted(neighbors, dst_index)
+        return bool(pos < len(neighbors) and neighbors[pos] == dst_index)
+
+    # -- edge list -------------------------------------------------------------
+
+    @property
+    def edge_src(self) -> np.ndarray:
+        """Source dense indices of the logical edge list."""
+        return self._edge_src
+
+    @property
+    def edge_dst(self) -> np.ndarray:
+        """Destination dense indices of the logical edge list."""
+        return self._edge_dst
+
+    @property
+    def edge_weights(self) -> Optional[np.ndarray]:
+        return self._edge_weights
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate logical edges as (src_id, dst_id) external-id pairs."""
+        ids = self._vertex_ids
+        for s, d in zip(self._edge_src, self._edge_dst):
+            yield int(ids[s]), int(ids[d])
+
+    # -- derived graphs -------------------------------------------------------
+
+    def to_undirected(self, name: str = "") -> "Graph":
+        """Undirected copy; reciprocal directed edges collapse to one."""
+        if not self._directed:
+            return self
+        lo = np.minimum(self._edge_src, self._edge_dst)
+        hi = np.maximum(self._edge_src, self._edge_dst)
+        keys = lo * np.int64(self.num_vertices) + hi
+        _, first = np.unique(keys, return_index=True)
+        first.sort()
+        weights = self._edge_weights[first] if self._edge_weights is not None else None
+        return Graph(
+            vertex_ids=self._vertex_ids,
+            src=lo[first],
+            dst=hi[first],
+            directed=False,
+            weights=weights,
+            name=name or self._name,
+        )
+
+    def subgraph(self, vertex_indices: Sequence[int], name: str = "") -> "Graph":
+        """Induced subgraph over the given dense indices."""
+        keep = np.zeros(self.num_vertices, dtype=bool)
+        idx = np.asarray(list(vertex_indices), dtype=np.int64)
+        keep[idx] = True
+        remap = np.full(self.num_vertices, -1, dtype=np.int64)
+        remap[idx] = np.arange(len(idx))
+        mask = keep[self._edge_src] & keep[self._edge_dst]
+        weights = self._edge_weights[mask] if self._edge_weights is not None else None
+        return Graph(
+            vertex_ids=self._vertex_ids[idx],
+            src=remap[self._edge_src[mask]],
+            dst=remap[self._edge_dst[mask]],
+            directed=self._directed,
+            weights=weights,
+            name=name or self._name,
+        )
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[int, int]],
+        *,
+        directed: bool = True,
+        weights: Optional[Sequence[float]] = None,
+        vertices: Optional[Iterable[int]] = None,
+        name: str = "",
+    ) -> "Graph":
+        """Build a graph from (src_id, dst_id) pairs.
+
+        ``vertices`` may add isolated vertices beyond edge endpoints. Edges
+        must be unique and may not be self-loops (the Graphalytics data
+        model); violations raise :class:`GraphFormatError`.
+        """
+        from repro.graph.builder import GraphBuilder
+
+        builder = GraphBuilder(directed=directed, weighted=weights is not None)
+        if vertices is not None:
+            for v in vertices:
+                builder.add_vertex(v)
+        if weights is not None:
+            for (s, d), w in zip(edges, weights):
+                builder.add_edge(s, d, w)
+        else:
+            for s, d in edges:
+                builder.add_edge(s, d)
+        return builder.build(name=name)
+
+    def __repr__(self) -> str:
+        kind = "directed" if self._directed else "undirected"
+        w = ", weighted" if self.is_weighted else ""
+        label = f" {self._name!r}" if self._name else ""
+        return (
+            f"<Graph{label} {kind}{w} |V|={self.num_vertices} "
+            f"|E|={self.num_edges} scale={self.scale}>"
+        )

@@ -1,0 +1,129 @@
+"""Graphalytics EVL file format: ``<name>.v`` + ``<name>.e``.
+
+The vertex file holds one decimal vertex identifier per line. The edge
+file holds one edge per line: ``src dst`` or, for weighted graphs,
+``src dst weight``. This mirrors the format consumed by the official
+Graphalytics harness and produced by LDBC Datagen.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import GraphFormatError
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+
+__all__ = ["read_graph", "write_graph", "read_edge_list", "parse_edge_line"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def parse_edge_line(line: str, *, weighted: bool, lineno: int = 0) -> Tuple[int, int, Optional[float]]:
+    """Parse one `.e` line into (src, dst, weight-or-None)."""
+    parts = line.split()
+    expected = 3 if weighted else 2
+    if len(parts) != expected:
+        raise GraphFormatError(
+            f"edge line {lineno}: expected {expected} fields, got {len(parts)}: {line!r}"
+        )
+    try:
+        src = int(parts[0])
+        dst = int(parts[1])
+        weight = float(parts[2]) if weighted else None
+    except ValueError as exc:
+        raise GraphFormatError(f"edge line {lineno}: {exc}") from exc
+    return src, dst, weight
+
+
+def read_edge_list(
+    path: PathLike,
+    *,
+    weighted: bool = False,
+) -> Tuple[List[Tuple[int, int]], Optional[List[float]]]:
+    """Read a `.e` file into (edges, weights-or-None). Blank lines skipped."""
+    edges: List[Tuple[int, int]] = []
+    weights: List[float] = [] if weighted else None  # type: ignore[assignment]
+    with open(path, "r", encoding="ascii") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            src, dst, weight = parse_edge_line(line, weighted=weighted, lineno=lineno)
+            edges.append((src, dst))
+            if weighted:
+                weights.append(weight)  # type: ignore[union-attr]
+    return edges, weights
+
+
+def read_graph(
+    prefix: PathLike,
+    *,
+    directed: bool,
+    weighted: bool = False,
+    name: str = "",
+) -> Graph:
+    """Load ``<prefix>.v`` and ``<prefix>.e`` into a :class:`Graph`.
+
+    The vertex file is authoritative for the vertex set (so isolated
+    vertices survive the round trip); every edge endpoint must appear in it.
+    """
+    prefix = Path(prefix)
+    vertex_path = prefix.with_suffix(prefix.suffix + ".v")
+    edge_path = prefix.with_suffix(prefix.suffix + ".e")
+    builder = GraphBuilder(directed=directed, weighted=weighted)
+
+    with open(vertex_path, "r", encoding="ascii") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                builder.add_vertex(int(line))
+            except ValueError as exc:
+                raise GraphFormatError(f"vertex line {lineno}: {exc}") from exc
+
+    edges, weights = read_edge_list(edge_path, weighted=weighted)
+    vertex_set = _builder_vertices(builder)
+    for i, (src, dst) in enumerate(edges):
+        if src not in vertex_set or dst not in vertex_set:
+            raise GraphFormatError(
+                f"edge ({src},{dst}) references a vertex missing from {vertex_path.name}"
+            )
+        builder.add_edge(src, dst, weights[i] if weighted else None)
+    return builder.build(name=name or prefix.name)
+
+
+def _builder_vertices(builder: GraphBuilder) -> set:
+    return builder._vertices  # internal cooperation within the package
+
+
+def write_graph(graph: Graph, prefix: PathLike) -> Tuple[Path, Path]:
+    """Write ``<prefix>.v`` and ``<prefix>.e``; returns the two paths."""
+    prefix = Path(prefix)
+    prefix.parent.mkdir(parents=True, exist_ok=True)
+    vertex_path = prefix.with_suffix(prefix.suffix + ".v")
+    edge_path = prefix.with_suffix(prefix.suffix + ".e")
+
+    with open(vertex_path, "w", encoding="ascii") as handle:
+        for vid in graph.vertex_ids:
+            handle.write(f"{int(vid)}\n")
+
+    ids = graph.vertex_ids
+    weights = graph.edge_weights
+    with open(edge_path, "w", encoding="ascii") as handle:
+        if weights is not None:
+            for k in range(graph.num_edges):
+                s = int(ids[graph.edge_src[k]])
+                d = int(ids[graph.edge_dst[k]])
+                handle.write(f"{s} {d} {float(weights[k])!r}\n")
+        else:
+            for k in range(graph.num_edges):
+                s = int(ids[graph.edge_src[k]])
+                d = int(ids[graph.edge_dst[k]])
+                handle.write(f"{s} {d}\n")
+    return vertex_path, edge_path

@@ -1,0 +1,146 @@
+"""Vertex/edge property tables (paper §2.2.1).
+
+"Optionally, vertices and edges have properties, such as timestamps,
+labels, or weights." Edge weights are first-class on
+:class:`~repro.graph.graph.Graph` (SSSP consumes them); all other
+properties live in :class:`PropertyTable` — a named-column store keyed
+by vertex id (or edge index) that attaches *alongside* a graph without
+changing the algorithm kernels.
+
+Datagen emits a person property table (country, university, interest)
+so correlation analyses like the paper's block construction remain
+possible downstream.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import GraphFormatError
+from repro.graph.graph import Graph
+
+__all__ = ["PropertyTable", "person_properties"]
+
+PathLike = Union[str, os.PathLike]
+
+
+class PropertyTable:
+    """Named property columns over a fixed key set (vertex ids).
+
+    Columns are numpy arrays aligned with the sorted key order; lookups
+    go through the key index. Supports JSON round-trips and joining onto
+    a graph's dense-index order for vectorized use.
+    """
+
+    def __init__(self, keys: Iterable[int]):
+        self._keys = np.array(sorted(int(k) for k in keys), dtype=np.int64)
+        if len(np.unique(self._keys)) != len(self._keys):
+            raise GraphFormatError("duplicate property keys")
+        self._index = {int(k): i for i, k in enumerate(self._keys)}
+        self._columns: Dict[str, np.ndarray] = {}
+
+    @classmethod
+    def for_graph(cls, graph: Graph) -> "PropertyTable":
+        """A table keyed by the graph's vertex ids."""
+        return cls(int(v) for v in graph.vertex_ids)
+
+    @property
+    def keys(self) -> np.ndarray:
+        view = self._keys.view()
+        view.flags.writeable = False
+        return view
+
+    def column_names(self) -> List[str]:
+        return sorted(self._columns)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def set_column(self, name: str, values: Sequence) -> "PropertyTable":
+        """Add or replace a column (aligned with the sorted key order)."""
+        if not name or not isinstance(name, str):
+            raise GraphFormatError("property name must be a non-empty string")
+        array = np.asarray(values)
+        if array.shape != (len(self._keys),):
+            raise GraphFormatError(
+                f"column {name!r} has {array.shape} values for "
+                f"{len(self._keys)} keys"
+            )
+        self._columns[name] = array.copy()
+        return self
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise GraphFormatError(f"unknown property column {name!r}") from None
+
+    def get(self, key: int, name: str):
+        """One property value for one key."""
+        column = self.column(name)
+        try:
+            return column[self._index[int(key)]].item()
+        except KeyError:
+            raise GraphFormatError(f"unknown key {key}") from None
+
+    def aligned_with(self, graph: Graph, name: str) -> np.ndarray:
+        """The column reordered to the graph's dense-index order."""
+        column = self.column(name)
+        out = np.empty(graph.num_vertices, dtype=column.dtype)
+        for idx in range(graph.num_vertices):
+            vid = int(graph.vertex_ids[idx])
+            if vid not in self._index:
+                raise GraphFormatError(
+                    f"graph vertex {vid} missing from the property table"
+                )
+            out[idx] = column[self._index[vid]]
+        return out
+
+    # -- persistence ----------------------------------------------------
+
+    def save(self, path: PathLike) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "keys": self._keys.tolist(),
+            "columns": {
+                name: column.tolist() for name, column in self._columns.items()
+            },
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "PropertyTable":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        table = cls(payload["keys"])
+        for name, values in payload["columns"].items():
+            table.set_column(name, values)
+        return table
+
+
+def person_properties(num_persons: int, *, seed: int = 0) -> PropertyTable:
+    """The Datagen person attributes as a property table.
+
+    Columns mirror :class:`~repro.datagen.persons.Person`: ``country``,
+    ``university``, ``interest`` — the correlation dimensions behind the
+    friendship structure (paper §2.5.1).
+    """
+    from repro.datagen.persons import generate_persons
+
+    persons = generate_persons(num_persons, seed=seed)
+    table = PropertyTable(p.person_id for p in persons)
+    table.set_column("country", [p.country for p in persons])
+    table.set_column("university", [p.university for p in persons])
+    table.set_column("interest", [p.interest for p in persons])
+    return table

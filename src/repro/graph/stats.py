@@ -1,0 +1,118 @@
+"""Structural graph statistics used by the harness and the perf models.
+
+The perf models (``repro.platforms.model``) consume a small set of shape
+descriptors — density, degree skew, component structure — because the
+paper's findings repeatedly hinge on them: e.g. §4.6 observes platforms
+failing on Graph500 graphs while succeeding on Datagen graphs *of the same
+scale*, implicating degree skew rather than size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+from typing import Dict
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = ["GraphStatistics", "compute_statistics", "graph_scale", "degree_skewness"]
+
+
+def graph_scale(num_vertices: int, num_edges: int) -> float:
+    """Graphalytics scale: ``log10(|V| + |E|)`` rounded to one decimal.
+
+    Defined in paper §2.2.4 to facilitate performance comparison across
+    datasets.
+    """
+    total = int(num_vertices) + int(num_edges)
+    if total <= 0:
+        return 0.0
+    return round(float(np.log10(total)), 1)
+
+
+def degree_skewness(degrees: np.ndarray) -> float:
+    """Sample skewness of the degree distribution (0 for regular graphs)."""
+    degrees = np.asarray(degrees, dtype=np.float64)
+    if len(degrees) == 0:
+        return 0.0
+    mean = degrees.mean()
+    std = degrees.std()
+    if std == 0:
+        return 0.0
+    return float(np.mean(((degrees - mean) / std) ** 3))
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Shape descriptors for one graph."""
+
+    num_vertices: int
+    num_edges: int
+    directed: bool
+    scale: float
+    density: float
+    mean_degree: float
+    max_degree: int
+    degree_skew: float
+    mean_clustering_coefficient: float
+    num_components: int
+    largest_component_fraction: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def _mean_clustering_coefficient(graph: Graph) -> float:
+    """Average LCC over all vertices (LCC per the Graphalytics definition).
+
+    Imported lazily to avoid a cycle: the LCC algorithm lives in
+    ``repro.algorithms`` which imports the graph package.
+    """
+    from repro.algorithms.lcc import local_clustering_coefficient
+
+    values = local_clustering_coefficient(graph)
+    if len(values) == 0:
+        return 0.0
+    return float(np.mean(values))
+
+
+def _weak_components(graph: Graph) -> np.ndarray:
+    from repro.algorithms.wcc import weakly_connected_components
+
+    return weakly_connected_components(graph)
+
+
+def compute_statistics(graph: Graph) -> GraphStatistics:
+    """Compute all shape descriptors. O(sum of degree^2) due to LCC."""
+    n = graph.num_vertices
+    m = graph.num_edges
+    degrees = graph.degrees()
+    if n > 1:
+        possible = n * (n - 1)
+        if not graph.directed:
+            possible //= 2
+        density = m / possible
+    else:
+        density = 0.0
+    labels = _weak_components(graph) if n else np.array([], dtype=np.int64)
+    if n:
+        _, counts = np.unique(labels, return_counts=True)
+        num_components = len(counts)
+        largest_fraction = counts.max() / n
+    else:
+        num_components = 0
+        largest_fraction = 0.0
+    return GraphStatistics(
+        num_vertices=n,
+        num_edges=m,
+        directed=graph.directed,
+        scale=graph_scale(n, m),
+        density=float(density),
+        mean_degree=float(degrees.mean()) if n else 0.0,
+        max_degree=int(degrees.max()) if n else 0,
+        degree_skew=degree_skewness(degrees),
+        mean_clustering_coefficient=_mean_clustering_coefficient(graph),
+        num_components=num_components,
+        largest_component_fraction=float(largest_fraction),
+    )

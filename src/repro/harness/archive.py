@@ -1,0 +1,137 @@
+"""Workload archive: datasets + reference outputs on disk (Figure 1, box 6).
+
+The real benchmark distributes datasets through "public workload
+archives" together with per-algorithm *reference output* files. This
+module materializes the miniature catalog in exactly that layout::
+
+    <root>/
+      R4/
+        dota-league.v
+        dota-league.e
+        dota-league.properties     # directedness/weights metadata
+        dota-league-BFS            # reference outputs, one per algorithm
+        dota-league-PR
+        ...
+
+so a third-party implementation can be developed and validated against
+this repository without importing it (via ``graphalytics validate``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.exceptions import DatasetError
+from repro.algorithms.output_io import write_output
+from repro.algorithms.registry import ALGORITHMS, get_algorithm, run_reference
+from repro.graph.io import write_graph
+from repro.harness.datasets import Dataset, DATASETS, get_dataset
+
+__all__ = ["materialize_archive", "archive_manifest", "load_archived_graph"]
+
+
+def _dataset_dir(root: Path, dataset: Dataset) -> Path:
+    return root / dataset.dataset_id
+
+
+def materialize_archive(
+    root: Union[str, Path],
+    *,
+    dataset_ids: Optional[Iterable[str]] = None,
+    algorithms: Optional[Iterable[str]] = None,
+    seed: int = 0,
+) -> List[Path]:
+    """Write datasets + reference outputs; returns the dataset dirs."""
+    root = Path(root)
+    selected = [
+        get_dataset(d) for d in (dataset_ids if dataset_ids is not None else DATASETS)
+    ]
+    algorithm_list = [a.lower() for a in (algorithms or ALGORITHMS)]
+    for algorithm in algorithm_list:
+        get_algorithm(algorithm)  # validate early
+
+    written: List[Path] = []
+    for dataset in selected:
+        directory = _dataset_dir(root, dataset)
+        directory.mkdir(parents=True, exist_ok=True)
+        graph = dataset.materialize(seed)
+        prefix = directory / dataset.name
+        write_graph(graph, prefix)
+        properties = {
+            "dataset_id": dataset.dataset_id,
+            "name": dataset.name,
+            "directed": graph.directed,
+            "weighted": graph.is_weighted,
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+            "seed": seed,
+            "full_scale": {
+                "vertices": dataset.profile.num_vertices,
+                "edges": dataset.profile.num_edges,
+                "scale": dataset.profile.scale,
+                "class": dataset.tshirt,
+            },
+        }
+        (directory / f"{dataset.name}.properties").write_text(
+            json.dumps(properties, indent=1), encoding="utf-8"
+        )
+        for algorithm in algorithm_list:
+            spec = get_algorithm(algorithm)
+            if spec.weighted and not graph.is_weighted:
+                continue
+            params = dataset.algorithm_parameters(algorithm, seed)
+            reference = run_reference(algorithm, graph, params)
+            write_output(
+                graph,
+                reference,
+                directory / f"{dataset.name}-{algorithm.upper()}",
+                algorithm=algorithm,
+            )
+        written.append(directory)
+    return written
+
+
+def archive_manifest(root: Union[str, Path]) -> Dict[str, Dict[str, object]]:
+    """Index of an archive directory: dataset id -> properties + outputs."""
+    root = Path(root)
+    if not root.is_dir():
+        raise DatasetError(f"{root} is not an archive directory")
+    manifest: Dict[str, Dict[str, object]] = {}
+    for properties_path in sorted(root.glob("*/*.properties")):
+        with open(properties_path, "r", encoding="utf-8") as handle:
+            properties = json.load(handle)
+        directory = properties_path.parent
+        name = properties["name"]
+        outputs = sorted(
+            p.name.rsplit("-", 1)[1].lower()
+            for p in directory.glob(f"{name}-*")
+            if not p.name.endswith(".properties")
+        )
+        manifest[properties["dataset_id"]] = {
+            **properties,
+            "reference_outputs": outputs,
+        }
+    if not manifest:
+        raise DatasetError(f"no archived datasets found under {root}")
+    return manifest
+
+
+def load_archived_graph(root: Union[str, Path], dataset_id: str):
+    """Reload a dataset from an archive directory (round-trip path)."""
+    from repro.graph.io import read_graph
+
+    root = Path(root)
+    directory = root / dataset_id
+    properties_files = list(directory.glob("*.properties"))
+    if len(properties_files) != 1:
+        raise DatasetError(f"no archived dataset {dataset_id!r} under {root}")
+    with open(properties_files[0], "r", encoding="utf-8") as handle:
+        properties = json.load(handle)
+    return read_graph(
+        directory / properties["name"],
+        directed=properties["directed"],
+        weighted=properties["weighted"],
+        name=properties["name"],
+    )

@@ -1,0 +1,140 @@
+"""ASCII figure rendering for experiment reports.
+
+The paper presents the baseline/scalability results as log-scale scatter
+plots (Figures 4–9). This dependency-free renderer draws the same shape
+in a terminal: one row per series item, platforms as letter markers on a
+log-scale time axis — so ``graphalytics run dataset-variety --figure``
+output is readable without matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["LogScatter", "render_dataset_variety", "render_scaling"]
+
+#: Marker letters per platform, mirroring the paper's legend order.
+_MARKERS = {
+    "Giraph": "G",
+    "GraphX": "X",
+    "PowerGraph": "P",
+    "GraphMat": "M",
+    "OpenG": "O",
+    "PGX.D": "D",
+}
+
+
+class LogScatter:
+    """Rows of labeled values plotted on one shared log10 axis."""
+
+    def __init__(self, *, width: int = 60, unit: str = "s"):
+        if width < 20:
+            raise ValueError("width must be at least 20 columns")
+        self.width = width
+        self.unit = unit
+        self._rows: List[tuple] = []  # (label, {marker: value})
+
+    def add_row(self, label: str, points: Dict[str, Optional[float]]) -> None:
+        self._rows.append((label, dict(points)))
+
+    def _bounds(self) -> Optional[tuple]:
+        values = [
+            v
+            for _, points in self._rows
+            for v in points.values()
+            if v is not None and v > 0
+        ]
+        if not values:
+            return None
+        low = math.floor(math.log10(min(values)))
+        high = math.ceil(math.log10(max(values)))
+        if high == low:
+            high += 1
+        return low, high
+
+    def render(self) -> str:
+        bounds = self._bounds()
+        if bounds is None:
+            return "(no data)"
+        low, high = bounds
+        span = high - low
+        label_width = max((len(label) for label, _ in self._rows), default=5)
+        lines = []
+        for label, points in self._rows:
+            canvas = [" "] * (self.width + 1)
+            for marker, value in sorted(points.items()):
+                cell = "F" if value is None else None
+                if value is not None and value > 0:
+                    position = (math.log10(value) - low) / span
+                    col = int(round(position * self.width))
+                    col = min(max(col, 0), self.width)
+                    existing = canvas[col]
+                    canvas[col] = "*" if existing != " " else marker[0]
+                elif cell:
+                    canvas[self.width] = "F"
+            lines.append(f"{label:>{label_width}s} |{''.join(canvas)}|")
+        # Axis with decade ticks.
+        axis = [" "] * (self.width + 1)
+        ticks = []
+        for decade in range(low, high + 1):
+            position = (decade - low) / span
+            col = int(round(position * self.width))
+            axis[min(col, self.width)] = "+"
+            ticks.append((col, f"1e{decade}"))
+        lines.append(f"{'':>{label_width}s} +{''.join(axis)}+")
+        tick_line = [" "] * (self.width + 8)
+        for col, text in ticks:
+            for i, ch in enumerate(text):
+                pos = col + i
+                if pos < len(tick_line):
+                    tick_line[pos] = ch
+        lines.append(f"{'':>{label_width}s}  {''.join(tick_line).rstrip()} {self.unit}")
+        return "\n".join(lines)
+
+
+def _legend() -> str:
+    return "legend: " + "  ".join(
+        f"{marker}={name}" for name, marker in _MARKERS.items()
+    ) + "  *=overlap  F=failed"
+
+
+def render_dataset_variety(report, algorithm: str = "bfs") -> str:
+    """Figure 4-style plot from a dataset-variety experiment report."""
+    scatter = LogScatter()
+    seen: List[str] = []
+    for row in report.rows:
+        if row.get("algorithm") != algorithm:
+            continue
+        if row["dataset"] not in seen:
+            seen.append(row["dataset"])
+    for dataset in seen:
+        points: Dict[str, Optional[float]] = {}
+        for row in report.rows:
+            if row.get("algorithm") == algorithm and row["dataset"] == dataset:
+                marker = _MARKERS.get(str(row["platform"]), "?")
+                points[marker] = row.get("tproc")
+        scatter.add_row(dataset, points)
+    title = f"Tproc for {algorithm.upper()} (log scale)"
+    return f"{title}\n{scatter.render()}\n{_legend()}"
+
+
+def render_scaling(
+    report,
+    algorithm: str,
+    *,
+    x_field: str = "machines",
+    x_values: Sequence[int] = (1, 2, 4, 8, 16),
+) -> str:
+    """Figure 7/8-style plot: one row per resource step."""
+    scatter = LogScatter()
+    for x in x_values:
+        points: Dict[str, Optional[float]] = {}
+        for row in report.rows:
+            if row.get("algorithm") != algorithm or row.get(x_field) != x:
+                continue
+            marker = _MARKERS.get(str(row["platform"]), "?")
+            points[marker] = row.get("tproc")
+        scatter.add_row(f"{x_field}={x}", points)
+    title = f"Tproc for {algorithm.upper()} vs {x_field} (log scale)"
+    return f"{title}\n{scatter.render()}\n{_legend()}"

@@ -1,0 +1,76 @@
+"""Full benchmark orchestration: all eight experiments in one run.
+
+"Graphalytics conducts automatically the complex set of experiments
+summarized in Table 6" (paper §4). This module runs the entire suite,
+collects every job in one results database, renders the composite
+report, and (optionally) submits the validated run to a results
+repository — the complete Figure 1 pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.harness.config import BenchmarkConfig
+from repro.harness.experiments import EXPERIMENTS, ExperimentReport
+from repro.harness.report import render_report, save_report
+from repro.harness.repository import ResultsRepository, RunMetadata
+from repro.harness.results import ResultsDatabase
+from repro.harness.runner import BenchmarkRunner
+
+__all__ = ["FullRunResult", "run_full_benchmark"]
+
+
+@dataclass
+class FullRunResult:
+    """Everything one full benchmark run produced."""
+
+    database: ResultsDatabase
+    reports: Dict[str, ExperimentReport] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def job_count(self) -> int:
+        return len(self.database)
+
+    def render(self) -> str:
+        return render_report(
+            self.database, title="Graphalytics full benchmark run"
+        )
+
+
+def run_full_benchmark(
+    *,
+    seed: int = 0,
+    experiment_ids: Optional[List[str]] = None,
+    report_path: Optional[Union[str, Path]] = None,
+    repository: Optional[ResultsRepository] = None,
+    run_metadata: Optional[RunMetadata] = None,
+) -> FullRunResult:
+    """Run the (selected) experiment suite end to end.
+
+    One shared runner keeps dataset materializations and uploads cached
+    across experiments, exactly like the real harness's single session.
+    """
+    runner = BenchmarkRunner(BenchmarkConfig(seed=seed))
+    result = FullRunResult(database=runner.database)
+    for experiment_id in experiment_ids or list(EXPERIMENTS):
+        experiment = EXPERIMENTS[experiment_id]
+        report = experiment.run(runner)
+        result.reports[experiment_id] = report
+        result.notes.extend(f"[{experiment_id}] {note}" for note in report.notes)
+    if report_path is not None:
+        save_report(
+            runner.database,
+            report_path,
+            title="Graphalytics full benchmark run",
+        )
+    if repository is not None:
+        metadata = run_metadata or RunMetadata(
+            run_id=f"full-run-seed{seed}",
+            system_under_test="simulated Table 5 platforms on DAS-5 model",
+        )
+        repository.submit(metadata, runner.database)
+    return result

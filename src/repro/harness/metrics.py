@@ -1,0 +1,72 @@
+"""Benchmark metrics (paper §2.3).
+
+* **Tproc** — processing time, reported by the drivers (via Granula).
+* **EPS** — edges per second: |E| / Tproc (as in Graph500).
+* **EVPS** — edges and vertices per second: (|E| + |V|) / Tproc, i.e.
+  10^scale / Tproc — closely related to the Graphalytics scale.
+* **Speedup** — Tproc(baseline resources) / Tproc(scaled resources),
+  where the baseline is the minimum amount of resources with which the
+  platform completes the workload.
+* **CV** — coefficient of variation of repeated Tproc measurements:
+  std / mean, scale-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "edges_per_second",
+    "edges_and_vertices_per_second",
+    "speedup",
+    "slowdown",
+    "coefficient_of_variation",
+]
+
+
+def _check_positive_time(seconds: float) -> float:
+    seconds = float(seconds)
+    if seconds <= 0:
+        raise ConfigurationError(f"processing time must be positive, got {seconds}")
+    return seconds
+
+
+def edges_per_second(num_edges: int, processing_seconds: float) -> float:
+    """EPS: |E| / Tproc."""
+    return int(num_edges) / _check_positive_time(processing_seconds)
+
+
+def edges_and_vertices_per_second(
+    num_vertices: int, num_edges: int, processing_seconds: float
+) -> float:
+    """EVPS: (|V| + |E|) / Tproc."""
+    return (int(num_vertices) + int(num_edges)) / _check_positive_time(
+        processing_seconds
+    )
+
+
+def speedup(baseline_seconds: float, scaled_seconds: float) -> float:
+    """Ratio of baseline over scaled Tproc (>1 means scaling helped)."""
+    return _check_positive_time(baseline_seconds) / _check_positive_time(
+        scaled_seconds
+    )
+
+
+def slowdown(baseline_seconds: float, scaled_seconds: float) -> float:
+    """Inverse of :func:`speedup` (used in the weak-scaling analysis)."""
+    return 1.0 / speedup(baseline_seconds, scaled_seconds)
+
+
+def coefficient_of_variation(samples: Sequence[float]) -> float:
+    """std/mean of repeated measurements (population std, as in the paper)."""
+    values = np.asarray(list(samples), dtype=np.float64)
+    if len(values) < 2:
+        raise ConfigurationError("CV needs at least two samples")
+    mean = values.mean()
+    if mean <= 0:
+        raise ConfigurationError("CV needs a positive mean")
+    return float(values.std() / mean)

@@ -1,0 +1,83 @@
+"""Related-work comparison matrix (paper §5, Table 12).
+
+Encodes the paper's requirement coverage (R1–R5) of prior studies and
+benchmarks, so the Table 12 reproduction is data, not prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["RelatedWork", "RELATED_WORK", "related_work_table"]
+
+
+@dataclass(frozen=True)
+class RelatedWork:
+    """One Table 12 row."""
+
+    name: str
+    kind: str                 # "B" benchmark | "S" study
+    target_structure: str     # R1: D/P/MC/GPU combination
+    programming: str          # R1: supported programming models
+    input_params: str         # R2: 0 / S / E / +
+    datasets: str             # R2: Rnd / Exp / 1-stage / 2-stage
+    algorithms: str           # R2: Rnd / Exp / 1-stage / 2-stage
+    scalable: str             # R2: scalable workload?
+    scalability_tests: str    # R3: W/S/V/H
+    robustness: bool          # R3
+    renewal: bool             # R4
+
+
+RELATED_WORK: Tuple[RelatedWork, ...] = (
+    RelatedWork("CloudSuite (graph elements)", "B", "D/MC", "PowerGraph",
+                "S", "Rnd", "Exp", "—", "No", False, False),
+    RelatedWork("Montresor et al.", "S", "D/MC", "3 classes",
+                "0", "Rnd", "Exp", "—", "No", False, False),
+    RelatedWork("HPC-SGAB", "B", "P", "—", "S", "Exp", "Exp", "—",
+                "No", False, False),
+    RelatedWork("Graph500", "B", "P/MC/GPU", "—", "S", "Exp", "Exp", "—",
+                "No", False, False),
+    RelatedWork("GreenGraph500", "B", "P/MC/GPU", "—", "S", "Exp", "Exp",
+                "—", "No", False, False),
+    RelatedWork("WGB", "B", "D", "—", "SE+", "Exp", "Exp", "1B Edges",
+                "No", False, False),
+    RelatedWork("Own prior work (Guo et al., Capota et al.)", "S",
+                "D/MC/GPU", "10 classes", "S", "Exp", "1-stage",
+                "1B Edges", "W/S/V/H", False, False),
+    RelatedWork("Ozsu et al.", "S", "D", "Pregel", "0", "Exp,Rnd", "Exp",
+                "—", "W/S/V/H", False, False),
+    RelatedWork("BigDataBench (graph elements)", "B", "D/MC", "Hadoop",
+                "S", "Rnd", "Rnd", "—", "S", False, False),
+    RelatedWork("Satish et al.", "S", "D/MC", "6 classes", "S", "Exp,Rnd",
+                "Exp", "—", "W", False, False),
+    RelatedWork("Yi et al. (Lu et al.)", "S", "D", "4 classes", "S",
+                "Exp,Rnd", "Exp", "—", "S", False, False),
+    RelatedWork("GraphBIG", "B", "P/MC/GPU", "System G", "S", "Exp", "Exp",
+                "—", "No", False, False),
+    RelatedWork("Cherkasova et al. (Eisenman et al.)", "S", "MC", "Galois",
+                "0", "Rnd", "Exp", "—", "No", False, False),
+    RelatedWork("LDBC Graphalytics (this work)", "B", "D/MC/GPU",
+                "10+ classes", "SE+", "2-stage", "2-stage", "Process",
+                "W/S/V/H", True, True),
+)
+
+
+def related_work_table() -> List[dict]:
+    """Table 12 as dict rows."""
+    return [
+        {
+            "name": w.name,
+            "type": w.kind,
+            "target_structure": w.target_structure,
+            "programming": w.programming,
+            "input": w.input_params,
+            "datasets": w.datasets,
+            "algorithms": w.algorithms,
+            "scalable": w.scalable,
+            "scalability_tests": w.scalability_tests,
+            "robustness": "Yes" if w.robustness else "No",
+            "renewal": "Yes" if w.renewal else "No",
+        }
+        for w in RELATED_WORK
+    ]

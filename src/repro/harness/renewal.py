@@ -1,0 +1,134 @@
+"""The benchmark renewal process (paper §2.4, requirement R4).
+
+Every two years a new version of the benchmark is produced: the
+algorithm set is re-selected through the two-stage survey process, and
+the dataset classes are recalibrated — in particular class L is redefined
+as the largest class such that a state-of-the-art platform completes BFS
+within one hour on all graphs in the class, on one commodity machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.scale import SCALE_CLASSES, class_order, scale_class
+from repro.harness.survey import SurveyClass, two_stage_selection
+from repro.harness.sla import SLA_MAKESPAN_SECONDS
+
+__all__ = ["RenewalDecision", "RenewalProcess"]
+
+#: Cadence of the renewal process, in years.
+RENEWAL_PERIOD_YEARS = 2
+
+
+@dataclass(frozen=True)
+class RenewalDecision:
+    """Outcome of one renewal round."""
+
+    version: int
+    algorithms: Tuple[str, ...]
+    added_algorithms: Tuple[str, ...]
+    obsoleted_algorithms: Tuple[str, ...]
+    reference_class: str           # the recalibrated class "L"
+    notes: Tuple[str, ...] = ()
+
+
+class RenewalProcess:
+    """Mechanized §2.4: re-select algorithms, recalibrate class L.
+
+    ``bfs_hour_completions`` maps dataset scale -> whether a
+    state-of-the-art platform finished BFS within the SLA hour on a
+    single machine (normally produced by the stress-test experiment).
+    """
+
+    def __init__(self, current_algorithms: Sequence[str], version: int = 1):
+        self.current_algorithms = tuple(a.lower() for a in current_algorithms)
+        self.version = version
+
+    def reselect_algorithms(
+        self,
+        unweighted_survey: Optional[Sequence[SurveyClass]] = None,
+        weighted_survey: Optional[Sequence[SurveyClass]] = None,
+    ) -> Tuple[Tuple[str, ...], Tuple[str, ...], Tuple[str, ...]]:
+        """(new set, added, obsoleted) from a fresh survey round.
+
+        With no fresh surveys, the stored (paper) surveys are reused and
+        the selection is stable.
+        """
+        if unweighted_survey is None and weighted_survey is None:
+            selected = tuple(two_stage_selection())
+        else:
+            selected = tuple(
+                self._select_from(unweighted_survey or ())
+                + self._select_from(weighted_survey or ())
+            )
+        added = tuple(a for a in selected if a not in self.current_algorithms)
+        obsoleted = tuple(a for a in self.current_algorithms if a not in selected)
+        return selected, added, obsoleted
+
+    @staticmethod
+    def _select_from(survey: Sequence[SurveyClass], min_share: float = 0.10) -> List[str]:
+        total = sum(c.count for c in survey) or 1
+        picked: List[str] = []
+        for cls in survey:
+            if cls.name == "Other" or cls.count / total < min_share:
+                continue
+            picked.extend(a for a in cls.candidates[:2] if a not in picked)
+        return picked
+
+    @staticmethod
+    def recalibrate_reference_class(
+        bfs_makespans_by_scale: Dict[float, float],
+        *,
+        sla_seconds: float = SLA_MAKESPAN_SECONDS,
+    ) -> str:
+        """Redefine class L: the largest class all of whose measured
+        graphs complete BFS within the SLA hour.
+
+        ``bfs_makespans_by_scale`` holds the best single-machine BFS
+        makespan per dataset scale, across the platforms available to the
+        team (paper: the selection of platforms is limited to those
+        implementing Graphalytics at renewal time).
+        """
+        best_label = SCALE_CLASSES[0][2]
+        for low, high, label in SCALE_CLASSES:
+            in_class = {
+                s: t for s, t in bfs_makespans_by_scale.items() if low <= s < high
+            }
+            if not in_class:
+                continue
+            if all(t <= sla_seconds for t in in_class.values()):
+                if class_order(label) > class_order(best_label):
+                    best_label = label
+        return best_label
+
+    def renew(
+        self,
+        bfs_makespans_by_scale: Dict[float, float],
+        *,
+        unweighted_survey: Optional[Sequence[SurveyClass]] = None,
+        weighted_survey: Optional[Sequence[SurveyClass]] = None,
+    ) -> RenewalDecision:
+        """One full renewal round; returns the decision record."""
+        algorithms, added, obsoleted = self.reselect_algorithms(
+            unweighted_survey, weighted_survey
+        )
+        reference = self.recalibrate_reference_class(bfs_makespans_by_scale)
+        notes = []
+        if added:
+            notes.append(f"algorithms added: {', '.join(added)}")
+        if obsoleted:
+            notes.append(
+                "marked obsolete, removed in the next version: "
+                + ", ".join(obsoleted)
+            )
+        notes.append(f"reference class L recalibrated to scales of class {reference}")
+        return RenewalDecision(
+            version=self.version + 1,
+            algorithms=algorithms,
+            added_algorithms=added,
+            obsoleted_algorithms=obsoleted,
+            reference_class=reference,
+            notes=tuple(notes),
+        )

@@ -1,0 +1,147 @@
+"""Benchmark report generation (paper Figure 1: "Results Analysis").
+
+Turns a :class:`~repro.harness.results.ResultsDatabase` into a
+human-readable report: an overview, per-algorithm platform comparisons,
+SLA compliance, validation outcomes, and throughput summaries. Rendered
+as Markdown so reports can be published as-is.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.harness.results import BenchmarkResult, ResultsDatabase
+
+__all__ = ["render_report", "save_report", "summarize"]
+
+
+def _format_seconds(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 100:
+        return f"{seconds:.0f} s"
+    if seconds >= 1:
+        return f"{seconds:.2f} s"
+    return f"{seconds * 1000:.1f} ms"
+
+
+def summarize(database: ResultsDatabase) -> Dict[str, object]:
+    """Aggregate counters for the report header."""
+    total = len(database)
+    succeeded = sum(1 for r in database if r.succeeded)
+    sla = sum(1 for r in database if r.sla_compliant)
+    validated = sum(1 for r in database if r.validated)
+    failures: Dict[str, int] = defaultdict(int)
+    for r in database:
+        if not r.succeeded:
+            failures[r.status] += 1
+    return {
+        "jobs": total,
+        "succeeded": succeeded,
+        "sla_compliant": sla,
+        "validated": validated,
+        "failures": dict(failures),
+        "platforms": sorted({r.platform for r in database}),
+        "datasets": sorted({r.dataset for r in database}),
+        "algorithms": sorted({r.algorithm for r in database}),
+    }
+
+
+def _group(
+    database: ResultsDatabase,
+) -> Dict[str, Dict[str, Dict[str, List[BenchmarkResult]]]]:
+    """algorithm -> dataset -> platform -> results."""
+    grouped: Dict[str, Dict[str, Dict[str, List[BenchmarkResult]]]] = (
+        defaultdict(lambda: defaultdict(lambda: defaultdict(list)))
+    )
+    for r in database:
+        grouped[r.algorithm][r.dataset][r.platform].append(r)
+    return grouped
+
+
+def _result_cell(results: List[BenchmarkResult]) -> str:
+    ok = [r for r in results if r.succeeded and r.sla_compliant]
+    if not ok:
+        reasons = {r.status for r in results}
+        if "not-supported" in reasons:
+            return "NA"
+        return "FAIL"
+    times = [r.modeled_processing_time for r in ok if r.modeled_processing_time]
+    if not times:
+        return "ok"
+    mean = sum(times) / len(times)
+    return _format_seconds(mean)
+
+
+def render_report(database: ResultsDatabase, *, title: str = "Graphalytics benchmark report") -> str:
+    """Render the full Markdown report."""
+    summary = summarize(database)
+    lines: List[str] = [f"# {title}", ""]
+    lines.append(
+        f"{summary['jobs']} jobs — {summary['succeeded']} succeeded, "
+        f"{summary['sla_compliant']} within the 1-hour SLA, "
+        f"{summary['validated']} outputs validated."
+    )
+    if summary["failures"]:
+        failure_text = ", ".join(
+            f"{count}x {status}" for status, count in sorted(summary["failures"].items())
+        )
+        lines.append(f"Failures: {failure_text}.")
+    lines.append("")
+    lines.append(
+        f"Platforms: {', '.join(summary['platforms'])}. "
+        f"Datasets: {', '.join(summary['datasets'])}. "
+        f"Algorithms: {', '.join(a.upper() for a in summary['algorithms'])}."
+    )
+    lines.append("")
+
+    grouped = _group(database)
+    for algorithm in sorted(grouped):
+        lines.append(f"## {algorithm.upper()}")
+        lines.append("")
+        datasets = sorted(grouped[algorithm])
+        platforms = sorted(
+            {p for ds in grouped[algorithm].values() for p in ds}
+        )
+        lines.append("| dataset | " + " | ".join(platforms) + " |")
+        lines.append("|" + "---|" * (len(platforms) + 1))
+        for dataset in datasets:
+            cells = [
+                _result_cell(grouped[algorithm][dataset].get(platform, []))
+                for platform in platforms
+            ]
+            lines.append(f"| {dataset} | " + " | ".join(cells) + " |")
+        lines.append("")
+
+        # Throughput (EVPS) leaders per dataset.
+        leaders = []
+        for dataset in datasets:
+            best: Optional[BenchmarkResult] = None
+            for platform_results in grouped[algorithm][dataset].values():
+                for r in platform_results:
+                    if r.succeeded and r.evps and (
+                        best is None or r.evps > best.evps
+                    ):
+                        best = r
+            if best is not None:
+                leaders.append(
+                    f"{dataset}: {best.platform} ({best.evps:.3g} EVPS)"
+                )
+        if leaders:
+            lines.append("Fastest (EVPS): " + "; ".join(leaders) + ".")
+            lines.append("")
+    return "\n".join(lines)
+
+
+def save_report(
+    database: ResultsDatabase,
+    path: Union[str, Path],
+    *,
+    title: str = "Graphalytics benchmark report",
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_report(database, title=title), encoding="utf-8")
+    return path

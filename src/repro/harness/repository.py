@@ -1,0 +1,186 @@
+"""Public results repository (paper Figure 1, boxes 11–12).
+
+"Validated results are stored in an online repository to track benchmark
+results across platforms." This module implements the repository as a
+directory of JSON run archives with structural validation on submission,
+plus cross-run queries: best platform per workload, and regression
+detection between two runs of the same platform.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.harness.results import BenchmarkResult, ResultsDatabase
+
+__all__ = ["RunMetadata", "ResultsRepository", "Regression"]
+
+_RUN_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+@dataclass(frozen=True)
+class RunMetadata:
+    """Descriptive metadata of one submitted run."""
+
+    run_id: str
+    system_under_test: str
+    submitter: str = ""
+    description: str = ""
+
+    def __post_init__(self):
+        if not _RUN_ID_PATTERN.match(self.run_id):
+            raise ConfigurationError(
+                f"run id {self.run_id!r} must be alphanumeric with ._-"
+            )
+        if not self.system_under_test:
+            raise ConfigurationError("system_under_test must be non-empty")
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One workload where a newer run is slower than an older one."""
+
+    platform: str
+    algorithm: str
+    dataset: str
+    old_seconds: float
+    new_seconds: float
+
+    @property
+    def slowdown(self) -> float:
+        return self.new_seconds / self.old_seconds
+
+
+class ResultsRepository:
+    """A directory of validated benchmark runs."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _run_path(self, run_id: str) -> Path:
+        return self.root / f"{run_id}.json"
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self,
+        metadata: RunMetadata,
+        database: ResultsDatabase,
+        *,
+        require_validation: bool = True,
+    ) -> Path:
+        """Store a run; rejects duplicates and unvalidated submissions.
+
+        ``require_validation`` enforces the paper's rule that only
+        validated results enter the public repository: every *successful*
+        job must have passed output validation.
+        """
+        path = self._run_path(metadata.run_id)
+        if path.exists():
+            raise ConfigurationError(f"run {metadata.run_id!r} already exists")
+        if len(database) == 0:
+            raise ConfigurationError("refusing to store an empty run")
+        if require_validation:
+            unvalidated = [
+                r for r in database if r.succeeded and r.validated is not True
+            ]
+            if unvalidated:
+                raise ValidationError(
+                    f"{len(unvalidated)} successful jobs lack output "
+                    f"validation; submit with require_validation=False only "
+                    f"for private runs"
+                )
+        payload = {
+            "metadata": {
+                "run_id": metadata.run_id,
+                "system_under_test": metadata.system_under_test,
+                "submitter": metadata.submitter,
+                "description": metadata.description,
+            },
+            "results": [r.as_dict() for r in database],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+        return path
+
+    # -- retrieval --------------------------------------------------------------
+
+    def run_ids(self) -> List[str]:
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def metadata(self, run_id: str) -> RunMetadata:
+        payload = self._load(run_id)
+        return RunMetadata(**payload["metadata"])
+
+    def load(self, run_id: str) -> ResultsDatabase:
+        payload = self._load(run_id)
+        return ResultsDatabase(
+            [BenchmarkResult(**record) for record in payload["results"]]
+        )
+
+    def _load(self, run_id: str) -> Dict:
+        path = self._run_path(run_id)
+        if not path.exists():
+            raise ConfigurationError(f"unknown run {run_id!r}")
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    # -- cross-run analysis --------------------------------------------------------
+
+    def best_platform(
+        self, algorithm: str, dataset: str
+    ) -> Optional[Dict[str, object]]:
+        """Across all stored runs: the fastest compliant job for a workload."""
+        best: Optional[Dict[str, object]] = None
+        for run_id in self.run_ids():
+            for r in self.load(run_id):
+                if (
+                    r.algorithm == algorithm.lower()
+                    and r.dataset == dataset
+                    and r.succeeded
+                    and r.sla_compliant
+                    and r.modeled_processing_time is not None
+                ):
+                    if best is None or r.modeled_processing_time < best["tproc"]:
+                        best = {
+                            "run_id": run_id,
+                            "platform": r.platform,
+                            "tproc": r.modeled_processing_time,
+                        }
+        return best
+
+    def regressions(
+        self, old_run: str, new_run: str, *, threshold: float = 1.10
+    ) -> List[Regression]:
+        """Workloads at least ``threshold`` times slower in the new run."""
+        old = self.load(old_run)
+        new = self.load(new_run)
+        old_index: Dict[tuple, float] = {}
+        for r in old:
+            if r.succeeded and r.modeled_processing_time:
+                key = (r.platform, r.algorithm, r.dataset, r.machines, r.threads)
+                old_index[key] = r.modeled_processing_time
+        found: List[Regression] = []
+        for r in new:
+            if not (r.succeeded and r.modeled_processing_time):
+                continue
+            key = (r.platform, r.algorithm, r.dataset, r.machines, r.threads)
+            if key in old_index:
+                old_time = old_index[key]
+                if r.modeled_processing_time > threshold * old_time:
+                    found.append(
+                        Regression(
+                            platform=r.platform,
+                            algorithm=r.algorithm,
+                            dataset=r.dataset,
+                            old_seconds=old_time,
+                            new_seconds=r.modeled_processing_time,
+                        )
+                    )
+        return sorted(found, key=lambda reg: -reg.slowdown)

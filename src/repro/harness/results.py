@@ -1,0 +1,130 @@
+"""Results database (paper Figure 1, box 9).
+
+Stores one flat record per benchmark job, including both the modeled
+full-scale metrics and the measured miniature wall-clock, the SLA
+verdict, and the output-validation verdict. Serializes to JSON so runs
+can be archived and compared.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, asdict
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["BenchmarkResult", "ResultsDatabase"]
+
+
+@dataclass(frozen=True)
+class BenchmarkResult:
+    """One job's record, flattened for storage and querying."""
+
+    platform: str
+    algorithm: str
+    dataset: str
+    machines: int
+    threads: int
+    status: str
+    failure_reason: str = ""
+    run_index: int = 0
+    backend: str = ""
+    modeled_processing_time: Optional[float] = None
+    modeled_makespan: Optional[float] = None
+    modeled_upload_time: Optional[float] = None
+    modeled_memory_demand: Optional[float] = None
+    measured_processing_seconds: Optional[float] = None
+    eps: Optional[float] = None
+    evps: Optional[float] = None
+    sla_compliant: bool = False
+    validated: Optional[bool] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == "succeeded"
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+class ResultsDatabase:
+    """Append-only store of :class:`BenchmarkResult` with simple queries."""
+
+    def __init__(self, results: Optional[List[BenchmarkResult]] = None):
+        self._results: List[BenchmarkResult] = list(results or [])
+
+    def add(self, result: BenchmarkResult) -> None:
+        self._results.append(result)
+
+    def extend(self, results) -> None:
+        for result in results:
+            self.add(result)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[BenchmarkResult]:
+        return iter(self._results)
+
+    def query(
+        self,
+        *,
+        platform: Optional[str] = None,
+        algorithm: Optional[str] = None,
+        dataset: Optional[str] = None,
+        machines: Optional[int] = None,
+        threads: Optional[int] = None,
+        status: Optional[str] = None,
+    ) -> List[BenchmarkResult]:
+        """All records matching every given filter."""
+        out = []
+        for r in self._results:
+            if platform is not None and r.platform.lower() != platform.lower():
+                continue
+            if algorithm is not None and r.algorithm != algorithm.lower():
+                continue
+            if dataset is not None and r.dataset != dataset:
+                continue
+            if machines is not None and r.machines != machines:
+                continue
+            if threads is not None and r.threads != threads:
+                continue
+            if status is not None and r.status != status:
+                continue
+            out.append(r)
+        return out
+
+    def one(self, **filters) -> BenchmarkResult:
+        """The single record matching the filters; raises otherwise."""
+        matches = self.query(**filters)
+        if len(matches) != 1:
+            raise ConfigurationError(
+                f"expected exactly one record for {filters}, found {len(matches)}"
+            )
+        return matches[0]
+
+    def processing_times(self, **filters) -> List[float]:
+        """Modeled Tproc of all successful matching jobs."""
+        return [
+            r.modeled_processing_time
+            for r in self.query(**filters)
+            if r.succeeded and r.modeled_processing_time is not None
+        ]
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = [r.as_dict() for r in self._results]
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ResultsDatabase":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return cls([BenchmarkResult(**record) for record in payload])

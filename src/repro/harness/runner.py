@@ -1,0 +1,188 @@
+"""Benchmark orchestration (paper Figure 1, box 5: harness services).
+
+The runner instructs each platform driver to upload graphs, executes the
+configured (platform × dataset × algorithm) jobs, validates outputs
+against the reference implementations, extracts Tproc through the
+Granula archive of each job's event log, computes the derived metrics,
+and fills the results database.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.algorithms.registry import get_algorithm, run_reference
+from repro.algorithms.validation import validate_output
+from repro.granula.archiver import build_archive
+from repro.harness.config import BenchmarkConfig
+from repro.harness.datasets import Dataset, get_dataset
+from repro.harness.metrics import edges_per_second, edges_and_vertices_per_second
+from repro.harness.results import BenchmarkResult, ResultsDatabase
+from repro.harness.sla import sla_compliant
+from repro.platforms.base import JobResult, PlatformDriver, UploadHandle
+from repro.platforms.cluster import ClusterResources
+from repro.platforms.registry import create_driver
+
+__all__ = ["BenchmarkRunner"]
+
+
+class BenchmarkRunner:
+    """Runs benchmark jobs and records results.
+
+    One runner instance caches per-platform uploads and per-dataset
+    reference outputs, so experiment suites that revisit the same
+    workloads stay fast.
+    """
+
+    def __init__(self, config: Optional[BenchmarkConfig] = None):
+        self.config = config or BenchmarkConfig()
+        self.database = ResultsDatabase()
+        self._drivers: Dict[str, PlatformDriver] = {}
+        self._handles: Dict[Tuple[str, str], UploadHandle] = {}
+        self._references: Dict[Tuple[str, str], np.ndarray] = {}
+
+    # -- plumbing -----------------------------------------------------------
+
+    def driver(self, platform: str) -> PlatformDriver:
+        platform = platform.lower()
+        if platform not in self._drivers:
+            self._drivers[platform] = create_driver(platform)
+        return self._drivers[platform]
+
+    def _handle(self, platform: str, dataset: Dataset) -> UploadHandle:
+        key = (platform.lower(), dataset.dataset_id)
+        if key not in self._handles:
+            graph = dataset.materialize(self.config.seed)
+            self._handles[key] = self.driver(platform).upload(
+                graph, profile=dataset.profile
+            )
+        return self._handles[key]
+
+    def _reference_output(
+        self, dataset: Dataset, algorithm: str, params: Mapping[str, object]
+    ) -> np.ndarray:
+        key = (dataset.dataset_id, algorithm)
+        if key not in self._references:
+            graph = dataset.materialize(self.config.seed)
+            self._references[key] = run_reference(algorithm, graph, params)
+        return self._references[key]
+
+    def can_run(self, platform: str, dataset: Dataset, algorithm: str) -> bool:
+        """Whether the combination is runnable at all.
+
+        Weighted algorithms need weighted datasets; non-distributed
+        platforms cannot take multi-machine resources.
+        """
+        spec = get_algorithm(algorithm)
+        if spec.weighted and not dataset.weighted:
+            return False
+        driver = self.driver(platform)
+        if self.config.resources.machines > 1 and not driver.info.distributed:
+            return False
+        return True
+
+    # -- job execution -----------------------------------------------------
+
+    def run_job(
+        self,
+        platform: str,
+        dataset_id: str,
+        algorithm: str,
+        *,
+        resources: Optional[ClusterResources] = None,
+        run_index: int = 0,
+    ) -> BenchmarkResult:
+        """Execute one job end to end and record it in the database."""
+        dataset = get_dataset(dataset_id)
+        algorithm = algorithm.lower()
+        resources = resources or self.config.resources
+        driver = self.driver(platform)
+        handle = self._handle(platform, dataset)
+        params = dataset.algorithm_parameters(algorithm, self.config.seed)
+        job = driver.execute(
+            handle,
+            algorithm,
+            params,
+            resources,
+            run_index=run_index,
+            seed=self.config.seed,
+        )
+        result = self._finalize(job, dataset, params)
+        self.database.add(result)
+        return result
+
+    def _finalize(
+        self,
+        job: JobResult,
+        dataset: Dataset,
+        params: Mapping[str, object],
+    ) -> BenchmarkResult:
+        """Validate, extract Tproc via Granula, derive metrics."""
+        validated: Optional[bool] = None
+        if job.succeeded and self.config.validate_outputs and job.output is not None:
+            reference = self._reference_output(dataset, job.algorithm, params)
+            try:
+                validate_output(job.algorithm, job.output, reference)
+                validated = True
+            except ValidationError:
+                validated = False
+
+        tproc = job.modeled_processing_time
+        if job.succeeded and job.events:
+            # The harness does not trust the platform's own number: Tproc
+            # is extracted from the Granula performance archive built from
+            # the job's event log (paper §2.5.2).
+            archive = build_archive(job)
+            tproc = archive.phase_duration("processing")
+
+        eps = evps = None
+        if job.succeeded and tproc and tproc > 0:
+            profile = dataset.profile
+            eps = edges_per_second(profile.num_edges, tproc)
+            evps = edges_and_vertices_per_second(
+                profile.num_vertices, profile.num_edges, tproc
+            )
+
+        return BenchmarkResult(
+            platform=job.platform,
+            algorithm=job.algorithm,
+            dataset=dataset.dataset_id,
+            machines=job.resources.machines,
+            threads=job.resources.threads_per_machine,
+            status=job.status.value,
+            failure_reason=job.failure_reason,
+            run_index=job.run_index,
+            backend=job.backend,
+            modeled_processing_time=tproc,
+            modeled_makespan=job.modeled_makespan,
+            modeled_upload_time=job.modeled_upload_time,
+            modeled_memory_demand=job.modeled_memory_demand,
+            measured_processing_seconds=job.measured_processing_seconds,
+            eps=eps,
+            evps=evps,
+            sla_compliant=sla_compliant(job, budget=self.config.sla_seconds),
+            validated=validated,
+        )
+
+    # -- batch runs --------------------------------------------------------
+
+    def run(self) -> ResultsDatabase:
+        """Run the full configured selection; returns the database."""
+        for platform in self.config.platforms:
+            for dataset_id in self.config.datasets:
+                dataset = get_dataset(dataset_id)
+                for algorithm in self.config.algorithms:
+                    if not self.can_run(platform, dataset, algorithm):
+                        if self.config.skip_impossible:
+                            continue
+                        raise ValidationError(
+                            f"cannot run {algorithm} on {dataset_id} with {platform}"
+                        )
+                    for rep in range(self.config.repetitions):
+                        self.run_job(
+                            platform, dataset_id, algorithm, run_index=rep
+                        )
+        return self.database

@@ -1,0 +1,61 @@
+"""Graph scales and "T-shirt size" classes (paper §2.2.4, Table 2).
+
+The scale of a graph is ``log10(|V| + |E|)`` rounded to one decimal.
+Scales are grouped into classes spanning 0.5 scale units, labelled with
+T-shirt sizes; the reference point is class L, intuitively the largest
+class whose graphs complete BFS within an hour on one commodity machine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["graph_scale", "scale_class", "SCALE_CLASSES", "class_order"]
+
+#: Table 2: half-open scale ranges and their labels.
+SCALE_CLASSES: Tuple[Tuple[float, float, str], ...] = (
+    (float("-inf"), 7.0, "2XS"),
+    (7.0, 7.5, "XS"),
+    (7.5, 8.0, "S"),
+    (8.0, 8.5, "M"),
+    (8.5, 9.0, "L"),
+    (9.0, 9.5, "XL"),
+    (9.5, float("inf"), "2XL"),
+)
+
+#: Labels from smallest to largest (for comparisons such as "up to L").
+_ORDER: Tuple[str, ...] = tuple(label for _, _, label in SCALE_CLASSES)
+
+
+def graph_scale(num_vertices: int, num_edges: int) -> float:
+    """``log10(|V| + |E|)``, rounded to one decimal place."""
+    total = int(num_vertices) + int(num_edges)
+    if total <= 0:
+        return 0.0
+    return round(math.log10(total), 1)
+
+
+def scale_class(scale: float) -> str:
+    """Table 2 label for a scale value."""
+    for low, high, label in SCALE_CLASSES:
+        if low <= scale < high:
+            return label
+    raise ConfigurationError(f"no class for scale {scale}")  # pragma: no cover
+
+
+def class_order(label: str) -> int:
+    """Rank of a class label (2XS = 0); raises for unknown labels."""
+    try:
+        return _ORDER.index(label)
+    except ValueError:
+        raise ConfigurationError(
+            f"unknown scale class {label!r}; known: {', '.join(_ORDER)}"
+        ) from None
+
+
+def classes_up_to(label: str) -> List[str]:
+    """All labels from 2XS up to and including ``label``."""
+    return list(_ORDER[: class_order(label) + 1])

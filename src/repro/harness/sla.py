@@ -1,0 +1,31 @@
+"""Service-level agreement (paper §2.3).
+
+"For all experiments, Graphalytics defines a service-level agreement:
+generate the output for a given algorithm and dataset with a makespan of
+up to 1 hour. A job breaks this SLA, and thus does not complete
+successfully, if its makespan exceeds 1 hour or if it crashes."
+"""
+
+from __future__ import annotations
+
+from repro.platforms.base import JobResult, JobStatus
+
+__all__ = ["SLA_MAKESPAN_SECONDS", "sla_compliant", "job_successful"]
+
+#: The makespan budget: one hour.
+SLA_MAKESPAN_SECONDS: float = 3600.0
+
+
+def sla_compliant(result: JobResult, *, budget: float = SLA_MAKESPAN_SECONDS) -> bool:
+    """Whether one job met the SLA (completed, within the makespan budget)."""
+    if result.status is not JobStatus.SUCCEEDED:
+        return False
+    if result.modeled_makespan is None:
+        return True
+    return result.modeled_makespan <= budget
+
+
+def job_successful(result: JobResult, *, budget: float = SLA_MAKESPAN_SECONDS) -> bool:
+    """Alias with the paper's phrasing: a job 'completes successfully'
+    only if it does not break the SLA."""
+    return sla_compliant(result, budget=budget)

@@ -1,0 +1,117 @@
+"""The two-stage workload selection process (paper §2.2.2–2.2.3, Table 1).
+
+Stage one identifies classes of algorithms that are representative of
+real-world graph analysis, from two literature surveys over ten
+conferences (VLDB, SIGMOD, SC, PPoPP, ...): one of 124 articles on
+unweighted graphs (conducted for [20]) and one of 44 articles on
+weighted graphs (conducted for the paper). Stage two selects algorithms
+from the most common classes such that the selection is *diverse* —
+covering a variety of computation and communication patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "SurveyClass",
+    "SURVEY_UNWEIGHTED",
+    "SURVEY_WEIGHTED",
+    "survey_table",
+    "two_stage_selection",
+    "CORE_ALGORITHM_SELECTION",
+]
+
+
+@dataclass(frozen=True)
+class SurveyClass:
+    """One algorithm class with its literature occurrence count."""
+
+    name: str
+    count: int
+    #: Candidate core algorithms in this class (empty for classes the
+    #: selection skipped as non-representative or too narrow).
+    candidates: Tuple[str, ...] = ()
+
+    def percentage(self, total: int) -> float:
+        return 100.0 * self.count / total
+
+
+#: Table 1, upper half: survey of articles on unweighted graphs
+#: (124 articles; one article may contain multiple algorithms).
+SURVEY_UNWEIGHTED: Tuple[SurveyClass, ...] = (
+    SurveyClass("Statistics", 24, ("pr", "lcc")),
+    SurveyClass("Traversal", 69, ("bfs",)),
+    SurveyClass("Components", 20, ("wcc", "cdlp")),
+    SurveyClass("Graph Evolution", 6),
+    SurveyClass("Other", 22),
+)
+
+#: Table 1, lower half: survey of articles on weighted graphs (44 articles).
+SURVEY_WEIGHTED: Tuple[SurveyClass, ...] = (
+    SurveyClass("Distances/Paths", 17, ("sssp",)),
+    SurveyClass("Clustering", 7),
+    SurveyClass("Partitioning", 5),
+    SurveyClass("Routing", 5),
+    SurveyClass("Other", 16),
+)
+
+#: The paper's resulting selection, with the diversity rationale of each
+#: algorithm (computation/communication pattern coverage).
+CORE_ALGORITHM_SELECTION: Dict[str, str] = {
+    "bfs": "data-dependent frontier traversal, few active vertices per step",
+    "pr": "stationary iteration, all vertices active, dense communication",
+    "wcc": "label convergence, diminishing activity over time",
+    "cdlp": "iteration with per-vertex histogram aggregation",
+    "lcc": "neighborhood intersection, degree-quadratic work",
+    "sssp": "weighted priority traversal on double-precision properties",
+}
+
+
+def survey_table() -> List[Dict[str, object]]:
+    """Table 1 rows: class, selected candidates, count, percentage."""
+    rows: List[Dict[str, object]] = []
+    for survey_name, survey in (
+        ("Unweighted", SURVEY_UNWEIGHTED),
+        ("Weighted", SURVEY_WEIGHTED),
+    ):
+        total = sum(c.count for c in survey)
+        for cls in survey:
+            rows.append(
+                {
+                    "survey": survey_name,
+                    "class": cls.name,
+                    "candidates": tuple(c.upper() for c in cls.candidates),
+                    "count": cls.count,
+                    "percentage": round(cls.percentage(total), 1),
+                }
+            )
+    return rows
+
+
+def two_stage_selection(
+    *,
+    min_class_share: float = 0.10,
+    max_per_class: int = 2,
+) -> List[str]:
+    """Run the two-stage process and return the selected acronyms.
+
+    Stage 1: keep classes whose literature share is at least
+    ``min_class_share`` (representativeness). Stage 2: from each kept
+    class take up to ``max_per_class`` candidate algorithms with distinct
+    computation patterns (diversity). With the paper's survey data and
+    defaults this reproduces exactly the six core algorithms.
+    """
+    selected: List[str] = []
+    for survey in (SURVEY_UNWEIGHTED, SURVEY_WEIGHTED):
+        total = sum(c.count for c in survey)
+        for cls in survey:
+            if cls.name == "Other":
+                continue  # not a coherent class; never selectable
+            if cls.count / total < min_class_share:
+                continue
+            for algorithm in cls.candidates[:max_per_class]:
+                if algorithm not in selected:
+                    selected.append(algorithm)
+    return selected

@@ -1,0 +1,59 @@
+"""Simulated graph-analysis platforms (paper §3.1, Table 5).
+
+Each driver implements the Graphalytics driver API (upload / execute /
+retrieve / delete) against a *real* in-process execution of the reference
+algorithms, while full-scale run-times, memory demands, and failures come
+from a calibrated per-platform performance model — see DESIGN.md §2 for
+the substitution rationale and calibration sources.
+"""
+
+from repro.platforms.cluster import MachineSpec, ClusterResources, DAS5_MACHINE
+from repro.platforms.base import (
+    PlatformDriver,
+    PlatformInfo,
+    UploadHandle,
+    JobResult,
+    JobStatus,
+)
+from repro.platforms.model import PerformanceModel, WorkloadProfile
+from repro.platforms.registry import (
+    PLATFORMS,
+    get_platform,
+    platform_names,
+    create_driver,
+)
+from repro.platforms.partitioning import (
+    PartitionStats,
+    hash_edge_cut,
+    greedy_vertex_cut,
+    compare_strategies,
+)
+from repro.platforms.tuning import (
+    TuningDecision,
+    recommend_resources,
+    capacity_frontier,
+)
+
+__all__ = [
+    "MachineSpec",
+    "ClusterResources",
+    "DAS5_MACHINE",
+    "PlatformDriver",
+    "PlatformInfo",
+    "UploadHandle",
+    "JobResult",
+    "JobStatus",
+    "PerformanceModel",
+    "WorkloadProfile",
+    "PLATFORMS",
+    "get_platform",
+    "platform_names",
+    "create_driver",
+    "PartitionStats",
+    "hash_edge_cut",
+    "greedy_vertex_cut",
+    "compare_strategies",
+    "TuningDecision",
+    "recommend_resources",
+    "capacity_frontier",
+]

@@ -1,0 +1,384 @@
+"""The Graphalytics driver API (paper Figure 1, component 10).
+
+A platform driver integrates the harness with one graph-analysis
+platform. The harness instructs the driver to *upload* graphs (including
+format conversion), *execute* an algorithm with given parameters and
+resources, and return the output for validation.
+
+In this reproduction every driver really executes the algorithm — the
+reference kernels run in-process on the materialized miniature graph, so
+outputs are genuine and validated — while the full-scale run-times,
+memory demands, and failures are produced by the driver's calibrated
+:class:`~repro.platforms.model.PerformanceModel`. Both sides are kept
+strictly separate in the result record (``measured_*`` vs ``modeled_*``).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.algorithms.registry import ALGORITHMS, get_algorithm
+from repro.graph.graph import Graph
+from repro.platforms.cluster import ClusterResources
+from repro.platforms.model import PerformanceModel, WorkloadProfile
+
+__all__ = [
+    "JobStatus",
+    "PlatformInfo",
+    "UploadHandle",
+    "JobResult",
+    "PlatformDriver",
+    "profile_from_graph",
+]
+
+
+class JobStatus(enum.Enum):
+    """Terminal state of one benchmark job."""
+
+    SUCCEEDED = "succeeded"
+    FAILED_MEMORY = "failed-memory"
+    CRASHED = "crashed"
+    NOT_SUPPORTED = "not-supported"
+
+
+@dataclass(frozen=True)
+class PlatformInfo:
+    """Static platform roster entry (paper Table 5)."""
+
+    name: str
+    vendor: str
+    language: str
+    programming_model: str
+    origin: str          # "community" or "industry"
+    distributed: bool    # supports multi-machine deployments
+    version: str
+
+    @property
+    def type_code(self) -> str:
+        """Table 5 code, e.g. ``C, D`` or ``I, S``."""
+        first = "C" if self.origin == "community" else "I"
+        second = "D" if self.distributed else "S"
+        return f"{first}, {second}"
+
+
+@dataclass
+class UploadHandle:
+    """A graph uploaded (converted) into a platform's internal format."""
+
+    graph: Graph
+    profile: WorkloadProfile
+    platform: str
+    modeled_upload_time: float
+    measured_upload_seconds: float
+    deleted: bool = False
+
+
+@dataclass
+class JobResult:
+    """Everything recorded about one (platform, algorithm, dataset) job."""
+
+    platform: str
+    algorithm: str
+    dataset: str
+    resources: ClusterResources
+    status: JobStatus
+    failure_reason: str = ""
+    run_index: int = 0
+    backend: str = ""                 # e.g. GraphMat "S" / "D"
+    # modeled, full scale (seconds / bytes)
+    modeled_processing_time: Optional[float] = None
+    modeled_makespan: Optional[float] = None
+    modeled_upload_time: Optional[float] = None
+    modeled_memory_demand: Optional[float] = None
+    # measured on this machine, miniature scale (seconds)
+    measured_processing_seconds: Optional[float] = None
+    # real algorithm output on the miniature graph (dense-index array)
+    output: Optional[np.ndarray] = None
+    # Granula-consumable event log: [{"phase", "start", "end", ...}, ...]
+    events: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status is JobStatus.SUCCEEDED
+
+    def as_record(self) -> Dict[str, object]:
+        """Flat dict for the results database (no arrays)."""
+        return {
+            "platform": self.platform,
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "machines": self.resources.machines,
+            "threads": self.resources.threads_per_machine,
+            "status": self.status.value,
+            "failure_reason": self.failure_reason,
+            "run_index": self.run_index,
+            "backend": self.backend,
+            "modeled_processing_time": self.modeled_processing_time,
+            "modeled_makespan": self.modeled_makespan,
+            "modeled_upload_time": self.modeled_upload_time,
+            "modeled_memory_demand": self.modeled_memory_demand,
+            "measured_processing_seconds": self.measured_processing_seconds,
+        }
+
+
+def profile_from_graph(
+    graph: Graph,
+    *,
+    name: str = "",
+    memory_skew: Optional[float] = None,
+    bfs_coverage: float = 0.95,
+) -> WorkloadProfile:
+    """Derive a workload profile by measuring a (miniature) graph.
+
+    Used when benchmarking a user-supplied graph that has no registry
+    entry: degree moments and component counts are measured directly;
+    ``memory_skew`` defaults to a heuristic on the degree skew.
+    """
+    from repro.algorithms.wcc import weakly_connected_components
+
+    degrees = graph.degrees().astype(np.float64)
+    mean_degree = float(degrees.mean()) if len(degrees) else 0.0
+    if mean_degree > 0:
+        cv2 = float(degrees.var() / mean_degree ** 2)
+    else:
+        cv2 = 0.0
+    if memory_skew is None:
+        memory_skew = 1.0 + min(3.0, cv2 / 10.0)
+    components = len(np.unique(weakly_connected_components(graph))) if graph.num_vertices else 0
+    return WorkloadProfile(
+        name=name or graph.name or "user-graph",
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        directed=graph.directed,
+        weighted=graph.is_weighted,
+        mean_degree=mean_degree,
+        degree_cv2=cv2,
+        memory_skew=float(memory_skew),
+        bfs_coverage=bfs_coverage,
+        component_count=components,
+    )
+
+
+class PlatformDriver:
+    """Base driver: upload / execute / delete against a simulated platform.
+
+    Subclasses provide ``info`` and ``model`` and may override the quirk
+    hooks (:meth:`_select_backend`, :attr:`crash_algorithms`,
+    :attr:`unsupported_algorithms`, :meth:`_native_runner`).
+
+    ``execution`` selects what actually computes the output on the
+    miniature graph: ``"reference"`` (default) runs the vectorized
+    reference kernels; ``"native"`` runs the platform's own programming
+    model — the Pregel, GAS, or SpMV engine of :mod:`repro.engines` —
+    where the subclass provides one. Outputs are validation-equivalent
+    either way (enforced by the engine test suite); native mode is
+    slower but executes the model the platform is named after.
+    """
+
+    #: Algorithms whose vendor implementation is missing (PGX.D: LCC).
+    unsupported_algorithms: frozenset = frozenset()
+    #: Algorithms whose implementation crashes (GraphX: CDLP, §4.2).
+    crash_algorithms: frozenset = frozenset()
+
+    def __init__(
+        self,
+        info: PlatformInfo,
+        model: PerformanceModel,
+        *,
+        execution: str = "reference",
+    ):
+        if execution not in ("reference", "native"):
+            raise ConfigurationError(
+                f"execution must be 'reference' or 'native', got {execution!r}"
+            )
+        self.info = info
+        self.model = model
+        self.execution = execution
+
+    def _native_runner(self, algorithm: str):
+        """A callable(graph, params) for native-model execution, or None."""
+        return None
+
+    def _run_algorithm(self, algorithm: str, graph: Graph, params):
+        if self.execution == "native":
+            runner = self._native_runner(algorithm)
+            if runner is not None:
+                return runner(graph, dict(params or {}))
+        return get_algorithm(algorithm).run(graph, params)
+
+    # -- capability -------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.info.name
+
+    def supported_algorithms(self) -> frozenset:
+        return frozenset(ALGORITHMS) - self.unsupported_algorithms
+
+    def supports(self, algorithm: str) -> bool:
+        return algorithm.lower() in self.supported_algorithms()
+
+    def validate_resources(self, resources: ClusterResources) -> None:
+        if resources.machines > 1 and not self.info.distributed:
+            raise ConfigurationError(
+                f"{self.name} is a non-distributed platform; it cannot use "
+                f"{resources.machines} machines"
+            )
+
+    # -- driver API ----------------------------------------------------------
+
+    def upload(
+        self, graph: Graph, profile: Optional[WorkloadProfile] = None
+    ) -> UploadHandle:
+        """Convert a graph into the platform's format.
+
+        The conversion truly runs (the Graph's CSR arrays are what the
+        in-process execution consumes); the modeled time covers the
+        full-scale dataset.
+        """
+        if profile is None:
+            profile = profile_from_graph(graph)
+        started = time.perf_counter()
+        # Touch the adjacency so the conversion cost is real, not lazy.
+        _ = graph.out_indptr[-1], graph.in_indptr[-1]
+        elapsed = time.perf_counter() - started
+        return UploadHandle(
+            graph=graph,
+            profile=profile,
+            platform=self.name,
+            modeled_upload_time=self.model.upload_time(profile),
+            measured_upload_seconds=elapsed,
+        )
+
+    def delete(self, handle: UploadHandle) -> None:
+        """Release an uploaded graph."""
+        handle.deleted = True
+
+    def _select_backend(self, algorithm: str, resources: ClusterResources) -> str:
+        """Backend label recorded in results (overridden by GraphMat)."""
+        return ""
+
+    def execute(
+        self,
+        handle: UploadHandle,
+        algorithm: str,
+        params: Optional[Mapping[str, object]] = None,
+        resources: Optional[ClusterResources] = None,
+        *,
+        run_index: int = 0,
+        seed: int = 0,
+    ) -> JobResult:
+        """Run one algorithm job; never raises for modeled failures."""
+        if handle.deleted:
+            raise ConfigurationError("graph was deleted from the platform")
+        algorithm = algorithm.lower()
+        resources = resources or ClusterResources()
+        self.validate_resources(resources)
+        profile = handle.profile
+        backend = self._select_backend(algorithm, resources)
+
+        def _result(status: JobStatus, reason: str = "", **kwargs) -> JobResult:
+            return JobResult(
+                platform=self.name,
+                algorithm=algorithm,
+                dataset=profile.name,
+                resources=resources,
+                status=status,
+                failure_reason=reason,
+                run_index=run_index,
+                backend=backend,
+                modeled_upload_time=handle.modeled_upload_time,
+                **kwargs,
+            )
+
+        if algorithm in self.unsupported_algorithms:
+            return _result(
+                JobStatus.NOT_SUPPORTED,
+                f"{self.name} provides no {algorithm.upper()} implementation",
+            )
+        get_algorithm(algorithm)  # raises for unknown acronyms
+        if algorithm in self.crash_algorithms:
+            return _result(
+                JobStatus.CRASHED,
+                f"{self.name}'s {algorithm.upper()} implementation crashes",
+            )
+        demand = self.model.memory_demand_per_machine(algorithm, profile, resources)
+        capacity = self.model.memory_capacity_per_machine(resources)
+        if demand > capacity:
+            return _result(
+                JobStatus.FAILED_MEMORY,
+                f"needs {demand / 2**30:.1f} GiB/machine, capacity "
+                f"{capacity / 2**30:.1f} GiB",
+                modeled_memory_demand=demand,
+            )
+
+        # Real execution on the miniature graph (reference kernels, or
+        # the platform's own programming model in native mode).
+        started = time.perf_counter()
+        output = self._run_algorithm(algorithm, handle.graph, params)
+        measured = time.perf_counter() - started
+
+        tproc = self.model.processing_time(algorithm, profile, resources)
+        tproc = self.model.apply_variability(
+            tproc,
+            resources,
+            seed_key=(
+                seed,
+                self.name,
+                algorithm,
+                profile.name,
+                resources.machines,
+                resources.threads_per_machine,
+                run_index,
+            ),
+        )
+        makespan = self.model.makespan(
+            algorithm, profile, resources, processing_time=tproc
+        )
+        result = _result(
+            JobStatus.SUCCEEDED,
+            modeled_processing_time=tproc,
+            modeled_makespan=makespan,
+            modeled_memory_demand=demand,
+            measured_processing_seconds=measured,
+            output=output,
+        )
+        result.events = self._build_events(algorithm, profile, tproc, makespan)
+        return result
+
+    def _build_events(
+        self,
+        algorithm: str,
+        profile: WorkloadProfile,
+        tproc: float,
+        makespan: float,
+    ) -> List[Dict[str, object]]:
+        """Granula-consumable phase log on the modeled timeline."""
+        startup_end = self.model.fixed_overhead
+        load_end = startup_end + self.model.load_time(profile)
+        proc_end = load_end + tproc
+        return [
+            {"phase": "startup", "start": 0.0, "end": startup_end},
+            {
+                "phase": "load",
+                "start": startup_end,
+                "end": load_end,
+                "elements": profile.elements,
+            },
+            {
+                "phase": "processing",
+                "start": load_end,
+                "end": proc_end,
+                "algorithm": algorithm,
+            },
+            {"phase": "cleanup", "start": proc_end, "end": makespan},
+        ]
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} ({self.info.type_code})>"

@@ -1,0 +1,80 @@
+"""Hardware model of the benchmarking environment (paper §3.2, Table 7).
+
+DAS-5 compute nodes: 2× Intel Xeon E5-2630 (16 cores, 32 threads with
+Hyper-Threading), 64 GiB memory, 1 Gbit/s Ethernet + FDR InfiniBand.
+The perf models consume these resource descriptions: core counts drive
+the vertical-scaling experiments, memory capacity drives stress-test and
+out-of-memory failures, machine counts drive horizontal scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["MachineSpec", "ClusterResources", "DAS5_MACHINE"]
+
+GIB = 2 ** 30
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One compute node."""
+
+    name: str
+    cores: int
+    threads: int  # hardware threads incl. Hyper-Threading
+    memory_bytes: int
+    network_gbps: float
+
+    def __post_init__(self):
+        if self.cores < 1 or self.threads < self.cores:
+            raise ConfigurationError("need threads >= cores >= 1")
+        if self.memory_bytes <= 0:
+            raise ConfigurationError("memory must be positive")
+
+
+#: The DAS-5 node used for all paper experiments (Table 7).
+DAS5_MACHINE = MachineSpec(
+    name="DAS-5 (2x Xeon E5-2630)",
+    cores=16,
+    threads=32,
+    memory_bytes=64 * GIB,
+    network_gbps=1.0,
+)
+
+
+@dataclass(frozen=True)
+class ClusterResources:
+    """Resources granted to one benchmark job."""
+
+    machines: int = 1
+    threads: int = None  # type: ignore[assignment]  # None = all hw threads
+    machine: MachineSpec = DAS5_MACHINE
+
+    def __post_init__(self):
+        if self.machines < 1:
+            raise ConfigurationError("machines must be >= 1")
+        if self.threads is not None and not 1 <= self.threads <= self.machine.threads:
+            raise ConfigurationError(
+                f"threads must be in [1, {self.machine.threads}], got {self.threads}"
+            )
+
+    @property
+    def threads_per_machine(self) -> int:
+        return self.threads if self.threads is not None else self.machine.threads
+
+    @property
+    def distributed(self) -> bool:
+        return self.machines > 1
+
+    @property
+    def total_memory_bytes(self) -> int:
+        return self.machines * self.machine.memory_bytes
+
+    def describe(self) -> str:
+        return (
+            f"{self.machines} x {self.machine.name}, "
+            f"{self.threads_per_machine} threads/machine"
+        )

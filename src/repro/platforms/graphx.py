@@ -1,0 +1,63 @@
+"""Apache GraphX driver (community, distributed, Spark RDDs).
+
+Calibration anchors (paper):
+* Table 8 — BFS on D300(L): Tproc 101.5 s, makespan 298.3 s. The
+  slowest platform throughout Figure 4.
+* §4.2 — "GraphX is unable to complete CDLP", failing even on R4(S):
+  modeled as a crashing implementation.
+* Table 9 — vertical speedups 4.5 (BFS) / 2.9 (PR); no HT benefit.
+* §4.4 — needs 2 machines for BFS and 4 for PR on D1000 (memory);
+  speedup 2.3 with 8× resources (BFS), 1.2 with 4× (PR) — "no
+  performance increase past 4 machines".
+* §4.5 — worst weak-scaling slowdown of all platforms (15.2×).
+* Table 10 — smallest failing dataset G25 (8.7): the heaviest per-element
+  footprint (RDD lineage + boxing) with strong skew sensitivity.
+* Table 11 — CV 2.6% / 4.5%.
+"""
+
+from __future__ import annotations
+
+from repro.platforms.base import PlatformDriver, PlatformInfo
+from repro.platforms.model import PerformanceModel
+
+__all__ = ["GraphXDriver", "GRAPHX_INFO", "GRAPHX_MODEL"]
+
+GRAPHX_INFO = PlatformInfo(
+    name="GraphX",
+    vendor="Apache",
+    language="Scala",
+    programming_model="Spark",
+    origin="community",
+    distributed=True,
+    version="1.6.0",
+)
+
+GRAPHX_MODEL = PerformanceModel(
+    base_evps=3.16e6,
+    tproc_floor=4.0,
+    algorithm_adjust={"pr": 0.45, "wcc": 0.9, "lcc": 3.0, "sssp": 1.3},
+    parallel_fraction={"bfs": 0.830, "pr": 0.699, "*": 0.78},
+    ht_yield=0.0,
+    dist_shock=1.55,
+    dist_exponent={"bfs": 0.35, "pr": 0.13, "*": 0.3},
+    dist_floor=3.0,
+    bytes_per_element=70.0,
+    skew_sensitivity=1.7,
+    boundary_fraction=0.08,
+    replication=0.4,
+    memory_alg_mult={"lcc": 6.0, "pr": 1.45},
+    fixed_overhead=30.0,
+    load_rate=1.85e6,
+    upload_rate=4.0e6,
+    variability_cv_single=0.026,
+    variability_cv_distributed=0.045,
+)
+
+
+class GraphXDriver(PlatformDriver):
+    """Graph processing on Spark resilient distributed datasets."""
+
+    crash_algorithms = frozenset({"cdlp"})
+
+    def __init__(self):
+        super().__init__(GRAPHX_INFO, GRAPHX_MODEL)

@@ -1,0 +1,28 @@
+"""Adapters from algorithm parameters to the programming-model engines.
+
+Used by drivers that support native execution (Giraph -> Pregel,
+PowerGraph -> GAS, GraphMat -> SpMV): maps each algorithm acronym and
+its benchmark-description parameters onto the engine's front-end
+signature. LCC has no engine formulation in any of the three models
+(its neighborhood intersections are not neighborhood-sum shaped), so it
+is absent and native-mode drivers fall back to the reference kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping
+
+__all__ = ["engine_runners"]
+
+
+def engine_runners(module) -> Dict[str, Callable]:
+    """Acronym -> callable(graph, params) over one engine module."""
+    return {
+        "bfs": lambda g, p: module.run_bfs(g, p["source_vertex"]),
+        "pr": lambda g, p: module.run_pagerank(
+            g, p.get("iterations", 30), p.get("damping", 0.85)
+        ),
+        "wcc": lambda g, p: module.run_wcc(g),
+        "cdlp": lambda g, p: module.run_cdlp(g, p.get("iterations", 10)),
+        "sssp": lambda g, p: module.run_sssp(g, p["source_vertex"]),
+    }

@@ -1,0 +1,60 @@
+"""OpenG driver (industry/Georgia Tech + IBM, hand-written native code).
+
+Calibration anchors (paper):
+* Table 8 — BFS on D300(L): Tproc 1.8 s, makespan 5.4 s — tiny overhead
+  (no JVM, no deployment; loading dominated by raw I/O).
+* §4.1 — "OpenG's queue-based BFS implementation results in a large
+  performance gain over platforms that process all vertices using an
+  iterative algorithm" on R2(XS), whose BFS covers ~10% of the graph:
+  the model scales BFS work by the covered fraction.
+* §4.2 — ~order of magnitude slower than PGX.D/GraphMat for BFS, PR,
+  SSSP; close to them on WCC; *best* on CDLP; one of two platforms that
+  complete LCC.
+* Non-distributed: single machine only (Table 5 type "I, S"; no entry in
+  the distributed rows of Table 11).
+* Table 9 — vertical speedups 6.3 (BFS) / 6.4 (PR).
+* Table 10 — smallest failing dataset R5 (9.3): lean native footprint.
+* Table 11 — CV 4.8% (single).
+"""
+
+from __future__ import annotations
+
+from repro.platforms.base import PlatformDriver, PlatformInfo
+from repro.platforms.model import PerformanceModel
+
+__all__ = ["OpenGDriver", "OPENG_INFO", "OPENG_MODEL"]
+
+OPENG_INFO = PlatformInfo(
+    name="OpenG",
+    vendor="Georgia Tech",
+    language="C++",
+    programming_model="Native code",
+    origin="industry",
+    distributed=False,
+    version="Feb '16",
+)
+
+OPENG_MODEL = PerformanceModel(
+    base_evps=165.5e6,
+    tproc_floor=0.03,
+    algorithm_adjust={"pr": 1.8, "wcc": 0.45, "cdlp": 0.28, "lcc": 0.5, "sssp": 2.0},
+    parallel_fraction={"bfs": 0.897, "pr": 0.900, "*": 0.90},
+    ht_yield=0.0,
+    distributed=False,
+    bytes_per_element=35.0,
+    skew_sensitivity=0.6,
+    memory_alg_mult={"lcc": 2.0},
+    fixed_overhead=0.5,
+    load_rate=100.0e6,
+    upload_rate=20.0e6,
+    variability_cv_single=0.048,
+    variability_cv_distributed=0.0,
+    queue_based_bfs=True,
+)
+
+
+class OpenGDriver(PlatformDriver):
+    """Hand-optimized native kernels (GraphBIG), single machine only."""
+
+    def __init__(self):
+        super().__init__(OPENG_INFO, OPENG_MODEL)

@@ -1,0 +1,70 @@
+"""PGX.D driver (industry/Oracle, distributed push-pull engine).
+
+Calibration anchors (paper):
+* Table 8 — BFS on D300(L): Tproc 0.5 s but makespan 268.7 s — the
+  largest overhead ratio of all platforms (0.2%): slow deployment and
+  graph loading, very fast compute.
+* §4.2 — LCC is not implemented ("NA" in Figure 6); WCC degrades on
+  graphs with many components (push-pull label exchange), modeled via
+  ``wcc_component_penalty``.
+* Table 9 — the best vertical scaler: speedups 15.0 (BFS) / 13.9 (PR),
+  with visible HT benefit (cooperative context-switching).
+* §4.4 — fails both algorithms on a single machine (memory:
+  "specifically optimized for machines with large amounts of cores and
+  memory"); BFS sub-second from 4 machines then scales poorly; PR
+  speedup 3.8 using 8× the baseline.
+* §4.5 — fails multiple weak-scaling configurations due to memory
+  (its large communication buffers are modeled as a high
+  non-partitionable boundary fraction).
+* Table 10 — smallest failing dataset G25 (8.7).
+* Table 11 — CV 8.2% / 7.1% (small absolute deviations, §4.7).
+"""
+
+from __future__ import annotations
+
+from repro.platforms.base import PlatformDriver, PlatformInfo
+from repro.platforms.model import PerformanceModel
+
+__all__ = ["PGXDDriver", "PGXD_INFO", "PGXD_MODEL"]
+
+PGXD_INFO = PlatformInfo(
+    name="PGX.D",
+    vendor="Oracle",
+    language="C++",
+    programming_model="Push-pull",
+    origin="industry",
+    distributed=True,
+    version="Feb '16",
+)
+
+PGXD_MODEL = PerformanceModel(
+    base_evps=770.0e6,
+    tproc_floor=0.1,
+    algorithm_adjust={"pr": 0.9, "wcc": 0.8, "cdlp": 2.2, "sssp": 1.0},
+    parallel_fraction={"bfs": 0.989, "pr": 0.981, "*": 0.985},
+    ht_yield=0.25,
+    dist_shock=1.35,
+    dist_exponent={"bfs": 1.3, "pr": 0.3, "*": 1.0},
+    dist_floor=0.35,
+    bytes_per_element=75.0,
+    skew_sensitivity=2.0,
+    boundary_fraction=0.35,
+    replication=0.25,
+    memory_alg_mult={"pr": 1.1},
+    swap_threshold=0.85,
+    fixed_overhead=11.0,
+    load_rate=1.2e6,
+    upload_rate=3.0e6,
+    variability_cv_single=0.082,
+    variability_cv_distributed=0.071,
+    wcc_component_penalty=0.35,
+)
+
+
+class PGXDDriver(PlatformDriver):
+    """Push-pull distributed engine with cooperative context switching."""
+
+    unsupported_algorithms = frozenset({"lcc"})
+
+    def __init__(self):
+        super().__init__(PGXD_INFO, PGXD_MODEL)

@@ -1,0 +1,143 @@
+"""Automatic tuning policies (paper Figure 1, box 3).
+
+"The graph analysis platform may optionally include policies to
+automatically tune the system under test for different parts of the
+benchmark workload." The evaluation repeatedly notes the absence of
+such policies — GraphMat "does not select [its backend] autonomously"
+(§4.2), PGX.D "can be tuned to be more memory-efficient, but does not
+do so autonomously" (§4.6). This module supplies the missing policy: a
+resource recommender that walks the platform's own performance model to
+find the cheapest configuration that fits in memory and meets the SLA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.harness.sla import SLA_MAKESPAN_SECONDS
+from repro.platforms.base import PlatformDriver
+from repro.platforms.cluster import ClusterResources
+from repro.platforms.model import WorkloadProfile
+
+__all__ = ["TuningDecision", "recommend_resources", "capacity_frontier"]
+
+
+@dataclass(frozen=True)
+class TuningDecision:
+    """Outcome of one tuning query."""
+
+    feasible: bool
+    resources: Optional[ClusterResources]
+    predicted_tproc: Optional[float]
+    predicted_makespan: Optional[float]
+    predicted_memory_fraction: Optional[float]
+    reason: str
+
+
+def _evaluate(
+    driver: PlatformDriver,
+    algorithm: str,
+    profile: WorkloadProfile,
+    resources: ClusterResources,
+    sla_seconds: float,
+) -> Optional[TuningDecision]:
+    model = driver.model
+    demand = model.memory_demand_per_machine(algorithm, profile, resources)
+    capacity = model.memory_capacity_per_machine(resources)
+    if demand > capacity:
+        return None
+    tproc = model.processing_time(algorithm, profile, resources)
+    makespan = model.makespan(algorithm, profile, resources, processing_time=tproc)
+    if makespan > sla_seconds:
+        return None
+    return TuningDecision(
+        feasible=True,
+        resources=resources,
+        predicted_tproc=tproc,
+        predicted_makespan=makespan,
+        predicted_memory_fraction=demand / capacity,
+        reason=(
+            f"{resources.machines} machine(s): fits memory at "
+            f"{100 * demand / capacity:.0f}%, makespan "
+            f"{makespan:.0f} s within the SLA"
+        ),
+    )
+
+
+def recommend_resources(
+    driver: PlatformDriver,
+    algorithm: str,
+    profile: WorkloadProfile,
+    *,
+    machine_options: Sequence[int] = (1, 2, 4, 8, 16),
+    sla_seconds: float = SLA_MAKESPAN_SECONDS,
+) -> TuningDecision:
+    """The smallest machine count that fits memory and meets the SLA.
+
+    This is the paper's definition of a workload's *baseline* resources
+    ("the minimum amount of resources needed by the platform to
+    successfully complete the workload", §2.3), computed from the model
+    instead of discovered by trial runs.
+    """
+    if not machine_options:
+        raise ConfigurationError("machine_options must be non-empty")
+    if not driver.supports(algorithm):
+        return TuningDecision(
+            False, None, None, None, None,
+            f"{driver.name} has no {algorithm.upper()} implementation",
+        )
+    if algorithm in driver.crash_algorithms:
+        return TuningDecision(
+            False, None, None, None, None,
+            f"{driver.name}'s {algorithm.upper()} implementation crashes",
+        )
+    options = sorted(set(int(m) for m in machine_options))
+    if not driver.info.distributed:
+        options = [m for m in options if m == 1]
+        if not options:
+            return TuningDecision(
+                False, None, None, None, None,
+                f"{driver.name} is single-machine only",
+            )
+    for machines in options:
+        decision = _evaluate(
+            driver, algorithm, profile, ClusterResources(machines=machines),
+            sla_seconds,
+        )
+        if decision is not None:
+            return decision
+    return TuningDecision(
+        False, None, None, None, None,
+        f"no configuration up to {options[-1]} machine(s) fits memory and "
+        f"the SLA",
+    )
+
+
+def capacity_frontier(
+    driver: PlatformDriver,
+    algorithm: str,
+    profile: WorkloadProfile,
+    *,
+    machine_options: Sequence[int] = (1, 2, 4, 8, 16),
+    sla_seconds: float = SLA_MAKESPAN_SECONDS,
+) -> Tuple[Tuple[int, Optional[float]], ...]:
+    """(machines, predicted Tproc or None-if-infeasible) per option.
+
+    The raw material for capacity planning: where the feasibility
+    frontier sits and how Tproc moves past it.
+    """
+    frontier = []
+    for machines in sorted(set(int(m) for m in machine_options)):
+        if machines > 1 and not driver.info.distributed:
+            frontier.append((machines, None))
+            continue
+        decision = _evaluate(
+            driver, algorithm, profile, ClusterResources(machines=machines),
+            sla_seconds,
+        )
+        frontier.append(
+            (machines, decision.predicted_tproc if decision else None)
+        )
+    return tuple(frontier)

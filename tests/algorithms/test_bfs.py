@@ -1,0 +1,89 @@
+"""Tests for breadth-first search."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.algorithms.bfs import BFS_UNREACHABLE, breadth_first_search
+from repro.graph.generators import binary_tree, cycle_graph, path_graph
+from repro.graph.graph import Graph
+
+
+class TestAnalyticCases:
+    def test_path_depths(self, path5):
+        depths = breadth_first_search(path5, 0)
+        assert depths.tolist() == [0, 1, 2, 3, 4]
+
+    def test_path_from_middle(self, path5):
+        depths = breadth_first_search(path5, 2)
+        assert depths.tolist() == [2, 1, 0, 1, 2]
+
+    def test_cycle_wraps(self):
+        depths = breadth_first_search(cycle_graph(8), 0)
+        assert depths.max() == 4
+
+    def test_binary_tree_levels(self):
+        tree = binary_tree(3)
+        depths = breadth_first_search(tree, 0)
+        for v in range(tree.num_vertices):
+            expected = int(np.floor(np.log2(v + 1)))
+            assert depths[tree.index_of(v)] == expected
+
+    def test_source_is_zero(self, k4):
+        assert breadth_first_search(k4, 2)[k4.index_of(2)] == 0
+
+    def test_unreachable_marker(self, two_triangles):
+        depths = breadth_first_search(two_triangles, 0)
+        assert depths[two_triangles.index_of(10)] == BFS_UNREACHABLE
+        assert depths[two_triangles.index_of(1)] == 1
+
+    def test_unreachable_is_max_int64(self):
+        assert BFS_UNREACHABLE == np.iinfo(np.int64).max
+
+
+class TestDirected:
+    def test_follows_out_edges_only(self):
+        g = Graph.from_edges([(0, 1), (2, 1)], directed=True)
+        depths = breadth_first_search(g, 0)
+        assert depths[g.index_of(1)] == 1
+        assert depths[g.index_of(2)] == BFS_UNREACHABLE
+
+    def test_directed_chain(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)], directed=True)
+        assert breadth_first_search(g, 0).tolist() == [0, 1, 2, 3]
+
+    def test_reverse_direction_unreachable(self):
+        g = Graph.from_edges([(0, 1), (1, 2)], directed=True)
+        depths = breadth_first_search(g, 2)
+        assert depths[g.index_of(0)] == BFS_UNREACHABLE
+
+
+class TestValidation:
+    def test_unknown_source(self, path5):
+        with pytest.raises(GraphFormatError, match="source vertex"):
+            breadth_first_search(path5, 42)
+
+    def test_isolated_source(self):
+        g = Graph.from_edges([(1, 2)], directed=False, vertices=[0, 1, 2])
+        depths = breadth_first_search(g, 0)
+        assert depths[g.index_of(0)] == 0
+        assert depths[g.index_of(1)] == BFS_UNREACHABLE
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("fixture", ["er_undirected", "er_directed"])
+    def test_matches_networkx(self, fixture, request, nx_converter):
+        import networkx as nx
+
+        graph = request.getfixturevalue(fixture)
+        source = int(graph.vertex_ids[0])
+        ours = breadth_first_search(graph, source)
+        expected = nx.single_source_shortest_path_length(
+            nx_converter(graph), source
+        )
+        for idx in range(graph.num_vertices):
+            vid = graph.id_of(idx)
+            if vid in expected:
+                assert ours[idx] == expected[vid]
+            else:
+                assert ours[idx] == BFS_UNREACHABLE

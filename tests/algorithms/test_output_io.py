@@ -1,0 +1,104 @@
+"""Tests for reference-output file I/O and file-level validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphFormatError, ValidationError
+from repro.algorithms.bfs import BFS_UNREACHABLE, breadth_first_search
+from repro.algorithms.output_io import (
+    align_output,
+    read_output,
+    validate_output_file,
+    write_output,
+)
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.sssp import single_source_shortest_paths
+
+
+class TestRoundTrip:
+    def test_bfs_with_unreachable(self, two_triangles, tmp_path):
+        depths = breadth_first_search(two_triangles, 0)
+        path = write_output(two_triangles, depths, tmp_path / "bfs.out",
+                            algorithm="bfs")
+        mapping = read_output(path, algorithm="bfs")
+        assert mapping[10] == BFS_UNREACHABLE
+        aligned = align_output(two_triangles, mapping, algorithm="bfs")
+        assert np.array_equal(aligned, depths)
+
+    def test_pagerank_float_precision(self, er_undirected, tmp_path):
+        ranks = pagerank(er_undirected, iterations=20)
+        path = write_output(er_undirected, ranks, tmp_path / "pr.out",
+                            algorithm="pr")
+        aligned = align_output(
+            er_undirected, read_output(path, algorithm="pr"), algorithm="pr"
+        )
+        # repr round-trip is bit exact for doubles.
+        assert np.array_equal(aligned, ranks)
+
+    def test_sssp_infinity_spelled_out(self, tmp_path):
+        from repro.graph.graph import Graph
+
+        g = Graph.from_edges([(0, 1)], directed=False, weights=[1.0],
+                             vertices=[0, 1, 5])
+        dist = single_source_shortest_paths(g, 0)
+        path = write_output(g, dist, tmp_path / "sssp.out", algorithm="sssp")
+        assert "infinity" in path.read_text()
+        mapping = read_output(path, algorithm="sssp")
+        assert mapping[5] == float("inf")
+
+
+class TestValidationErrors:
+    def test_wrong_length_rejected(self, path5, tmp_path):
+        with pytest.raises(ValidationError, match="values for"):
+            write_output(path5, np.array([1, 2]), tmp_path / "x", algorithm="bfs")
+
+    def test_malformed_line(self, tmp_path):
+        (tmp_path / "bad.out").write_text("0 1 2\n")
+        with pytest.raises(GraphFormatError, match="expected 2 fields"):
+            read_output(tmp_path / "bad.out", algorithm="bfs")
+
+    def test_duplicate_vertex(self, tmp_path):
+        (tmp_path / "dup.out").write_text("0 1\n0 2\n")
+        with pytest.raises(GraphFormatError, match="duplicate vertex"):
+            read_output(tmp_path / "dup.out", algorithm="bfs")
+
+    def test_non_numeric_value(self, tmp_path):
+        (tmp_path / "bad.out").write_text("0 abc\n")
+        with pytest.raises(GraphFormatError):
+            read_output(tmp_path / "bad.out", algorithm="pr")
+
+    def test_align_missing_vertex(self, path5):
+        with pytest.raises(ValidationError, match="missing"):
+            align_output(path5, {0: 1, 1: 2}, algorithm="bfs")
+
+    def test_align_extra_vertex(self, path5):
+        mapping = {int(v): 0 for v in path5.vertex_ids}
+        mapping[999] = 0
+        with pytest.raises(ValidationError, match="extra"):
+            align_output(path5, mapping, algorithm="bfs")
+
+
+class TestValidateOutputFile:
+    def test_valid_file_passes(self, er_undirected, tmp_path):
+        depths = breadth_first_search(er_undirected, 0)
+        path = write_output(er_undirected, depths, tmp_path / "out",
+                            algorithm="bfs")
+        validate_output_file(er_undirected, path, depths, algorithm="bfs")
+
+    def test_tampered_file_fails(self, er_undirected, tmp_path):
+        depths = breadth_first_search(er_undirected, 0)
+        tampered = depths.copy()
+        tampered[3] += 1
+        path = write_output(er_undirected, tampered, tmp_path / "out",
+                            algorithm="bfs")
+        with pytest.raises(ValidationError):
+            validate_output_file(er_undirected, path, depths, algorithm="bfs")
+
+    def test_relabeled_wcc_file_passes(self, two_triangles, tmp_path):
+        from repro.algorithms.wcc import weakly_connected_components
+
+        labels = weakly_connected_components(two_triangles)
+        relabeled = np.where(labels == 0, 777, labels)
+        path = write_output(two_triangles, relabeled, tmp_path / "out",
+                            algorithm="wcc")
+        validate_output_file(two_triangles, path, labels, algorithm="wcc")

@@ -1,0 +1,87 @@
+"""Tests for PageRank."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GenerationError
+from repro.algorithms.pagerank import pagerank
+from repro.graph.generators import complete_graph, cycle_graph, star_graph
+from repro.graph.graph import Graph
+
+
+class TestInvariants:
+    def test_ranks_sum_to_one(self, er_directed):
+        ranks = pagerank(er_directed, iterations=40)
+        assert ranks.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_ranks_positive(self, er_undirected):
+        assert np.all(pagerank(er_undirected) > 0)
+
+    def test_symmetric_graph_uniform(self):
+        ranks = pagerank(cycle_graph(10), iterations=50)
+        assert np.allclose(ranks, 0.1)
+
+    def test_complete_graph_uniform(self):
+        ranks = pagerank(complete_graph(5), iterations=50)
+        assert np.allclose(ranks, 0.2)
+
+    def test_hub_ranks_highest(self):
+        g = star_graph(8)
+        ranks = pagerank(g, iterations=50)
+        hub = g.index_of(0)
+        assert np.argmax(ranks) == hub
+
+    def test_zero_iterations_is_uniform(self, er_undirected):
+        ranks = pagerank(er_undirected, iterations=0)
+        assert np.allclose(ranks, 1.0 / er_undirected.num_vertices)
+
+    def test_deterministic(self, er_directed):
+        a = pagerank(er_directed)
+        b = pagerank(er_directed)
+        assert np.array_equal(a, b)
+
+
+class TestDanglingVertices:
+    def test_dangling_mass_redistributed(self):
+        # 0 -> 1, vertex 1 is dangling; rank must still sum to 1.
+        g = Graph.from_edges([(0, 1)], directed=True)
+        ranks = pagerank(g, iterations=60)
+        assert ranks.sum() == pytest.approx(1.0, abs=1e-9)
+        # The sink receives everything the source passes on.
+        assert ranks[g.index_of(1)] > ranks[g.index_of(0)]
+
+    def test_all_dangling_uniform(self):
+        g = Graph.from_edges([], directed=True, vertices=[0, 1, 2])
+        ranks = pagerank(g, iterations=20)
+        assert np.allclose(ranks, 1.0 / 3.0)
+
+
+class TestParameters:
+    def test_damping_zero_uniform(self, er_directed):
+        ranks = pagerank(er_directed, iterations=10, damping=0.0)
+        assert np.allclose(ranks, 1.0 / er_directed.num_vertices)
+
+    def test_invalid_damping(self, er_directed):
+        with pytest.raises(GenerationError):
+            pagerank(er_directed, damping=1.5)
+
+    def test_negative_iterations(self, er_directed):
+        with pytest.raises(GenerationError):
+            pagerank(er_directed, iterations=-1)
+
+    def test_empty_graph(self):
+        g = Graph.from_edges([], directed=True, vertices=[])
+        assert len(pagerank(g)) == 0
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("fixture", ["er_undirected", "er_directed"])
+    def test_matches_networkx(self, fixture, request, nx_converter):
+        import networkx as nx
+
+        graph = request.getfixturevalue(fixture)
+        ours = pagerank(graph, iterations=100)
+        nxg = nx_converter(graph)
+        expected = nx.pagerank(nxg, alpha=0.85, max_iter=200, tol=1e-12)
+        for idx in range(graph.num_vertices):
+            assert ours[idx] == pytest.approx(expected[graph.id_of(idx)], rel=1e-4)

@@ -1,0 +1,84 @@
+"""Tests for the algorithm registry and uniform dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, UnsupportedAlgorithmError
+from repro.algorithms.registry import (
+    ALGORITHMS,
+    UNWEIGHTED_ALGORITHMS,
+    WEIGHTED_ALGORITHMS,
+    get_algorithm,
+    run_reference,
+)
+
+
+class TestCatalog:
+    def test_six_core_algorithms(self):
+        assert set(ALGORITHMS) == {"bfs", "pr", "wcc", "cdlp", "lcc", "sssp"}
+
+    def test_five_unweighted_one_weighted(self):
+        # Paper §2.2.3: five core algorithms for unweighted graphs and a
+        # single core algorithm for weighted graphs.
+        assert len(UNWEIGHTED_ALGORITHMS) == 5
+        assert WEIGHTED_ALGORITHMS == ("sssp",)
+
+    def test_only_sssp_needs_weights(self):
+        for acronym, spec in ALGORITHMS.items():
+            assert spec.weighted == (acronym == "sssp")
+
+    def test_lcc_is_quadratic(self):
+        assert get_algorithm("lcc").quadratic_in_degree
+        assert not get_algorithm("bfs").quadratic_in_degree
+
+    def test_survey_classes_recorded(self):
+        assert get_algorithm("bfs").survey_class == "Traversal"
+        assert get_algorithm("sssp").survey_class == "Distances/Paths"
+
+    def test_case_insensitive_lookup(self):
+        assert get_algorithm("BFS").acronym == "bfs"
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(UnsupportedAlgorithmError):
+            get_algorithm("dijkstra")
+
+
+class TestDispatch:
+    def test_run_bfs(self, path5):
+        depths = run_reference("bfs", path5, {"source_vertex": 0})
+        assert depths.tolist() == [0, 1, 2, 3, 4]
+
+    def test_bfs_requires_source(self, path5):
+        with pytest.raises(ConfigurationError, match="source_vertex"):
+            run_reference("bfs", path5)
+
+    def test_sssp_requires_source(self, er_weighted):
+        with pytest.raises(ConfigurationError, match="source_vertex"):
+            run_reference("sssp", er_weighted)
+
+    def test_pr_default_params(self, er_undirected):
+        ranks = run_reference("pr", er_undirected)
+        assert ranks.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_pr_custom_iterations(self, er_undirected):
+        a = run_reference("pr", er_undirected, {"iterations": 1})
+        b = run_reference("pr", er_undirected, {"iterations": 50})
+        assert not np.allclose(a, b)
+
+    def test_unknown_parameter_rejected(self, er_undirected):
+        with pytest.raises(ConfigurationError, match="unknown parameters"):
+            run_reference("pr", er_undirected, {"alpha": 0.9})
+
+    def test_wcc_takes_no_parameters(self, er_undirected):
+        with pytest.raises(ConfigurationError):
+            run_reference("wcc", er_undirected, {"iterations": 3})
+
+    def test_all_runners_produce_per_vertex_output(self, er_weighted):
+        for acronym in ALGORITHMS:
+            params = (
+                {"source_vertex": int(er_weighted.vertex_ids[0])}
+                if acronym in ("bfs", "sssp")
+                else {}
+            )
+            out = run_reference(acronym, er_weighted, params)
+            assert len(out) == er_weighted.num_vertices

@@ -1,0 +1,117 @@
+"""Tests for the output-equivalence validation rules."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.algorithms.validation import (
+    EpsilonMatchRule,
+    EquivalenceMatchRule,
+    ExactMatchRule,
+    validate_output,
+    validation_rule_for,
+)
+
+
+class TestExactMatch:
+    def test_equal_passes(self):
+        ExactMatchRule().check(np.array([1, 2, 3]), np.array([1, 2, 3]))
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValidationError, match="mismatching"):
+            ExactMatchRule().check(np.array([1, 2, 3]), np.array([1, 9, 3]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError, match="shape"):
+            ExactMatchRule().check(np.array([1, 2]), np.array([1, 2, 3]))
+
+    def test_error_reports_first_index(self):
+        with pytest.raises(ValidationError, match="dense index 1"):
+            ExactMatchRule().check(np.array([1, 2, 3]), np.array([1, 9, 3]))
+
+
+class TestEpsilonMatch:
+    def test_within_tolerance_passes(self):
+        EpsilonMatchRule(1e-4).check(
+            np.array([1.0, 2.0]), np.array([1.00005, 2.0])
+        )
+
+    def test_beyond_tolerance_raises(self):
+        with pytest.raises(ValidationError, match="epsilon"):
+            EpsilonMatchRule(1e-4).check(np.array([1.0]), np.array([1.01]))
+
+    def test_relative_not_absolute(self):
+        # 1e-6 absolute error on a value of 1e-2 is fine at rel 1e-4...
+        EpsilonMatchRule(1e-4).check(np.array([0.010001]), np.array([0.01]))
+        # ...but the same absolute error on 1e-6 is 100% relative error.
+        with pytest.raises(ValidationError):
+            EpsilonMatchRule(1e-4).check(np.array([2e-6]), np.array([1e-6]))
+
+    def test_matching_infinities_pass(self):
+        inf = float("inf")
+        EpsilonMatchRule().check(np.array([1.0, inf]), np.array([1.0, inf]))
+
+    def test_infinity_vs_finite_raises(self):
+        with pytest.raises(ValidationError, match="finiteness"):
+            EpsilonMatchRule().check(
+                np.array([float("inf")]), np.array([42.0])
+            )
+
+    def test_zero_equals_zero(self):
+        EpsilonMatchRule().check(np.array([0.0]), np.array([0.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError, match="shape"):
+            EpsilonMatchRule().check(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestEquivalenceMatch:
+    def test_identical_partition_passes(self):
+        EquivalenceMatchRule().check(np.array([0, 0, 5]), np.array([0, 0, 5]))
+
+    def test_relabeled_partition_passes(self):
+        # Same partition, different label values: still equivalent.
+        EquivalenceMatchRule().check(
+            np.array([7, 7, 9]), np.array([0, 0, 5])
+        )
+
+    def test_merged_groups_raise(self):
+        with pytest.raises(ValidationError):
+            EquivalenceMatchRule().check(
+                np.array([1, 1, 1]), np.array([0, 0, 5])
+            )
+
+    def test_split_groups_raise(self):
+        with pytest.raises(ValidationError):
+            EquivalenceMatchRule().check(
+                np.array([1, 2, 3]), np.array([0, 0, 5])
+            )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError, match="shape"):
+            EquivalenceMatchRule().check(np.array([1]), np.array([1, 2]))
+
+
+class TestRuleAssignment:
+    @pytest.mark.parametrize(
+        "algorithm,rule_name",
+        [
+            ("bfs", "exact"),
+            ("pr", "epsilon"),
+            ("wcc", "equivalence"),
+            ("cdlp", "equivalence"),
+            ("lcc", "epsilon"),
+            ("sssp", "epsilon"),
+        ],
+    )
+    def test_paper_rule_mapping(self, algorithm, rule_name):
+        assert validation_rule_for(algorithm).name == rule_name
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValidationError, match="no validation rule"):
+            validation_rule_for("pagerank2000")
+
+    def test_validate_output_dispatch(self):
+        validate_output("bfs", np.array([0, 1]), np.array([0, 1]))
+        with pytest.raises(ValidationError):
+            validate_output("bfs", np.array([0, 1]), np.array([0, 2]))

@@ -1,0 +1,70 @@
+"""Tests for weakly connected components."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.wcc import weakly_connected_components
+from repro.graph.generators import path_graph
+from repro.graph.graph import Graph
+
+
+class TestAnalyticCases:
+    def test_connected_graph_single_label(self, path5):
+        labels = weakly_connected_components(path5)
+        assert len(np.unique(labels)) == 1
+
+    def test_label_is_min_vertex_id(self):
+        g = Graph.from_edges([(5, 9), (9, 7)], directed=False)
+        labels = weakly_connected_components(g)
+        assert np.all(labels == 5)
+
+    def test_two_components(self, two_triangles):
+        labels = weakly_connected_components(two_triangles)
+        assert len(np.unique(labels)) == 2
+        assert labels[two_triangles.index_of(0)] == 0
+        assert labels[two_triangles.index_of(10)] == 10
+
+    def test_isolated_vertices_own_component(self):
+        g = Graph.from_edges([(0, 1)], directed=False, vertices=[0, 1, 5, 6])
+        labels = weakly_connected_components(g)
+        assert labels[g.index_of(5)] == 5
+        assert labels[g.index_of(6)] == 6
+
+    def test_empty_graph(self):
+        g = Graph.from_edges([], directed=True, vertices=[])
+        assert len(weakly_connected_components(g)) == 0
+
+    def test_long_path_converges(self):
+        # Pointer jumping must handle a 200-vertex chain quickly.
+        labels = weakly_connected_components(path_graph(200))
+        assert np.all(labels == 0)
+
+
+class TestDirectedIgnoresDirection:
+    def test_directed_chain_is_one_component(self):
+        g = Graph.from_edges([(0, 1), (2, 1)], directed=True)
+        labels = weakly_connected_components(g)
+        assert len(np.unique(labels)) == 1
+
+    def test_antiparallel_star(self):
+        g = Graph.from_edges([(1, 0), (2, 0), (0, 3)], directed=True)
+        assert len(np.unique(weakly_connected_components(g))) == 1
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("fixture", ["er_undirected", "er_directed"])
+    def test_matches_networkx(self, fixture, request, nx_converter):
+        import networkx as nx
+
+        graph = request.getfixturevalue(fixture)
+        labels = weakly_connected_components(graph)
+        nxg = nx_converter(graph)
+        components = (
+            nx.weakly_connected_components(nxg)
+            if graph.directed
+            else nx.connected_components(nxg)
+        )
+        for component in components:
+            expected_label = min(component)
+            for vid in component:
+                assert labels[graph.index_of(vid)] == expected_label

@@ -1,0 +1,109 @@
+"""Tests for degree-distribution sampling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GenerationError
+from repro.datagen.degrees import facebook_degree_distribution, sample_degrees
+
+
+class TestSampling:
+    def test_mean_close_to_target(self):
+        degrees = sample_degrees(5000, mean_degree=20.0, seed=1)
+        assert degrees.mean() == pytest.approx(20.0, rel=0.1)
+
+    def test_minimum_degree_one(self):
+        degrees = sample_degrees(2000, mean_degree=3.0, seed=2)
+        assert degrees.min() >= 1
+
+    def test_max_degree_cap(self):
+        degrees = sample_degrees(5000, mean_degree=10.0, max_degree=40, seed=3)
+        assert degrees.max() <= 40
+
+    def test_default_cap_is_ten_times_mean(self):
+        degrees = sample_degrees(5000, mean_degree=10.0, seed=3)
+        assert degrees.max() <= 100
+
+    def test_right_skewed(self):
+        degrees = sample_degrees(5000, mean_degree=20.0, sigma=1.0, seed=4)
+        assert np.median(degrees) < degrees.mean()
+
+    def test_sigma_controls_spread(self):
+        tight = sample_degrees(5000, mean_degree=20.0, sigma=0.3, seed=5)
+        wide = sample_degrees(5000, mean_degree=20.0, sigma=1.2, seed=5)
+        assert tight.std() < wide.std()
+
+    def test_deterministic(self):
+        a = sample_degrees(100, seed=7)
+        b = sample_degrees(100, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_integer_dtype(self):
+        assert sample_degrees(10, seed=1).dtype == np.int64
+
+
+class TestValidation:
+    def test_nonpositive_n(self):
+        with pytest.raises(GenerationError):
+            sample_degrees(0)
+
+    def test_nonpositive_mean(self):
+        with pytest.raises(GenerationError):
+            sample_degrees(10, mean_degree=0.0)
+
+    def test_rng_variant(self):
+        rng = np.random.default_rng(1)
+        degrees = facebook_degree_distribution(100, mean_degree=5.0, rng=rng)
+        assert len(degrees) == 100
+
+
+class TestDistributionFamilies:
+    def test_zipf_heavier_tail_than_facebook(self):
+        import numpy as np
+        from repro.graph.stats import degree_skewness
+
+        facebook = sample_degrees(4000, mean_degree=15.0, seed=9)
+        zipf = sample_degrees(
+            4000, mean_degree=15.0, distribution="zipf", seed=9
+        )
+        assert degree_skewness(zipf) > degree_skewness(facebook)
+
+    def test_uniform_narrow_band(self):
+        degrees = sample_degrees(
+            2000, mean_degree=20.0, distribution="uniform", seed=10
+        )
+        assert degrees.min() >= 14
+        assert degrees.max() <= 26
+
+    def test_all_families_hit_the_mean(self):
+        import pytest as _pytest
+
+        for distribution in ("facebook", "zipf", "uniform"):
+            degrees = sample_degrees(
+                5000, mean_degree=12.0, distribution=distribution, seed=11
+            )
+            assert degrees.mean() == _pytest.approx(12.0, rel=0.2), distribution
+
+    def test_unknown_family(self):
+        with pytest.raises(GenerationError, match="unknown degree"):
+            sample_degrees(10, distribution="cauchy")
+
+    def test_zipf_exponent_validated(self):
+        import numpy as np
+        from repro.datagen.degrees import zipf_degree_distribution
+
+        with pytest.raises(GenerationError):
+            zipf_degree_distribution(
+                10, mean_degree=5.0, exponent=1.0,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_uniform_spread_validated(self):
+        import numpy as np
+        from repro.datagen.degrees import uniform_degree_distribution
+
+        with pytest.raises(GenerationError):
+            uniform_degree_distribution(
+                10, mean_degree=5.0, spread=1.5,
+                rng=np.random.default_rng(0),
+            )

@@ -1,0 +1,131 @@
+"""Tests for the §4.8 Datagen execution-flow cost model (Figure 10)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.datagen.flow import (
+    DatagenFlowModel,
+    FlowVersion,
+    HadoopClusterModel,
+    estimate_generation_time,
+)
+from repro.datagen.generator import DatagenConfig, generate_with_flow
+
+
+class TestHadoopClusterModel:
+    def test_master_plus_workers(self):
+        cluster = HadoopClusterModel(machines=16)
+        assert cluster.workers == 15
+        assert cluster.total_reducers == 90  # paper: 6 per worker
+
+    def test_single_machine(self):
+        assert HadoopClusterModel(machines=1).workers == 1
+
+    def test_efficiency_decreases_with_machines(self):
+        small = HadoopClusterModel(machines=4)
+        large = HadoopClusterModel(machines=16)
+        assert large.parallel_efficiency < small.parallel_efficiency
+        assert large.effective_parallelism > small.effective_parallelism
+
+    def test_invalid_machines(self):
+        with pytest.raises(ConfigurationError):
+            HadoopClusterModel(machines=0)
+
+
+class TestPaperCalibration:
+    """Shape checks against the §4.8 numbers (tolerances documented in
+    EXPERIMENTS.md: the model reproduces trends within ~1.4x)."""
+
+    def test_new_flow_faster_at_every_scale(self):
+        for sf in (30, 100, 300, 1000, 3000):
+            t_old = estimate_generation_time(sf, version=FlowVersion.V0_2_1)
+            t_new = estimate_generation_time(sf, version=FlowVersion.V0_2_6)
+            assert t_new < t_old
+
+    def test_speedup_grows_with_scale_factor(self):
+        # Paper: 1.16x, 1.33x, 1.83x, 2.15x, 2.9x for SF 30..3000.
+        ratios = []
+        for sf in (30, 100, 300, 1000, 3000):
+            t_old = estimate_generation_time(sf, version=FlowVersion.V0_2_1)
+            t_new = estimate_generation_time(sf, version=FlowVersion.V0_2_6)
+            ratios.append(t_old / t_new)
+        assert ratios == sorted(ratios)
+        assert 1.0 < ratios[0] < 2.0
+        assert 2.2 < ratios[-1] < 3.5
+
+    def test_billion_edges_in_under_an_hour(self):
+        # Paper: 44 minutes for SF 1000 on 16 machines (v0.2.6).
+        minutes = estimate_generation_time(1000, machines=16) / 60
+        assert 35 <= minutes <= 60
+
+    def test_old_flow_near_95_minutes(self):
+        minutes = estimate_generation_time(
+            1000, machines=16, version=FlowVersion.V0_2_1
+        ) / 60
+        assert 75 <= minutes <= 115
+
+    def test_sf10000_ratio(self):
+        # Paper: increasing SF 1000 -> 10000 increases time by 10.6x.
+        ratio = estimate_generation_time(10000) / estimate_generation_time(1000)
+        assert 8.0 <= ratio <= 12.5
+
+    def test_horizontal_speedup_grows_with_scale(self):
+        # Paper: 4->16 machine speedups 1.1, 1.4, 2.0, 3.0 for SF 30..1000.
+        speedups = []
+        for sf in (30, 100, 300, 1000):
+            t4 = estimate_generation_time(sf, machines=4)
+            t16 = estimate_generation_time(sf, machines=16)
+            speedups.append(t4 / t16)
+        assert speedups == sorted(speedups)
+        assert speedups[0] < 2.0
+        assert 2.4 <= speedups[-1] <= 3.4
+
+    def test_overhead_dominates_small_scale(self):
+        model = DatagenFlowModel()
+        cluster = HadoopClusterModel(machines=16)
+        t = model.execution_time(10, FlowVersion.V0_2_6, cluster)
+        overhead = 5 * model.job_spawn_seconds
+        assert overhead / t > 0.5
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(ConfigurationError):
+            estimate_generation_time(0)
+
+
+class TestTraceBasedEstimate:
+    """The cost model also accepts measured miniature traces (ablation)."""
+
+    def test_trace_preserves_old_vs_new_ordering(self):
+        model = DatagenFlowModel()
+        cluster = HadoopClusterModel(machines=16)
+        config = DatagenConfig(num_persons=400, seed=1)
+        _, old_trace = generate_with_flow(config, FlowVersion.V0_2_1)
+        _, new_trace = generate_with_flow(config, FlowVersion.V0_2_6)
+        t_old = model.execution_time_from_trace(
+            old_trace, cluster, scale_factor=1000
+        )
+        t_new = model.execution_time_from_trace(
+            new_trace, cluster, scale_factor=1000
+        )
+        assert t_new < t_old
+
+    def test_trace_estimate_close_to_analytic(self):
+        model = DatagenFlowModel()
+        cluster = HadoopClusterModel(machines=16)
+        config = DatagenConfig(num_persons=400, seed=1)
+        _, trace = generate_with_flow(config, FlowVersion.V0_2_6)
+        t_trace = model.execution_time_from_trace(
+            trace, cluster, scale_factor=1000
+        )
+        t_analytic = model.execution_time(1000, FlowVersion.V0_2_6, cluster)
+        assert t_trace == pytest.approx(t_analytic, rel=0.5)
+
+    def test_empty_trace_rejected(self):
+        from repro.datagen.generator import GenerationTrace
+
+        model = DatagenFlowModel()
+        cluster = HadoopClusterModel(machines=4)
+        with pytest.raises(ConfigurationError):
+            model.execution_time_from_trace(
+                GenerationTrace(flow=FlowVersion.V0_2_6, num_persons=10), cluster
+            )

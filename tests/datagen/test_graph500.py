@@ -1,0 +1,87 @@
+"""Tests for the Graph500 Kronecker (R-MAT) generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GenerationError
+from repro.datagen.graph500 import Graph500Config, graph500
+from repro.graph.stats import compute_statistics, degree_skewness
+
+
+class TestConfig:
+    def test_defaults_are_graph500_reference(self):
+        config = Graph500Config(scale=10)
+        assert config.edgefactor == 16
+        assert (config.a, config.b, config.c) == (0.57, 0.19, 0.19)
+        assert config.d == pytest.approx(0.05)
+
+    def test_sample_counts(self):
+        config = Graph500Config(scale=10, edgefactor=8)
+        assert config.num_vertex_slots == 1024
+        assert config.num_edge_samples == 8192
+
+    def test_invalid_scale(self):
+        with pytest.raises(GenerationError):
+            Graph500Config(scale=0)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(GenerationError):
+            Graph500Config(scale=5, a=0.8, b=0.2, c=0.2)
+
+
+class TestGeneration:
+    def test_undirected_no_self_loops(self):
+        g = graph500(8, seed=1)
+        assert not g.directed
+        assert all(s != d for s, d in g.edges())
+
+    def test_no_duplicate_edges(self):
+        g = graph500(8, seed=1)
+        pairs = [(min(s, d), max(s, d)) for s, d in g.edges()]
+        assert len(pairs) == len(set(pairs))
+
+    def test_deterministic(self):
+        a = graph500(8, seed=2)
+        b = graph500(8, seed=2)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_only_touched_vertices_kept(self):
+        # |V| is the number of vertices with >= 1 edge, below 2^scale
+        # (matching the Table 4 dataset sizes).
+        g = graph500(10, seed=3)
+        assert g.num_vertices < 2 ** 10
+        assert np.all(g.degrees() > 0)
+
+    def test_power_law_skew(self):
+        g = graph500(10, seed=4)
+        assert degree_skewness(g.degrees()) > 2.0
+
+    def test_much_more_skewed_than_datagen(self):
+        # The §4.6 finding relies on Graph500 graphs being far more
+        # skewed than Datagen graphs of comparable size.
+        from repro.datagen.generator import generate
+
+        g500 = graph500(10, seed=5)
+        social = generate(
+            g500.num_vertices,
+            mean_degree=min(40.0, 2 * g500.num_edges / g500.num_vertices),
+            seed=5,
+        )
+        assert degree_skewness(g500.degrees()) > 2 * degree_skewness(
+            social.degrees()
+        )
+
+    def test_weighted_variant(self):
+        g = graph500(8, weighted=True, seed=6)
+        assert g.is_weighted
+        assert np.all(g.edge_weights > 0)
+
+    def test_custom_name(self):
+        assert graph500(6, name="mini").name == "mini"
+
+    def test_default_name(self):
+        assert graph500(6).name == "graph500-6"
+
+    def test_giant_component(self):
+        st = compute_statistics(graph500(10, seed=7))
+        assert st.largest_component_fraction > 0.8

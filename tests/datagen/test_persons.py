@@ -1,0 +1,77 @@
+"""Tests for correlated person generation."""
+
+import pytest
+
+from repro.exceptions import GenerationError
+from repro.datagen.persons import (
+    CORRELATION_DIMENSIONS,
+    generate_persons,
+    sort_key_for,
+)
+
+
+class TestGeneration:
+    def test_count_and_ids(self):
+        persons = generate_persons(50, seed=1)
+        assert len(persons) == 50
+        assert [p.person_id for p in persons] == list(range(50))
+
+    def test_deterministic(self):
+        assert generate_persons(30, seed=2) == generate_persons(30, seed=2)
+
+    def test_seed_matters(self):
+        assert generate_persons(30, seed=2) != generate_persons(30, seed=3)
+
+    def test_university_correlates_with_country(self):
+        # A person's university encodes their country (university // 8).
+        persons = generate_persons(200, seed=4)
+        for p in persons:
+            assert p.university // 8 == p.country
+
+    def test_attributes_skewed(self):
+        # Zipf draws concentrate on low ranks: the most common interest
+        # must cover far more than a uniform share.
+        persons = generate_persons(500, seed=5)
+        from collections import Counter
+
+        counts = Counter(p.interest for p in persons)
+        top = counts.most_common(1)[0][1]
+        assert top > 3 * (500 / len(counts))
+
+    def test_random_keys_are_permutation(self):
+        persons = generate_persons(100, seed=6)
+        assert sorted(p.random_key for p in persons) == list(range(100))
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(GenerationError):
+            generate_persons(0)
+
+
+class TestSortKeys:
+    def test_dimensions_cover_budget(self):
+        total = sum(share for _, share in CORRELATION_DIMENSIONS)
+        assert total == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("dimension", ["university", "interest", "random"])
+    def test_sort_is_deterministic(self, dimension):
+        persons = generate_persons(100, seed=7)
+        key = sort_key_for(dimension)
+        a = sorted(persons, key=key)
+        b = sorted(list(reversed(persons)), key=key)
+        assert [p.person_id for p in a] == [p.person_id for p in b]
+
+    def test_unknown_dimension(self):
+        with pytest.raises(GenerationError):
+            sort_key_for("age")
+
+    def test_university_sort_groups_countries(self):
+        persons = generate_persons(300, seed=8)
+        ordered = sorted(persons, key=sort_key_for("university"))
+        # Consecutive persons in university order share a country far
+        # more often than random pairs would.
+        same = sum(
+            1
+            for a, b in zip(ordered, ordered[1:])
+            if a.country == b.country
+        )
+        assert same / (len(ordered) - 1) > 0.5

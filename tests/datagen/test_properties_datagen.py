@@ -1,0 +1,109 @@
+"""Property-based tests (hypothesis) for the synthetic generators."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.datagen.flow import (
+    DatagenFlowModel,
+    FlowVersion,
+    HadoopClusterModel,
+)
+from repro.datagen.generator import DatagenConfig, generate_with_flow
+from repro.datagen.graph500 import graph500
+from repro.datagen.realworld import synthetic_replica
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    persons=st.integers(min_value=20, max_value=120),
+    mean_degree=st.floats(min_value=4.0, max_value=15.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_datagen_structural_invariants(persons, mean_degree, seed):
+    config = DatagenConfig(num_persons=persons, mean_degree=mean_degree, seed=seed)
+    graph, trace = generate_with_flow(config)
+    # Data-model invariants: undirected, no loops, no duplicates, all
+    # persons present.
+    assert graph.num_vertices == persons
+    assert not graph.directed
+    seen = set()
+    for s, d in graph.edges():
+        assert s != d
+        key = (min(s, d), max(s, d))
+        assert key not in seen
+        seen.add(key)
+    # Trace bookkeeping matches the emitted edges (before dedup).
+    assert trace.merge_records == sum(s.edges_emitted for s in trace.steps)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    persons=st.integers(min_value=20, max_value=100),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_datagen_flows_always_identical(persons, seed):
+    config = DatagenConfig(num_persons=persons, seed=seed)
+    old, _ = generate_with_flow(config, FlowVersion.V0_2_1)
+    new, _ = generate_with_flow(config, FlowVersion.V0_2_6)
+    assert np.array_equal(old.edge_src, new.edge_src)
+    assert np.array_equal(old.edge_dst, new.edge_dst)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    scale=st.integers(min_value=4, max_value=9),
+    edgefactor=st.integers(min_value=2, max_value=12),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_graph500_structural_invariants(scale, edgefactor, seed):
+    graph = graph500(scale, edgefactor=edgefactor, seed=seed)
+    assert graph.num_vertices <= 2 ** scale
+    assert np.all(graph.degrees() > 0)  # only touched vertices kept
+    for s, d in graph.edges():
+        assert s != d
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    profile=st.sampled_from(["talk", "citation", "coplay", "social"]),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_replicas_respect_size_bounds(profile, seed):
+    graph = synthetic_replica(profile, 150, 600, seed=seed)
+    assert graph.num_vertices <= 150 or profile == "social"
+    assert graph.num_edges <= 650
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sf=st.floats(min_value=1.0, max_value=20_000.0),
+    machines=st.integers(min_value=1, max_value=64),
+)
+def test_flow_model_invariants(sf, machines):
+    model = DatagenFlowModel()
+    cluster = HadoopClusterModel(machines=machines)
+    t_old = model.execution_time(sf, FlowVersion.V0_2_1, cluster)
+    t_new = model.execution_time(sf, FlowVersion.V0_2_6, cluster)
+    overhead_old = 6 * model.job_spawn_seconds
+    overhead_new = 5 * model.job_spawn_seconds
+    assert t_old >= overhead_old
+    assert t_new >= overhead_new
+    # The old flow never beats the new one by more than the one extra
+    # job spawn it avoids.
+    assert t_old >= t_new - model.job_spawn_seconds
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sf=st.floats(min_value=10.0, max_value=5000.0),
+    m_small=st.integers(min_value=1, max_value=8),
+)
+def test_flow_model_monotone_in_machines(sf, m_small):
+    model = DatagenFlowModel()
+    t_small = model.execution_time(
+        sf, FlowVersion.V0_2_6, HadoopClusterModel(machines=m_small)
+    )
+    t_big = model.execution_time(
+        sf, FlowVersion.V0_2_6, HadoopClusterModel(machines=m_small * 2)
+    )
+    assert t_big <= t_small + 1e-9

@@ -1,0 +1,163 @@
+"""Tests for the execution mechanics of the three engines themselves."""
+
+import numpy as np
+import pytest
+
+from repro.engines.gas import GASEngine, GASProgram
+from repro.engines.pregel import PregelEngine, VertexProgram
+from repro.engines.spmv import MIN_PLUS, OR_AND, PLUS_TIMES, SpMVEngine
+from repro.graph.generators import path_graph, star_graph
+from repro.graph.graph import Graph
+
+
+class TestPregelMechanics:
+    def test_supersteps_counted(self, path5):
+        from repro.engines.pregel import bfs_program
+
+        program, _ = bfs_program(path5, 0)
+        _, supersteps = PregelEngine(path5).run(program)
+        # A 5-vertex path needs the initial superstep plus one wave per
+        # level plus the final quiet step.
+        assert 5 <= supersteps <= 6
+
+    def test_halted_vertices_not_recomputed(self):
+        calls = []
+
+        def init(g, v):
+            return 0
+
+        def compute(ctx, messages):
+            calls.append((ctx.superstep, ctx.vertex))
+            ctx.vote_to_halt()
+
+        graph = path_graph(3)
+        PregelEngine(graph).run(VertexProgram("noop", init, compute))
+        # Everyone halts in superstep 0 and never runs again.
+        assert {s for s, _ in calls} == {0}
+
+    def test_message_reactivates_halted_vertex(self):
+        log = []
+
+        def init(g, v):
+            return None
+
+        def compute(ctx, messages):
+            log.append((ctx.superstep, ctx.vertex, tuple(messages)))
+            if ctx.superstep == 0 and ctx.vertex == 0:
+                ctx.send_message_to(1, "wake")
+            ctx.vote_to_halt()
+
+        PregelEngine(path_graph(3)).run(VertexProgram("wake", init, compute))
+        woken = [entry for entry in log if entry[0] == 1]
+        assert woken == [(1, 1, ("wake",))]
+
+    def test_superstep_limit_respected(self):
+        def init(g, v):
+            return 0
+
+        def compute(ctx, messages):
+            ctx.send_message_to(ctx.vertex, "again")  # never quiesces
+
+        _, supersteps = PregelEngine(path_graph(2)).run(
+            VertexProgram("loop", init, compute), superstep_limit=7
+        )
+        assert supersteps == 7
+
+
+class TestGASMechanics:
+    def test_active_set_drains(self, path5):
+        program = GASProgram(
+            name="min-id",
+            init=lambda g, v: int(g.vertex_ids[v]),
+            gather=lambda u, w: u,
+            gather_sum=min,
+            gather_zero=np.iinfo(np.int64).max,
+            apply=lambda old, gathered: min(old, gathered),
+        )
+        values, rounds = GASEngine(path5).run_active_set(program)
+        assert values == [0] * 5
+        assert rounds <= 6
+
+    def test_unchanged_apply_does_not_scatter(self):
+        # A program whose apply never changes values converges in one round.
+        program = GASProgram(
+            name="fixed",
+            init=lambda g, v: 1,
+            gather=lambda u, w: u,
+            gather_sum=lambda a, b: a + b,
+            gather_zero=0,
+            apply=lambda old, gathered: old,
+        )
+        _, rounds = GASEngine(star_graph(4)).run_active_set(program)
+        assert rounds == 1
+
+    def test_synchronous_uses_snapshot(self):
+        # In a synchronous sweep on a path, values shift by exactly one
+        # hop per iteration (no same-iteration chaining).
+        g = Graph.from_edges([(0, 1), (1, 2)], directed=True)
+        program = GASProgram(
+            name="shift",
+            init=lambda graph, v: 1.0 if v == 0 else 0.0,
+            gather=lambda u, w: u,
+            gather_sum=lambda a, b: a + b,
+            gather_zero=0.0,
+            apply=lambda old, gathered: gathered,
+        )
+        values = GASEngine(g).run_synchronous(program, 1)
+        assert values == [0.0, 1.0, 0.0]
+        values = GASEngine(g).run_synchronous(program, 2)
+        assert values == [0.0, 0.0, 1.0]
+
+    def test_max_rounds_guard(self):
+        # An oscillating program terminates at the round bound.
+        program = GASProgram(
+            name="flip",
+            init=lambda g, v: 0,
+            gather=lambda u, w: u,
+            gather_sum=lambda a, b: a + b,
+            gather_zero=0,
+            apply=lambda old, gathered: 1 - old,
+        )
+        _, rounds = GASEngine(path_graph(3)).run_active_set(
+            program, max_rounds=5
+        )
+        assert rounds == 5
+
+
+class TestSpMVMechanics:
+    def test_plus_times_is_matrix_vector(self):
+        # On a directed star 0 -> {1,2,3}, pushing x[0]=2 lands 2 at
+        # each leaf.
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3)], directed=True)
+        engine = SpMVEngine(g)
+        x = np.array([2.0, 0.0, 0.0, 0.0])
+        y = engine.spmv(x, PLUS_TIMES, unit_weights=True)
+        assert y.tolist() == [0.0, 2.0, 2.0, 2.0]
+
+    def test_min_plus_uses_weights(self):
+        g = Graph.from_edges([(0, 1)], directed=True, weights=[3.5])
+        engine = SpMVEngine(g)
+        x = np.array([1.0, np.inf])
+        y = engine.spmv(x, MIN_PLUS)
+        assert y[g.index_of(1)] == pytest.approx(4.5)
+        assert np.isinf(y[g.index_of(0)])
+
+    def test_or_and_reachability(self):
+        g = Graph.from_edges([(0, 1), (1, 2)], directed=True)
+        engine = SpMVEngine(g)
+        x = np.array([1.0, 0.0, 0.0])
+        one_hop = engine.spmv(x, OR_AND, unit_weights=True)
+        assert one_hop.tolist() == [0.0, 1.0, 0.0]
+
+    def test_reverse_product(self):
+        g = Graph.from_edges([(0, 1)], directed=True)
+        engine = SpMVEngine(g)
+        x = np.array([0.0, 5.0])
+        y = engine.spmv(x, PLUS_TIMES, reverse=True, unit_weights=True)
+        assert y.tolist() == [5.0, 0.0]
+
+    def test_undirected_symmetric(self, cycle8):
+        engine = SpMVEngine(cycle8)
+        x = np.ones(8)
+        y = engine.spmv(x, PLUS_TIMES, unit_weights=True)
+        assert np.allclose(y, 2.0)  # every vertex hears both neighbors

@@ -1,0 +1,223 @@
+"""Tests for the Granula modeler, archiver, and visualizer."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.granula.archiver import PerformanceArchive, PhaseRecord, build_archive
+from repro.granula.model import (
+    DEFAULT_MODEL,
+    ChildRule,
+    PhaseSpec,
+    PlatformPerformanceModel,
+    model_for_platform,
+)
+from repro.granula.visualizer import render_html, render_text, save_html
+from repro.graph.generators import erdos_renyi
+from repro.platforms.registry import create_driver
+
+
+@pytest.fixture
+def job():
+    driver = create_driver("giraph")
+    handle = driver.upload(erdos_renyi(40, 0.1, seed=1, name="mini"))
+    return driver.execute(handle, "wcc")
+
+
+@pytest.fixture
+def archive(job):
+    return build_archive(job)
+
+
+class TestModeler:
+    def test_expert_models_for_all_platforms(self):
+        for name in ("giraph", "graphx", "powergraph", "graphmat", "openg",
+                     "pgx.d"):
+            model = model_for_platform(name)
+            assert model is not DEFAULT_MODEL
+            assert any(spec.name == "processing" for spec in model.phases)
+
+    def test_unknown_platform_falls_back(self):
+        assert model_for_platform("unknown") is DEFAULT_MODEL
+
+    def test_child_fractions_bounded(self):
+        with pytest.raises(ConfigurationError):
+            ChildRule("x", 1.5)
+        with pytest.raises(ConfigurationError):
+            PhaseSpec("load", children=(ChildRule("a", 0.7), ChildRule("b", 0.7)))
+
+    def test_spec_for_unmodeled_phase(self):
+        spec = DEFAULT_MODEL.spec_for("mystery")
+        assert spec.name == "mystery"
+        assert spec.children == ()
+
+
+class TestArchiver:
+    def test_phases_in_order(self, archive):
+        assert [p.name for p in archive.phases] == [
+            "startup", "load", "processing", "cleanup",
+        ]
+
+    def test_processing_time_matches_job(self, job, archive):
+        assert archive.processing_time == pytest.approx(
+            job.modeled_processing_time
+        )
+
+    def test_makespan_matches_job(self, job, archive):
+        assert archive.makespan == pytest.approx(job.modeled_makespan)
+
+    def test_overhead_ratio_table8_style(self, archive):
+        # Giraph's Tproc is a small share of its makespan (Table 8: 8.1%).
+        assert 0.0 < archive.overhead_ratio() < 0.5
+
+    def test_derived_children_from_expert_model(self, archive):
+        load = archive.phase("load")
+        assert [c.name for c in load.children] == ["read", "partition"]
+        assert all(c.source == "derived" for c in load.children)
+        total = sum(c.duration for c in load.children)
+        assert total == pytest.approx(load.duration)
+
+    def test_child_lookup_through_hierarchy(self, archive):
+        assert archive.phase("partition").source == "derived"
+
+    def test_unknown_phase_raises(self, archive):
+        with pytest.raises(ConfigurationError, match="no phase"):
+            archive.phase("shuffle")
+
+    def test_descriptive(self, archive):
+        # Paper: the archive is "descriptive (all results are described
+        # to non-experts)".
+        for phase in archive.phases:
+            assert phase.description
+
+    def test_examinable_sources(self, archive):
+        # Every record is traceable: observed from the log or derived.
+        def check(record):
+            assert record.source in ("observed", "derived")
+            for child in record.children:
+                check(child)
+
+        for phase in archive.phases:
+            check(phase)
+
+    def test_metadata_captured(self, archive):
+        assert archive.phase("load").metadata["elements"] > 0
+
+    def test_save_roundtrip(self, archive, tmp_path):
+        path = archive.save(tmp_path / "archive.json")
+        payload = json.loads(path.read_text())
+        assert payload["platform"] == "Giraph"
+        assert len(payload["phases"]) == 4
+        assert payload["phases"][1]["children"][0]["name"] == "read"
+
+    def test_empty_archive(self):
+        archive = PerformanceArchive("X", "bfs", "D", phases=[])
+        assert archive.makespan == 0.0
+        assert archive.overhead_ratio() == 0.0
+
+
+class TestVisualizer:
+    def test_text_rendering(self, archive):
+        text = render_text(archive)
+        assert "Giraph / wcc on mini" in text
+        assert "processing" in text
+        assert "* read" in text  # derived phases marked
+
+    def test_html_rendering(self, archive):
+        html = render_html(archive)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Giraph" in html
+        assert "makespan" in html
+
+    def test_save_html(self, archive, tmp_path):
+        path = save_html(archive, tmp_path / "report.html")
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+    def test_time_formatting(self):
+        record = PhaseRecord("processing", 0.0, 0.004)
+        archive = PerformanceArchive("X", "bfs", "D", phases=[record])
+        assert "4 ms" in render_text(archive)
+
+
+class TestComparisonRendering:
+    def test_table8_style_comparison(self):
+        from repro.granula.visualizer import render_comparison
+        from repro.harness.datasets import get_dataset
+        from repro.platforms.registry import PLATFORMS, create_driver
+
+        dataset = get_dataset("D300")
+        graph = dataset.materialize()
+        archives = []
+        for name in ("giraph", "openg", "pgxd"):
+            driver = create_driver(name)
+            handle = driver.upload(graph, profile=dataset.profile)
+            job = driver.execute(
+                handle, "bfs", dataset.algorithm_parameters("bfs")
+            )
+            archives.append(build_archive(job))
+        text = render_comparison(archives)
+        assert "Giraph" in text and "PGX.D" in text
+        assert "#" in text and "-" in text
+        # PGX.D's tiny processing share must be visible as a ratio.
+        pgxd_line = next(l for l in text.splitlines() if "PGX.D" in l)
+        assert "0.2% of makespan" in pgxd_line or "0.1% of makespan" in pgxd_line
+
+    def test_empty_comparison(self):
+        from repro.granula.visualizer import render_comparison
+
+        assert render_comparison([]) == "(no archives)"
+
+
+class TestSuperstepBreakdown:
+    """Per-superstep processing detail: measured Pregel supersteps folded
+    into the Granula archive (the §2.5.2 recursive-phase capability)."""
+
+    def test_measured_supersteps_attached(self):
+        from repro.engines.pregel import PregelEngine, bfs_program
+        from repro.granula.archiver import attach_superstep_breakdown
+        from repro.harness.datasets import get_dataset
+
+        dataset = get_dataset("G22")
+        graph = dataset.materialize()
+        source = int(dataset.algorithm_parameters("bfs")["source_vertex"])
+        engine = PregelEngine(graph)
+        program, _ = bfs_program(graph, source)
+        engine.run(program)
+        assert engine.superstep_seconds  # measured
+
+        driver = create_driver("giraph")
+        handle = driver.upload(graph, profile=dataset.profile)
+        job = driver.execute(handle, "bfs", {"source_vertex": source})
+        archive = attach_superstep_breakdown(
+            build_archive(job), engine.superstep_seconds
+        )
+        processing = archive.phase("processing")
+        assert len(processing.children) == len(engine.superstep_seconds)
+        # Children tile the processing window exactly.
+        total = sum(c.duration for c in processing.children)
+        assert total == pytest.approx(processing.duration)
+        assert processing.children[0].start == pytest.approx(processing.start)
+        assert processing.children[-1].end == pytest.approx(processing.end)
+        # Supersteps are observed (measured), not derived.
+        assert all(c.source == "observed" for c in processing.children)
+        assert archive.phase("superstep-0").metadata["measured_seconds"] > 0
+
+    def test_empty_trace_rejected(self, archive):
+        from repro.granula.archiver import attach_superstep_breakdown
+
+        with pytest.raises(ConfigurationError, match="empty"):
+            attach_superstep_breakdown(archive, [])
+
+    def test_negative_duration_rejected(self, archive):
+        from repro.granula.archiver import attach_superstep_breakdown
+
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            attach_superstep_breakdown(archive, [0.1, -0.2])
+
+
+class TestHtmlChildren:
+    def test_derived_children_rendered(self, archive):
+        html_text = render_html(archive)
+        assert "read" in html_text and "partition" in html_text
+        assert "bar derived" in html_text

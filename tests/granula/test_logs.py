@@ -1,0 +1,95 @@
+"""Tests for the Granula log-file round trip."""
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.granula.archiver import build_archive
+from repro.granula.logs import archive_from_log, read_job_log, write_job_log
+from repro.graph.generators import erdos_renyi
+from repro.platforms.registry import create_driver
+
+
+@pytest.fixture
+def job():
+    driver = create_driver("graphmat")
+    handle = driver.upload(erdos_renyi(50, 0.1, seed=2, name="mini"))
+    return driver.execute(handle, "pr")
+
+
+class TestRoundTrip:
+    def test_write_and_read(self, job, tmp_path):
+        path = write_job_log(job, tmp_path / "job.log", job_id="run-7")
+        logged = read_job_log(path)
+        assert logged.job_id == "run-7"
+        assert logged.platform == "GraphMat"
+        assert logged.algorithm == "pr"
+        assert len(logged.events) == len(job.events)
+
+    def test_archive_from_log_matches_direct_archive(self, job, tmp_path):
+        path = write_job_log(job, tmp_path / "job.log")
+        from_log = archive_from_log(path)
+        direct = build_archive(job)
+        assert from_log.processing_time == pytest.approx(direct.processing_time)
+        assert from_log.makespan == pytest.approx(direct.makespan)
+        assert [p.name for p in from_log.phases] == [
+            p.name for p in direct.phases
+        ]
+
+    def test_extra_metadata_survives(self, job, tmp_path):
+        path = write_job_log(job, tmp_path / "job.log")
+        logged = read_job_log(path)
+        load = next(e for e in logged.events if e["phase"] == "load")
+        assert "elements" in load
+
+    def test_log_is_greppable_text(self, job, tmp_path):
+        path = write_job_log(job, tmp_path / "job.log")
+        content = path.read_text()
+        assert all(line.startswith("GRANULA ") for line in content.strip().splitlines())
+        assert "phase=processing" in content
+
+
+class TestParsing:
+    def test_non_granula_line_rejected(self, tmp_path):
+        (tmp_path / "bad.log").write_text("hello world\n")
+        with pytest.raises(GraphFormatError, match="not a GRANULA record"):
+            read_job_log(tmp_path / "bad.log")
+
+    def test_missing_fields_rejected(self, tmp_path):
+        (tmp_path / "bad.log").write_text("GRANULA job=a phase=load\n")
+        with pytest.raises(GraphFormatError, match="missing fields"):
+            read_job_log(tmp_path / "bad.log")
+
+    def test_mixed_jobs_rejected(self, tmp_path):
+        lines = (
+            "GRANULA job=a platform=X algorithm=bfs dataset=D "
+            "phase=load start=0.0 end=1.0\n"
+            "GRANULA job=b platform=X algorithm=bfs dataset=D "
+            "phase=processing start=1.0 end=2.0\n"
+        )
+        (tmp_path / "bad.log").write_text(lines)
+        with pytest.raises(GraphFormatError, match="mixed job ids"):
+            read_job_log(tmp_path / "bad.log")
+
+    def test_empty_log_rejected(self, tmp_path):
+        (tmp_path / "empty.log").write_text("# nothing\n")
+        with pytest.raises(GraphFormatError, match="no GRANULA records"):
+            read_job_log(tmp_path / "empty.log")
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        lines = (
+            "# header\n\n"
+            "GRANULA job=a platform=X algorithm=bfs dataset=D "
+            "phase=processing start=0.0 end=2.5\n"
+        )
+        (tmp_path / "ok.log").write_text(lines)
+        logged = read_job_log(tmp_path / "ok.log")
+        assert logged.events[0]["end"] == 2.5
+
+    def test_quoted_values(self, tmp_path):
+        lines = (
+            'GRANULA job=a platform="PGX.D" algorithm=bfs dataset="my graph" '
+            "phase=processing start=0.0 end=1.0\n"
+        )
+        (tmp_path / "q.log").write_text(lines)
+        logged = read_job_log(tmp_path / "q.log")
+        assert logged.dataset == "my graph"

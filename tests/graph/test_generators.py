@@ -1,0 +1,109 @@
+"""Tests for the small deterministic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GenerationError
+from repro.graph.generators import (
+    binary_tree,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+
+
+class TestStructured:
+    def test_path_counts(self):
+        g = path_graph(10)
+        assert g.num_vertices == 10
+        assert g.num_edges == 9
+
+    def test_path_single_vertex(self):
+        g = path_graph(1)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+    def test_cycle_counts(self):
+        g = cycle_graph(7)
+        assert g.num_vertices == 7
+        assert g.num_edges == 7
+
+    def test_cycle_minimum_size(self):
+        with pytest.raises(GenerationError):
+            cycle_graph(2)
+
+    def test_star_counts(self):
+        g = star_graph(5)
+        assert g.num_vertices == 6
+        assert g.num_edges == 5
+
+    def test_complete_counts(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+
+    def test_complete_directed_counts(self):
+        g = complete_graph(4, directed=True)
+        assert g.num_edges == 12
+
+    def test_grid_counts(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_binary_tree_counts(self):
+        g = binary_tree(3)
+        assert g.num_vertices == 15
+        assert g.num_edges == 14
+
+    def test_binary_tree_depth_zero(self):
+        g = binary_tree(0)
+        assert g.num_vertices == 1
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(GenerationError):
+            path_graph(0)
+
+
+class TestErdosRenyi:
+    def test_deterministic(self):
+        a = erdos_renyi(50, 0.1, seed=3)
+        b = erdos_renyi(50, 0.1, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_seed_changes_graph(self):
+        a = erdos_renyi(50, 0.1, seed=3)
+        b = erdos_renyi(50, 0.1, seed=4)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_p_zero_empty(self):
+        g = erdos_renyi(20, 0.0, seed=1)
+        assert g.num_edges == 0
+        assert g.num_vertices == 20
+
+    def test_p_one_complete(self):
+        g = erdos_renyi(10, 1.0, seed=1)
+        assert g.num_edges == 45
+
+    def test_no_self_loops(self):
+        g = erdos_renyi(30, 0.5, directed=True, seed=2)
+        assert all(s != d for s, d in g.edges())
+
+    def test_weighted_positive(self):
+        g = erdos_renyi(30, 0.3, weighted=True, seed=2)
+        assert np.all(g.edge_weights > 0)
+
+    def test_invalid_p(self):
+        with pytest.raises(GenerationError):
+            erdos_renyi(10, 1.5)
+
+    def test_density_near_p(self):
+        g = erdos_renyi(200, 0.10, seed=9)
+        density = g.num_edges / (200 * 199 / 2)
+        assert density == pytest.approx(0.10, abs=0.02)
+
+    def test_custom_name(self):
+        g = erdos_renyi(10, 0.1, name="custom")
+        assert g.name == "custom"

@@ -1,0 +1,206 @@
+"""Tests for the CSR-backed Graph data model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph.graph import Graph
+from repro.graph.generators import complete_graph, path_graph
+
+
+class TestConstruction:
+    def test_from_edges_directed(self):
+        g = Graph.from_edges([(0, 1), (1, 2)], directed=True)
+        assert g.directed
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_from_edges_undirected(self):
+        g = Graph.from_edges([(0, 1), (1, 2)], directed=False)
+        assert not g.directed
+        assert g.num_edges == 2
+
+    def test_from_edges_with_weights(self):
+        g = Graph.from_edges([(0, 1), (1, 2)], directed=True, weights=[0.5, 1.5])
+        assert g.is_weighted
+        assert np.allclose(sorted(g.edge_weights), [0.5, 1.5])
+
+    def test_isolated_vertices_via_vertices_arg(self):
+        g = Graph.from_edges([(0, 1)], directed=False, vertices=[0, 1, 7])
+        assert g.num_vertices == 3
+        assert g.has_vertex(7)
+        assert len(g.out_neighbors(g.index_of(7))) == 0
+
+    def test_sparse_vertex_ids(self):
+        g = Graph.from_edges([(100, 2000), (2000, 30000)], directed=True)
+        assert g.num_vertices == 3
+        assert sorted(g.vertex_ids.tolist()) == [100, 2000, 30000]
+
+    def test_duplicate_vertex_ids_rejected(self):
+        with pytest.raises(GraphFormatError, match="duplicate vertex"):
+            Graph(
+                vertex_ids=np.array([1, 1]),
+                src=np.array([0]),
+                dst=np.array([1]),
+                directed=True,
+            )
+
+    def test_mismatched_edge_arrays_rejected(self):
+        with pytest.raises(GraphFormatError):
+            Graph(
+                vertex_ids=np.array([0, 1]),
+                src=np.array([0, 1]),
+                dst=np.array([1]),
+                directed=True,
+            )
+
+    def test_mismatched_weight_length_rejected(self):
+        with pytest.raises(GraphFormatError):
+            Graph(
+                vertex_ids=np.array([0, 1]),
+                src=np.array([0]),
+                dst=np.array([1]),
+                directed=True,
+                weights=np.array([1.0, 2.0]),
+            )
+
+
+class TestIdentity:
+    def test_scale_small(self):
+        g = path_graph(5)  # 5 vertices + 4 edges = 9 elements
+        assert g.scale == pytest.approx(1.0)
+
+    def test_scale_empty_vertexless(self):
+        g = Graph.from_edges([], directed=True, vertices=[0])
+        assert g.scale == 0.0
+
+    def test_repr_mentions_name_and_counts(self):
+        g = path_graph(5)
+        text = repr(g)
+        assert "path-5" in text
+        assert "|V|=5" in text
+
+    def test_name_default_empty(self):
+        g = Graph.from_edges([(0, 1)], directed=True)
+        assert g.name == ""
+
+
+class TestIndexMapping:
+    def test_roundtrip(self, er_undirected):
+        for idx in range(er_undirected.num_vertices):
+            assert er_undirected.index_of(er_undirected.id_of(idx)) == idx
+
+    def test_unknown_vertex_raises(self, path5):
+        with pytest.raises(GraphFormatError, match="unknown vertex"):
+            path5.index_of(999)
+
+    def test_has_vertex(self, path5):
+        assert path5.has_vertex(0)
+        assert not path5.has_vertex(99)
+
+    def test_vertex_ids_read_only(self, path5):
+        with pytest.raises(ValueError):
+            path5.vertex_ids[0] = 42
+
+
+class TestAdjacency:
+    def test_out_neighbors_sorted(self, er_directed):
+        for v in range(er_directed.num_vertices):
+            nb = er_directed.out_neighbors(v)
+            assert np.all(np.diff(nb) > 0)
+
+    def test_in_out_consistency_directed(self, er_directed):
+        # u in out(v)  <=>  v in in(u)
+        for v in range(er_directed.num_vertices):
+            for u in er_directed.out_neighbors(v):
+                assert v in er_directed.in_neighbors(int(u))
+
+    def test_undirected_symmetry(self, er_undirected):
+        for v in range(er_undirected.num_vertices):
+            for u in er_undirected.out_neighbors(v):
+                assert v in er_undirected.out_neighbors(int(u))
+
+    def test_undirected_in_is_out(self, er_undirected):
+        assert er_undirected.in_indptr is er_undirected.out_indptr
+        assert er_undirected.in_indices is er_undirected.out_indices
+
+    def test_degree_sums(self, er_directed):
+        assert er_directed.out_degrees().sum() == er_directed.num_edges
+        assert er_directed.in_degrees().sum() == er_directed.num_edges
+
+    def test_undirected_degree_sum_is_twice_edges(self, er_undirected):
+        assert er_undirected.out_degrees().sum() == 2 * er_undirected.num_edges
+
+    def test_total_degrees_directed(self, er_directed):
+        expected = er_directed.out_degrees() + er_directed.in_degrees()
+        assert np.array_equal(er_directed.degrees(), expected)
+
+    def test_has_edge(self, path5):
+        assert path5.has_edge(path5.index_of(0), path5.index_of(1))
+        assert not path5.has_edge(path5.index_of(0), path5.index_of(3))
+
+    def test_has_edge_directed_one_way(self):
+        g = Graph.from_edges([(0, 1)], directed=True)
+        assert g.has_edge(g.index_of(0), g.index_of(1))
+        assert not g.has_edge(g.index_of(1), g.index_of(0))
+
+    def test_out_edges_weights_aligned(self, er_weighted):
+        nbrs, weights = er_weighted.out_edges(0)
+        assert len(nbrs) == len(weights)
+
+    def test_csr_weights_match_edge_list(self, er_weighted):
+        # Every CSR slot weight must equal the weight of its logical edge.
+        g = er_weighted
+        lookup = {}
+        for k in range(g.num_edges):
+            key = (int(g.edge_src[k]), int(g.edge_dst[k]))
+            lookup[key] = float(g.edge_weights[k])
+            lookup[key[::-1]] = float(g.edge_weights[k])
+        for v in range(g.num_vertices):
+            nbrs, weights = g.out_edges(v)
+            for u, w in zip(nbrs, weights):
+                assert lookup[(v, int(u))] == pytest.approx(float(w))
+
+
+class TestEdgesIterator:
+    def test_yields_external_ids(self):
+        g = Graph.from_edges([(100, 200)], directed=True)
+        assert list(g.edges()) == [(100, 200)]
+
+    def test_count(self, er_undirected):
+        assert len(list(er_undirected.edges())) == er_undirected.num_edges
+
+
+class TestToUndirected:
+    def test_collapses_reciprocal_edges(self):
+        g = Graph.from_edges([(0, 1), (1, 0), (1, 2)], directed=True)
+        u = g.to_undirected()
+        assert not u.directed
+        assert u.num_edges == 2
+
+    def test_undirected_is_identity(self, er_undirected):
+        assert er_undirected.to_undirected() is er_undirected
+
+    def test_preserves_vertices(self):
+        g = Graph.from_edges([(0, 1)], directed=True, vertices=[0, 1, 5])
+        assert g.to_undirected().num_vertices == 3
+
+
+class TestSubgraph:
+    def test_induced_edges(self, k4):
+        sub = k4.subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3  # triangle
+
+    def test_drops_external_edges(self, path5):
+        sub = path5.subgraph([path5.index_of(0), path5.index_of(4)])
+        assert sub.num_edges == 0
+
+    def test_keeps_weights(self, er_weighted):
+        idx = list(range(30))
+        sub = er_weighted.subgraph(idx)
+        assert sub.is_weighted
+
+    def test_complete_subgraph_of_complete(self):
+        sub = complete_graph(6).subgraph(range(4))
+        assert sub.num_edges == 6

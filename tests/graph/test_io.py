@@ -1,0 +1,104 @@
+"""Tests for EVL (.v/.e) file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import Graph
+from repro.graph.io import parse_edge_line, read_edge_list, read_graph, write_graph
+
+
+class TestParseEdgeLine:
+    def test_unweighted(self):
+        assert parse_edge_line("3 5", weighted=False) == (3, 5, None)
+
+    def test_weighted(self):
+        src, dst, w = parse_edge_line("3 5 0.25", weighted=True)
+        assert (src, dst) == (3, 5)
+        assert w == pytest.approx(0.25)
+
+    def test_wrong_field_count(self):
+        with pytest.raises(GraphFormatError, match="expected 2 fields"):
+            parse_edge_line("3 5 7", weighted=False)
+
+    def test_missing_weight_field(self):
+        with pytest.raises(GraphFormatError, match="expected 3 fields"):
+            parse_edge_line("3 5", weighted=True)
+
+    def test_non_integer_vertex(self):
+        with pytest.raises(GraphFormatError):
+            parse_edge_line("a b", weighted=False)
+
+
+class TestRoundTrip:
+    def test_unweighted_directed(self, tmp_path):
+        g = erdos_renyi(40, 0.08, directed=True, seed=5)
+        write_graph(g, tmp_path / "g")
+        rt = read_graph(tmp_path / "g", directed=True)
+        assert rt.num_vertices == g.num_vertices
+        assert rt.num_edges == g.num_edges
+        assert sorted(rt.edges()) == sorted(g.edges())
+
+    def test_weighted_undirected(self, tmp_path):
+        g = erdos_renyi(40, 0.08, weighted=True, seed=6)
+        write_graph(g, tmp_path / "g")
+        rt = read_graph(tmp_path / "g", directed=False, weighted=True)
+        assert np.allclose(
+            np.sort(rt.edge_weights), np.sort(g.edge_weights)
+        )
+
+    def test_weights_exact_repr(self, tmp_path):
+        # repr-based serialization round-trips doubles bit-exactly.
+        g = Graph.from_edges(
+            [(0, 1)], directed=False, weights=[0.1234567890123456789]
+        )
+        write_graph(g, tmp_path / "g")
+        rt = read_graph(tmp_path / "g", directed=False, weighted=True)
+        assert rt.edge_weights[0] == g.edge_weights[0]
+
+    def test_isolated_vertices_survive(self, tmp_path):
+        g = Graph.from_edges([(0, 1)], directed=False, vertices=[0, 1, 9])
+        write_graph(g, tmp_path / "g")
+        rt = read_graph(tmp_path / "g", directed=False)
+        assert rt.num_vertices == 3
+        assert rt.has_vertex(9)
+
+    def test_name_defaults_to_prefix(self, tmp_path):
+        g = erdos_renyi(10, 0.3, seed=1)
+        write_graph(g, tmp_path / "mygraph")
+        rt = read_graph(tmp_path / "mygraph", directed=False)
+        assert rt.name == "mygraph"
+
+
+class TestReadValidation:
+    def test_edge_referencing_unknown_vertex(self, tmp_path):
+        (tmp_path / "g.v").write_text("0\n1\n")
+        (tmp_path / "g.e").write_text("0 5\n")
+        with pytest.raises(GraphFormatError, match="missing from"):
+            read_graph(tmp_path / "g", directed=True)
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        (tmp_path / "g.v").write_text("# vertices\n0\n\n1\n")
+        (tmp_path / "g.e").write_text("# edges\n\n0 1\n")
+        g = read_graph(tmp_path / "g", directed=False)
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+
+    def test_non_integer_vertex_line(self, tmp_path):
+        (tmp_path / "g.v").write_text("zero\n")
+        (tmp_path / "g.e").write_text("")
+        with pytest.raises(GraphFormatError, match="vertex line 1"):
+            read_graph(tmp_path / "g", directed=True)
+
+    def test_duplicate_edge_in_file(self, tmp_path):
+        (tmp_path / "g.v").write_text("0\n1\n")
+        (tmp_path / "g.e").write_text("0 1\n0 1\n")
+        with pytest.raises(GraphFormatError, match="duplicate"):
+            read_graph(tmp_path / "g", directed=True)
+
+    def test_read_edge_list_standalone(self, tmp_path):
+        (tmp_path / "e.e").write_text("0 1\n2 3\n")
+        edges, weights = read_edge_list(tmp_path / "e.e")
+        assert edges == [(0, 1), (2, 3)]
+        assert weights is None

@@ -1,0 +1,106 @@
+"""Tests for property tables (§2.2.1 optional vertex/edge properties)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph.generators import erdos_renyi
+from repro.graph.properties import PropertyTable, person_properties
+
+
+class TestConstruction:
+    def test_keys_sorted(self):
+        table = PropertyTable([5, 1, 9])
+        assert table.keys.tolist() == [1, 5, 9]
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(GraphFormatError, match="duplicate"):
+            PropertyTable([1, 1, 2])
+
+    def test_for_graph(self, er_undirected):
+        table = PropertyTable.for_graph(er_undirected)
+        assert len(table) == er_undirected.num_vertices
+
+    def test_keys_read_only(self):
+        table = PropertyTable([1, 2])
+        with pytest.raises(ValueError):
+            table.keys[0] = 9
+
+
+class TestColumns:
+    def test_set_and_get(self):
+        table = PropertyTable([10, 20]).set_column("ts", [100, 200])
+        assert table.get(10, "ts") == 100
+        assert table.get(20, "ts") == 200
+
+    def test_column_names(self):
+        table = PropertyTable([1]).set_column("b", [0]).set_column("a", [0])
+        assert table.column_names() == ["a", "b"]
+        assert "a" in table and "c" not in table
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(GraphFormatError, match="values for"):
+            PropertyTable([1, 2]).set_column("x", [1])
+
+    def test_unknown_column(self):
+        with pytest.raises(GraphFormatError, match="unknown property"):
+            PropertyTable([1]).column("nope")
+
+    def test_unknown_key(self):
+        table = PropertyTable([1]).set_column("x", [7])
+        with pytest.raises(GraphFormatError, match="unknown key"):
+            table.get(2, "x")
+
+    def test_column_is_copied(self):
+        source = np.array([1, 2])
+        table = PropertyTable([1, 2]).set_column("x", source)
+        source[0] = 99
+        assert table.get(1, "x") == 1
+
+
+class TestAlignment:
+    def test_aligned_with_graph(self):
+        graph = erdos_renyi(10, 0.3, seed=1)
+        table = PropertyTable.for_graph(graph)
+        table.set_column("double_id", [2 * int(k) for k in table.keys])
+        aligned = table.aligned_with(graph, "double_id")
+        for idx in range(graph.num_vertices):
+            assert aligned[idx] == 2 * graph.id_of(idx)
+
+    def test_missing_vertex_rejected(self):
+        graph = erdos_renyi(10, 0.3, seed=1)
+        table = PropertyTable([0, 1]).set_column("x", [1, 2])
+        with pytest.raises(GraphFormatError, match="missing from"):
+            table.aligned_with(graph, "x")
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        table = PropertyTable([3, 7]).set_column("label", [10, 20])
+        path = table.save(tmp_path / "props.json")
+        loaded = PropertyTable.load(path)
+        assert loaded.keys.tolist() == [3, 7]
+        assert loaded.get(7, "label") == 20
+
+
+class TestPersonProperties:
+    def test_columns_present(self):
+        table = person_properties(50, seed=1)
+        assert table.column_names() == ["country", "interest", "university"]
+        assert len(table) == 50
+
+    def test_matches_person_generation(self):
+        from repro.datagen.persons import generate_persons
+
+        table = person_properties(30, seed=2)
+        for person in generate_persons(30, seed=2):
+            assert table.get(person.person_id, "country") == person.country
+            assert table.get(person.person_id, "interest") == person.interest
+
+    def test_aligns_with_datagen_graph(self):
+        from repro.datagen.generator import generate
+
+        graph = generate(40, seed=3)
+        table = person_properties(40, seed=3)
+        countries = table.aligned_with(graph, "country")
+        assert len(countries) == 40

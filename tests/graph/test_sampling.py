@@ -1,0 +1,100 @@
+"""Tests for graph downscaling (edge sampling, forest fire)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GenerationError
+from repro.datagen.graph500 import graph500
+from repro.graph.generators import erdos_renyi
+from repro.graph.sampling import sample_edges, sample_forest_fire
+from repro.graph.stats import degree_skewness
+
+
+@pytest.fixture(scope="module")
+def big():
+    return graph500(10, edgefactor=8, seed=1)
+
+
+class TestSampleEdges:
+    def test_edge_count(self, big):
+        sampled = sample_edges(big, 0.25, seed=2)
+        assert sampled.num_edges == round(0.25 * big.num_edges)
+
+    def test_full_fraction_keeps_everything_with_edges(self, big):
+        sampled = sample_edges(big, 1.0, seed=2)
+        assert sampled.num_edges == big.num_edges
+        assert sampled.num_vertices == big.num_vertices  # no isolated in g500
+
+    def test_vertex_ids_preserved(self, big):
+        sampled = sample_edges(big, 0.3, seed=2)
+        assert set(sampled.vertex_ids.tolist()) <= set(big.vertex_ids.tolist())
+
+    def test_weights_carried(self):
+        g = erdos_renyi(60, 0.2, weighted=True, seed=3)
+        sampled = sample_edges(g, 0.5, seed=3)
+        assert sampled.is_weighted
+        original = {}
+        for k in range(g.num_edges):
+            key = (g.id_of(int(g.edge_src[k])), g.id_of(int(g.edge_dst[k])))
+            original[key] = float(g.edge_weights[k])
+        for k in range(sampled.num_edges):
+            key = (
+                sampled.id_of(int(sampled.edge_src[k])),
+                sampled.id_of(int(sampled.edge_dst[k])),
+            )
+            assert original[key] == pytest.approx(float(sampled.edge_weights[k]))
+
+    def test_directedness_preserved(self):
+        g = erdos_renyi(60, 0.1, directed=True, seed=4)
+        assert sample_edges(g, 0.5, seed=1).directed
+
+    def test_deterministic(self, big):
+        a = sample_edges(big, 0.2, seed=5)
+        b = sample_edges(big, 0.2, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_invalid_fraction(self, big):
+        with pytest.raises(GenerationError):
+            sample_edges(big, 0.0)
+
+    def test_empty_graph_rejected(self):
+        from repro.graph.graph import Graph
+
+        empty = Graph.from_edges([], directed=False, vertices=[0])
+        with pytest.raises(GenerationError):
+            sample_edges(empty, 0.5)
+
+
+class TestForestFire:
+    def test_target_size_reached(self, big):
+        sampled = sample_forest_fire(big, 120, seed=6)
+        assert sampled.num_vertices == 120
+
+    def test_target_capped_at_graph_size(self):
+        g = erdos_renyi(30, 0.2, seed=7)
+        sampled = sample_forest_fire(g, 500, seed=7)
+        assert sampled.num_vertices == 30
+
+    def test_induced_subgraph(self, big):
+        sampled = sample_forest_fire(big, 100, seed=8)
+        kept = set(int(v) for v in sampled.vertex_ids)
+        for s, d in sampled.edges():
+            assert s in kept and d in kept
+            assert big.has_edge(big.index_of(s), big.index_of(d))
+
+    def test_preserves_skew_better_than_edge_sampling(self, big):
+        # The forest-fire claim: heavy tails survive strong reductions.
+        fire = sample_forest_fire(big, 120, seed=9)
+        skew_fire = degree_skewness(fire.degrees())
+        assert skew_fire > 1.0  # still clearly heavy-tailed
+
+    def test_deterministic(self, big):
+        a = sample_forest_fire(big, 80, seed=10)
+        b = sample_forest_fire(big, 80, seed=10)
+        assert np.array_equal(a.vertex_ids, b.vertex_ids)
+
+    def test_invalid_parameters(self, big):
+        with pytest.raises(GenerationError):
+            sample_forest_fire(big, 0)
+        with pytest.raises(GenerationError):
+            sample_forest_fire(big, 10, forward_probability=1.0)

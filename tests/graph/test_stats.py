@@ -1,0 +1,81 @@
+"""Tests for structural graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import complete_graph, path_graph, star_graph
+from repro.graph.stats import compute_statistics, degree_skewness, graph_scale
+
+
+class TestGraphScale:
+    def test_paper_example_d300(self):
+        # datagen-300: 4.35M vertices + 304M edges -> scale 8.5 (Table 4)
+        assert graph_scale(4_350_000, 304_000_000) == 8.5
+
+    def test_paper_example_wiki_talk(self):
+        # wiki-talk: 2.39M + 5.02M -> scale 6.9 (Table 3)
+        assert graph_scale(2_390_000, 5_020_000) == 6.9
+
+    def test_rounding_one_decimal(self):
+        assert graph_scale(0, 1000) == 3.0
+
+    def test_empty(self):
+        assert graph_scale(0, 0) == 0.0
+
+    def test_monotone(self):
+        assert graph_scale(10, 10) < graph_scale(1000, 1000)
+
+
+class TestDegreeSkewness:
+    def test_regular_graph_zero(self):
+        assert degree_skewness(np.array([4, 4, 4, 4])) == 0.0
+
+    def test_hub_positive(self):
+        assert degree_skewness(np.array([1, 1, 1, 1, 100])) > 0
+
+    def test_empty(self):
+        assert degree_skewness(np.array([])) == 0.0
+
+
+class TestComputeStatistics:
+    def test_complete_graph(self):
+        st = compute_statistics(complete_graph(5))
+        assert st.num_vertices == 5
+        assert st.num_edges == 10
+        assert st.density == pytest.approx(1.0)
+        assert st.mean_clustering_coefficient == pytest.approx(1.0)
+        assert st.num_components == 1
+        assert st.largest_component_fraction == pytest.approx(1.0)
+
+    def test_star_no_clustering(self):
+        st = compute_statistics(star_graph(6))
+        assert st.mean_clustering_coefficient == 0.0
+        assert st.max_degree == 6
+
+    def test_path_components(self):
+        st = compute_statistics(path_graph(4))
+        assert st.num_components == 1
+        assert st.mean_degree == pytest.approx(1.5)
+
+    def test_two_components(self, two_triangles):
+        st = compute_statistics(two_triangles)
+        assert st.num_components == 2
+        assert st.largest_component_fraction == pytest.approx(0.5)
+
+    def test_as_dict_keys(self, path5):
+        d = compute_statistics(path5).as_dict()
+        assert "scale" in d and "density" in d
+
+    def test_matches_networkx_clustering(self, er_undirected, nx_converter):
+        import networkx as nx
+
+        st = compute_statistics(er_undirected)
+        expected = nx.average_clustering(nx_converter(er_undirected))
+        assert st.mean_clustering_coefficient == pytest.approx(expected, abs=1e-12)
+
+    def test_matches_networkx_components(self, er_undirected, nx_converter):
+        import networkx as nx
+
+        st = compute_statistics(er_undirected)
+        expected = nx.number_connected_components(nx_converter(er_undirected))
+        assert st.num_components == expected

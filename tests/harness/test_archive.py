@@ -1,0 +1,97 @@
+"""Tests for the on-disk workload archive."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.harness.archive import (
+    archive_manifest,
+    load_archived_graph,
+    materialize_archive,
+)
+from repro.harness.datasets import get_dataset
+
+
+@pytest.fixture(scope="module")
+def archive(tmp_path_factory):
+    root = tmp_path_factory.mktemp("archive")
+    materialize_archive(
+        root, dataset_ids=["R1", "R4"], algorithms=["bfs", "wcc", "sssp"]
+    )
+    return root
+
+
+class TestMaterialize:
+    def test_layout(self, archive):
+        assert (archive / "R4" / "dota-league.v").exists()
+        assert (archive / "R4" / "dota-league.e").exists()
+        assert (archive / "R4" / "dota-league.properties").exists()
+        assert (archive / "R4" / "dota-league-BFS").exists()
+        assert (archive / "R4" / "dota-league-WCC").exists()
+
+    def test_weighted_only_algorithms_skipped(self, archive):
+        # R1 (wiki-talk) is unweighted: no SSSP reference output.
+        assert not (archive / "R1" / "wiki-talk-SSSP").exists()
+        assert (archive / "R4" / "dota-league-SSSP").exists()
+
+    def test_properties_content(self, archive):
+        props = json.loads(
+            (archive / "R4" / "dota-league.properties").read_text()
+        )
+        assert props["directed"] is False
+        assert props["weighted"] is True
+        assert props["full_scale"]["class"] == "S"
+
+    def test_reference_output_is_valid(self, archive):
+        from repro.algorithms.output_io import validate_output_file
+        from repro.algorithms.registry import run_reference
+
+        dataset = get_dataset("R4")
+        graph = dataset.materialize(0)
+        reference = run_reference(
+            "bfs", graph, dataset.algorithm_parameters("bfs", 0)
+        )
+        validate_output_file(
+            graph, archive / "R4" / "dota-league-BFS", reference,
+            algorithm="bfs",
+        )
+
+    def test_unknown_algorithm_rejected(self, tmp_path):
+        from repro.exceptions import UnsupportedAlgorithmError
+
+        with pytest.raises(UnsupportedAlgorithmError):
+            materialize_archive(
+                tmp_path, dataset_ids=["R1"], algorithms=["dfs"]
+            )
+
+
+class TestManifest:
+    def test_manifest_lists_datasets(self, archive):
+        manifest = archive_manifest(archive)
+        assert set(manifest) == {"R1", "R4"}
+        assert manifest["R4"]["reference_outputs"] == ["bfs", "sssp", "wcc"]
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(DatasetError):
+            archive_manifest(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(DatasetError, match="no archived datasets"):
+            archive_manifest(tmp_path)
+
+
+class TestRoundTrip:
+    def test_load_archived_graph(self, archive):
+        original = get_dataset("R4").materialize(0)
+        reloaded = load_archived_graph(archive, "R4")
+        assert reloaded.num_vertices == original.num_vertices
+        assert reloaded.num_edges == original.num_edges
+        assert np.allclose(
+            np.sort(reloaded.edge_weights), np.sort(original.edge_weights)
+        )
+
+    def test_unknown_dataset(self, archive):
+        with pytest.raises(DatasetError, match="no archived dataset"):
+            load_archived_graph(archive, "G22")

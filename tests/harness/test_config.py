@@ -1,0 +1,67 @@
+"""Tests for benchmark configuration."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.harness.config import BenchmarkConfig
+from repro.platforms.cluster import ClusterResources
+
+
+class TestDefaults:
+    def test_full_selection(self):
+        config = BenchmarkConfig()
+        assert len(config.platforms) == 6
+        assert len(config.datasets) == 16
+        assert len(config.algorithms) == 6
+        assert config.repetitions == 1
+        assert config.sla_seconds == 3600.0
+
+    def test_platform_names_normalized(self):
+        config = BenchmarkConfig(platforms=["GiRaPh"])
+        assert config.platforms == ["giraph"]
+
+
+class TestValidation:
+    def test_unknown_platform(self):
+        with pytest.raises(ConfigurationError, match="unknown platforms"):
+            BenchmarkConfig(platforms=["neo4j"])
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigurationError, match="unknown datasets"):
+            BenchmarkConfig(datasets=["R99"])
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError, match="unknown algorithms"):
+            BenchmarkConfig(algorithms=["dfs"])
+
+    def test_zero_repetitions(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkConfig(repetitions=0)
+
+    def test_nonpositive_sla(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkConfig(sla_seconds=0)
+
+
+class TestSubset:
+    def test_subset_overrides(self):
+        base = BenchmarkConfig()
+        small = base.subset(platforms=["openg"], algorithms=["bfs"])
+        assert small.platforms == ["openg"]
+        assert small.algorithms == ["bfs"]
+        assert small.datasets == base.datasets
+
+    def test_subset_does_not_mutate_base(self):
+        base = BenchmarkConfig()
+        base.subset(platforms=["openg"])
+        assert len(base.platforms) == 6
+
+    def test_subset_resources(self):
+        small = BenchmarkConfig().subset(
+            resources=ClusterResources(machines=4)
+        )
+        assert small.resources.machines == 4
+
+    def test_subset_validates(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkConfig().subset(platforms=["bad"])

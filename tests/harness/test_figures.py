@@ -1,0 +1,104 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.harness.experiments import ExperimentReport
+from repro.harness.figures import LogScatter, render_dataset_variety, render_scaling
+
+
+class TestLogScatter:
+    def test_basic_render(self):
+        scatter = LogScatter(width=40)
+        scatter.add_row("D300", {"G": 22.3, "M": 0.3})
+        text = scatter.render()
+        assert "D300" in text
+        assert "G" in text and "M" in text
+        assert "1e" in text  # axis ticks
+
+    def test_log_positions_ordered(self):
+        scatter = LogScatter(width=40)
+        scatter.add_row("row", {"A": 0.1, "B": 100.0})
+        line = scatter.render().splitlines()[0]
+        assert line.index("A") < line.index("B")
+
+    def test_overlap_marker(self):
+        scatter = LogScatter(width=40)
+        scatter.add_row("row", {"A": 1.0, "B": 1.0})
+        assert "*" in scatter.render()
+
+    def test_failure_marker(self):
+        scatter = LogScatter(width=40)
+        scatter.add_row("row", {"A": None, "B": 5.0})
+        assert "F" in scatter.render().splitlines()[0]
+
+    def test_no_data(self):
+        scatter = LogScatter()
+        scatter.add_row("row", {"A": None})
+        assert scatter.render() == "(no data)"
+
+    def test_minimum_width(self):
+        with pytest.raises(ValueError):
+            LogScatter(width=5)
+
+    def test_single_decade_padded(self):
+        scatter = LogScatter(width=40)
+        scatter.add_row("row", {"A": 5.0})
+        assert "1e0" in scatter.render()
+
+
+def _fake_variety_report():
+    report = ExperimentReport("dataset-variety", "Dataset variety")
+    for dataset, values in (
+        ("R1", {"Giraph": 5.5, "GraphMat": 0.06}),
+        ("D300", {"Giraph": 22.3, "GraphMat": 0.3}),
+    ):
+        for platform, tproc in values.items():
+            report.rows.append(
+                {
+                    "platform": platform,
+                    "dataset": dataset,
+                    "algorithm": "bfs",
+                    "tproc": tproc,
+                    "status": "ok",
+                }
+            )
+    return report
+
+
+class TestFigureRenderers:
+    def test_dataset_variety(self):
+        text = render_dataset_variety(_fake_variety_report(), "bfs")
+        assert "Tproc for BFS" in text
+        assert "R1" in text and "D300" in text
+        assert "legend:" in text
+
+    def test_scaling(self):
+        report = ExperimentReport("strong-scalability", "Strong")
+        for machines, tproc in ((1, 10.0), (2, 30.0), (4, 12.0)):
+            report.rows.append(
+                {
+                    "platform": "Giraph",
+                    "algorithm": "bfs",
+                    "machines": machines,
+                    "tproc": tproc,
+                    "status": "ok",
+                }
+            )
+        text = render_scaling(report, "bfs", x_values=(1, 2, 4))
+        assert "machines=1" in text and "machines=4" in text
+
+    def test_real_experiment_renders(self):
+        from repro.harness.experiments import get_experiment
+        from repro.harness.runner import BenchmarkRunner
+        from repro.harness.config import BenchmarkConfig
+
+        runner = BenchmarkRunner(BenchmarkConfig(seed=0))
+        report = get_experiment("algorithm-variety").run(runner)
+        # Reuse the variety renderer on the R4/D300 rows.
+        report.rows = [
+            {**row, "dataset": row["dataset"]}
+            for row in report.rows
+            if row.get("tproc") is not None
+        ]
+        text = render_dataset_variety(report, "bfs")
+        assert "legend:" in text

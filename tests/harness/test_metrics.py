@@ -1,0 +1,76 @@
+"""Tests for the benchmark metrics (paper §2.3)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.harness.metrics import (
+    coefficient_of_variation,
+    edges_and_vertices_per_second,
+    edges_per_second,
+    slowdown,
+    speedup,
+)
+
+
+class TestThroughput:
+    def test_eps(self):
+        assert edges_per_second(1000, 2.0) == 500.0
+
+    def test_evps(self):
+        assert edges_and_vertices_per_second(100, 900, 2.0) == 500.0
+
+    def test_evps_is_ten_to_scale_over_tproc(self):
+        # Paper: EVPS = 10^scale / Tproc.
+        v, e, t = 4_350_000, 304_000_000, 2.1
+        evps = edges_and_vertices_per_second(v, e, t)
+        assert evps == pytest.approx((v + e) / t)
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            edges_per_second(10, 0.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            edges_and_vertices_per_second(1, 1, -1.0)
+
+
+class TestSpeedup:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_slowdown_is_inverse(self):
+        assert slowdown(10.0, 2.0) == pytest.approx(0.2)
+
+    def test_paper_example(self):
+        # §4.3: PGX.D speedup 15.0 means T(1)/T(32) = 15.
+        assert speedup(15.0, 1.0) == 15.0
+
+    def test_invalid_times(self):
+        with pytest.raises(ConfigurationError):
+            speedup(0.0, 1.0)
+
+
+class TestCoefficientOfVariation:
+    def test_constant_samples(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+
+    def test_known_value(self):
+        # std of [1,3] (population) is 1, mean is 2 -> CV 0.5.
+        assert coefficient_of_variation([1.0, 3.0]) == pytest.approx(0.5)
+
+    def test_scale_independent(self):
+        # The paper chooses CV for "its independence of the scale of the
+        # results".
+        samples = [1.0, 1.2, 0.9, 1.1]
+        scaled = [s * 1000 for s in samples]
+        assert coefficient_of_variation(samples) == pytest.approx(
+            coefficient_of_variation(scaled)
+        )
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ConfigurationError):
+            coefficient_of_variation([1.0])
+
+    def test_needs_positive_mean(self):
+        with pytest.raises(ConfigurationError):
+            coefficient_of_variation([0.0, 0.0])

@@ -1,0 +1,105 @@
+"""Miniature fidelity: do the replicas preserve what the models read?
+
+The performance models consume the *catalog metadata* (skew, degree
+moments); the miniatures exist to execute algorithms on structurally
+similar graphs. These tests verify the two layers tell the same story:
+where the catalog says a dataset is more skewed / denser / more
+clustered than another, the materialized miniatures agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.stats import compute_statistics, degree_skewness
+from repro.harness.datasets import get_dataset
+
+
+def mini(dataset_id):
+    return get_dataset(dataset_id).materialize()
+
+
+class TestSkewOrdering:
+    def test_graph500_more_skewed_than_datagen(self):
+        # The §4.6 split rests on this ordering; it must hold in the
+        # miniatures too, not just in the metadata.
+        g500 = degree_skewness(mini("G23").degrees())
+        datagen = degree_skewness(mini("D300").degrees())
+        assert g500 > 1.5 * datagen
+
+    def test_metadata_agrees(self):
+        assert (
+            get_dataset("G23").profile.memory_skew
+            > get_dataset("D300").profile.memory_skew
+        )
+
+    def test_wiki_talk_is_hub_dominated(self):
+        graph = mini("R1")
+        in_skew = degree_skewness(graph.in_degrees())
+        assert in_skew > 2.0  # talk pages: a few celebrity targets
+
+    def test_dota_league_is_dense(self):
+        # dota-league has the highest mean degree of the real graphs
+        # (167 at full scale); its miniature must also be the densest
+        # real-graph miniature.
+        density = {
+            d: compute_statistics(mini(d)).mean_degree
+            for d in ("R1", "R2", "R3", "R4")
+        }
+        assert max(density, key=density.get) == "R4"
+
+
+class TestStructuralClasses:
+    def test_citation_miniature_is_acyclic(self):
+        graph = mini("R3")
+        assert graph.directed
+        assert all(s > d for s, d in graph.edges())
+
+    def test_social_replicas_have_giant_component(self):
+        for dataset_id in ("R5", "R6"):
+            stats = compute_statistics(mini(dataset_id))
+            assert stats.largest_component_fraction > 0.6
+
+    def test_coplay_miniatures_clustered(self):
+        # Match-based graphs (kgs, dota-league) carry strong triangle
+        # structure; their miniatures must beat the datagen baseline.
+        kgs = compute_statistics(mini("R2")).mean_clustering_coefficient
+        assert kgs > 0.2
+
+    def test_datagen_variants_share_size(self):
+        base = mini("D100")
+        for variant in ("D100'", "D100\""):
+            graph = mini(variant)
+            assert graph.num_vertices == base.num_vertices
+            # Same catalog row except the CC target: sizes stay close.
+            assert graph.num_edges == pytest.approx(base.num_edges, rel=0.25)
+
+
+class TestBfsCoverageMetadata:
+    def test_kgs_low_coverage_is_metadata_only(self):
+        # The paper's 10%-coverage finding is a full-scale property of
+        # the pinned benchmark root; the model consumes the metadata.
+        assert get_dataset("R2").profile.bfs_coverage == pytest.approx(0.10)
+
+    def test_miniature_roots_reach_most_of_their_component(self):
+        from repro.algorithms.bfs import BFS_UNREACHABLE, breadth_first_search
+
+        for dataset_id in ("D100", "G22", "R4"):
+            ds = get_dataset(dataset_id)
+            graph = ds.materialize()
+            source = ds.algorithm_parameters("bfs")["source_vertex"]
+            depths = breadth_first_search(graph, source)
+            reached = np.count_nonzero(depths != BFS_UNREACHABLE)
+            assert reached > 0.5 * graph.num_vertices, dataset_id
+
+
+class TestWeightConventions:
+    def test_weighted_miniatures_have_positive_finite_weights(self):
+        for dataset_id in ("R4", "D100", "D300", "D1000"):
+            graph = mini(dataset_id)
+            assert graph.is_weighted
+            assert np.all(graph.edge_weights > 0)
+            assert np.all(np.isfinite(graph.edge_weights))
+
+    def test_unweighted_miniatures_have_no_weights(self):
+        for dataset_id in ("R1", "R2", "G22", "G26"):
+            assert not mini(dataset_id).is_weighted

@@ -1,0 +1,99 @@
+"""Tests for the renewal process (paper §2.4)."""
+
+from repro.harness.renewal import RenewalProcess
+from repro.harness.survey import SurveyClass
+
+
+CORE = ("bfs", "pr", "wcc", "cdlp", "lcc", "sssp")
+
+
+class TestAlgorithmReselection:
+    def test_stable_with_same_surveys(self):
+        process = RenewalProcess(CORE)
+        selected, added, obsoleted = process.reselect_algorithms()
+        assert set(selected) == set(CORE)
+        assert added == ()
+        assert obsoleted == ()
+
+    def test_new_class_adds_algorithm(self):
+        # A fresh survey where Traversal has faded and a new class rose.
+        fresh = (
+            SurveyClass("Statistics", 30, ("pr", "lcc")),
+            SurveyClass("Traversal", 30, ("bfs",)),
+            SurveyClass("Components", 25, ("wcc", "cdlp")),
+            SurveyClass("Embeddings", 25, ("emb",)),
+        )
+        process = RenewalProcess(CORE)
+        selected, added, obsoleted = process.reselect_algorithms(
+            unweighted_survey=fresh, weighted_survey=(),
+        )
+        assert "emb" in added
+        assert "sssp" in obsoleted  # weighted survey empty this round
+
+    def test_faded_class_marks_obsolete(self):
+        fresh = (
+            SurveyClass("Traversal", 95, ("bfs",)),
+            SurveyClass("Statistics", 5, ("pr", "lcc")),
+        )
+        process = RenewalProcess(CORE)
+        _, _, obsoleted = process.reselect_algorithms(
+            unweighted_survey=fresh, weighted_survey=(),
+        )
+        assert "pr" in obsoleted
+
+
+class TestClassLRecalibration:
+    def test_all_fast_largest_class_wins(self):
+        makespans = {7.8: 100.0, 8.5: 900.0, 9.0: 3000.0}
+        label = RenewalProcess.recalibrate_reference_class(makespans)
+        assert label == "XL"
+
+    def test_slow_class_excluded(self):
+        makespans = {7.8: 100.0, 8.5: 900.0, 9.0: 5000.0}
+        label = RenewalProcess.recalibrate_reference_class(makespans)
+        assert label == "L"
+
+    def test_one_slow_graph_disqualifies_class(self):
+        # Class L holds only if *all* graphs in the class finish in time.
+        makespans = {8.5: 900.0, 8.7: 4000.0}
+        label = RenewalProcess.recalibrate_reference_class(makespans)
+        assert label != "L"
+
+    def test_integrates_with_stress_results(self):
+        # Drive recalibration from the modeled best-platform makespans.
+        from repro.harness.datasets import DATASETS
+        from repro.platforms.cluster import ClusterResources
+        from repro.platforms.registry import PLATFORMS, create_driver
+
+        makespans = {}
+        for ds in DATASETS.values():
+            best = None
+            for name in PLATFORMS:
+                model = create_driver(name).model
+                r = ClusterResources()
+                if not model.fits_in_memory("bfs", ds.profile, r):
+                    continue
+                m = model.makespan("bfs", ds.profile, r)
+                best = m if best is None else min(best, m)
+            if best is not None:
+                makespans[ds.profile.scale] = best
+        label = RenewalProcess.recalibrate_reference_class(makespans)
+        # With 2016-era platforms, the largest hour-feasible class
+        # includes the XL graphs (G26/D1000 complete on PowerGraph/OpenG).
+        assert label in ("L", "XL")
+
+
+class TestFullRenewal:
+    def test_renew_produces_decision(self):
+        process = RenewalProcess(CORE, version=1)
+        decision = process.renew({8.5: 900.0})
+        assert decision.version == 2
+        assert set(decision.algorithms) == set(CORE)
+        assert decision.reference_class == "L"
+        assert any("recalibrated" in note for note in decision.notes)
+
+    def test_obsolete_noted(self):
+        process = RenewalProcess(CORE + ("pagerank2",))
+        decision = process.renew({8.5: 100.0})
+        assert "pagerank2" in decision.obsoleted_algorithms
+        assert any("obsolete" in note for note in decision.notes)

@@ -1,0 +1,114 @@
+"""Tests for the Markdown report generator."""
+
+import pytest
+
+from repro.harness.report import render_report, save_report, summarize
+from repro.harness.results import BenchmarkResult, ResultsDatabase
+
+
+def make_result(**overrides):
+    defaults = dict(
+        platform="GraphMat",
+        algorithm="bfs",
+        dataset="D300",
+        machines=1,
+        threads=32,
+        status="succeeded",
+        modeled_processing_time=0.3,
+        evps=1.0e9,
+        sla_compliant=True,
+        validated=True,
+    )
+    defaults.update(overrides)
+    return BenchmarkResult(**defaults)
+
+
+@pytest.fixture
+def database():
+    return ResultsDatabase(
+        [
+            make_result(),
+            make_result(platform="Giraph", modeled_processing_time=22.3,
+                        evps=1.4e7),
+            make_result(platform="PGX.D", algorithm="lcc",
+                        status="not-supported", sla_compliant=False,
+                        modeled_processing_time=None, evps=None,
+                        validated=None),
+            make_result(platform="GraphX", dataset="G25",
+                        status="failed-memory", sla_compliant=False,
+                        modeled_processing_time=None, evps=None,
+                        validated=None),
+        ]
+    )
+
+
+class TestSummarize:
+    def test_counts(self, database):
+        summary = summarize(database)
+        assert summary["jobs"] == 4
+        assert summary["succeeded"] == 2
+        assert summary["sla_compliant"] == 2
+        assert summary["validated"] == 2
+
+    def test_failures_by_status(self, database):
+        summary = summarize(database)
+        assert summary["failures"] == {
+            "not-supported": 1,
+            "failed-memory": 1,
+        }
+
+    def test_dimension_lists(self, database):
+        summary = summarize(database)
+        assert "GraphMat" in summary["platforms"]
+        assert "bfs" in summary["algorithms"]
+
+
+class TestRenderReport:
+    def test_header_and_sections(self, database):
+        text = render_report(database, title="My run")
+        assert text.startswith("# My run")
+        assert "## BFS" in text
+        assert "## LCC" in text
+
+    def test_cells(self, database):
+        text = render_report(database)
+        assert "300.0 ms" in text      # GraphMat BFS
+        assert "NA" in text            # PGX.D LCC
+        assert "FAIL" in text          # GraphX memory failure
+
+    def test_throughput_leader(self, database):
+        text = render_report(database)
+        assert "Fastest (EVPS): D300: GraphMat" in text
+
+    def test_empty_database(self):
+        text = render_report(ResultsDatabase())
+        assert "0 jobs" in text
+
+    def test_mean_over_repetitions(self):
+        db = ResultsDatabase(
+            [
+                make_result(run_index=0, modeled_processing_time=1.0),
+                make_result(run_index=1, modeled_processing_time=3.0),
+            ]
+        )
+        assert "2.00 s" in render_report(db)
+
+    def test_save_report(self, database, tmp_path):
+        path = save_report(database, tmp_path / "report.md")
+        assert path.read_text().startswith("# Graphalytics benchmark report")
+
+
+class TestEndToEnd:
+    def test_report_from_real_run(self, tmp_path):
+        from repro.harness.config import BenchmarkConfig
+        from repro.harness.runner import BenchmarkRunner
+
+        config = BenchmarkConfig(
+            platforms=["openg", "graphmat"],
+            datasets=["R1"],
+            algorithms=["bfs", "pr"],
+        )
+        db = BenchmarkRunner(config).run()
+        text = render_report(db)
+        assert "## BFS" in text and "## PR" in text
+        assert "OpenG" in text and "GraphMat" in text

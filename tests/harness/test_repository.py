@@ -1,0 +1,172 @@
+"""Tests for the public results repository."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.harness.repository import Regression, ResultsRepository, RunMetadata
+from repro.harness.results import BenchmarkResult, ResultsDatabase
+
+
+def make_result(**overrides):
+    defaults = dict(
+        platform="GraphMat",
+        algorithm="bfs",
+        dataset="D300",
+        machines=1,
+        threads=32,
+        status="succeeded",
+        modeled_processing_time=0.3,
+        sla_compliant=True,
+        validated=True,
+    )
+    defaults.update(overrides)
+    return BenchmarkResult(**defaults)
+
+
+@pytest.fixture
+def repo(tmp_path):
+    return ResultsRepository(tmp_path / "repo")
+
+
+@pytest.fixture
+def database():
+    return ResultsDatabase([make_result()])
+
+
+class TestMetadata:
+    def test_valid(self):
+        meta = RunMetadata("run-1", "GraphMat on DAS-5")
+        assert meta.run_id == "run-1"
+
+    def test_invalid_run_id(self):
+        with pytest.raises(ConfigurationError, match="run id"):
+            RunMetadata("bad/id", "sut")
+
+    def test_empty_sut(self):
+        with pytest.raises(ConfigurationError, match="system_under_test"):
+            RunMetadata("run-1", "")
+
+
+class TestSubmission:
+    def test_submit_and_reload(self, repo, database):
+        meta = RunMetadata("run-1", "GraphMat on DAS-5", submitter="intel")
+        path = repo.submit(meta, database)
+        assert path.exists()
+        assert repo.run_ids() == ["run-1"]
+        assert repo.metadata("run-1").submitter == "intel"
+        loaded = repo.load("run-1")
+        assert len(loaded) == 1
+        assert loaded.one(platform="GraphMat").modeled_processing_time == 0.3
+
+    def test_duplicate_rejected(self, repo, database):
+        meta = RunMetadata("run-1", "sut")
+        repo.submit(meta, database)
+        with pytest.raises(ConfigurationError, match="already exists"):
+            repo.submit(meta, database)
+
+    def test_empty_run_rejected(self, repo):
+        with pytest.raises(ConfigurationError, match="empty run"):
+            repo.submit(RunMetadata("run-1", "sut"), ResultsDatabase())
+
+    def test_unvalidated_results_rejected(self, repo):
+        db = ResultsDatabase([make_result(validated=None)])
+        with pytest.raises(ValidationError, match="lack output validation"):
+            repo.submit(RunMetadata("run-1", "sut"), db)
+
+    def test_unvalidated_allowed_when_opted_out(self, repo):
+        db = ResultsDatabase([make_result(validated=None)])
+        repo.submit(RunMetadata("run-1", "sut"), db, require_validation=False)
+        assert repo.run_ids() == ["run-1"]
+
+    def test_failed_jobs_do_not_need_validation(self, repo):
+        db = ResultsDatabase(
+            [make_result(), make_result(status="crashed", validated=None,
+                                        sla_compliant=False)]
+        )
+        repo.submit(RunMetadata("run-1", "sut"), db)
+
+    def test_unknown_run(self, repo):
+        with pytest.raises(ConfigurationError, match="unknown run"):
+            repo.load("nope")
+
+
+class TestCrossRunAnalysis:
+    def test_best_platform(self, repo):
+        repo.submit(
+            RunMetadata("vendor-a", "A"),
+            ResultsDatabase([make_result(platform="A", modeled_processing_time=2.0)]),
+        )
+        repo.submit(
+            RunMetadata("vendor-b", "B"),
+            ResultsDatabase([make_result(platform="B", modeled_processing_time=0.5)]),
+        )
+        best = repo.best_platform("bfs", "D300")
+        assert best["platform"] == "B"
+        assert best["run_id"] == "vendor-b"
+
+    def test_best_platform_ignores_sla_breakers(self, repo):
+        repo.submit(
+            RunMetadata("r", "sut"),
+            ResultsDatabase(
+                [make_result(modeled_processing_time=0.1, sla_compliant=False)]
+            ),
+            require_validation=False,
+        )
+        assert repo.best_platform("bfs", "D300") is None
+
+    def test_best_platform_no_match(self, repo, database):
+        repo.submit(RunMetadata("r", "sut"), database)
+        assert repo.best_platform("sssp", "R4") is None
+
+    def test_regression_detection(self, repo):
+        repo.submit(
+            RunMetadata("v1", "sut"),
+            ResultsDatabase([make_result(modeled_processing_time=1.0)]),
+        )
+        repo.submit(
+            RunMetadata("v2", "sut"),
+            ResultsDatabase([make_result(modeled_processing_time=1.5)]),
+        )
+        regressions = repo.regressions("v1", "v2")
+        assert len(regressions) == 1
+        assert regressions[0].slowdown == pytest.approx(1.5)
+
+    def test_no_regression_below_threshold(self, repo):
+        repo.submit(
+            RunMetadata("v1", "sut"),
+            ResultsDatabase([make_result(modeled_processing_time=1.0)]),
+        )
+        repo.submit(
+            RunMetadata("v2", "sut"),
+            ResultsDatabase([make_result(modeled_processing_time=1.05)]),
+        )
+        assert repo.regressions("v1", "v2") == []
+
+    def test_improvements_are_not_regressions(self, repo):
+        repo.submit(
+            RunMetadata("v1", "sut"),
+            ResultsDatabase([make_result(modeled_processing_time=1.0)]),
+        )
+        repo.submit(
+            RunMetadata("v2", "sut"),
+            ResultsDatabase([make_result(modeled_processing_time=0.5)]),
+        )
+        assert repo.regressions("v1", "v2") == []
+
+    def test_regressions_sorted_by_slowdown(self, repo):
+        old = ResultsDatabase(
+            [
+                make_result(dataset="D300", modeled_processing_time=1.0),
+                make_result(dataset="G22", modeled_processing_time=1.0),
+            ]
+        )
+        new = ResultsDatabase(
+            [
+                make_result(dataset="D300", modeled_processing_time=2.0),
+                make_result(dataset="G22", modeled_processing_time=5.0),
+            ]
+        )
+        repo.submit(RunMetadata("v1", "sut"), old)
+        repo.submit(RunMetadata("v2", "sut"), new)
+        regressions = repo.regressions("v1", "v2")
+        assert [r.dataset for r in regressions] == ["G22", "D300"]

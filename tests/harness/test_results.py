@@ -1,0 +1,96 @@
+"""Tests for the results database."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.harness.results import BenchmarkResult, ResultsDatabase
+
+
+def make_result(**overrides):
+    defaults = dict(
+        platform="GraphMat",
+        algorithm="bfs",
+        dataset="D300",
+        machines=1,
+        threads=32,
+        status="succeeded",
+        modeled_processing_time=0.3,
+        sla_compliant=True,
+    )
+    defaults.update(overrides)
+    return BenchmarkResult(**defaults)
+
+
+class TestDatabase:
+    def test_add_and_len(self):
+        db = ResultsDatabase()
+        db.add(make_result())
+        assert len(db) == 1
+
+    def test_extend_and_iterate(self):
+        db = ResultsDatabase()
+        db.extend([make_result(), make_result(algorithm="pr")])
+        assert {r.algorithm for r in db} == {"bfs", "pr"}
+
+    def test_query_by_platform_case_insensitive(self):
+        db = ResultsDatabase([make_result()])
+        assert len(db.query(platform="graphmat")) == 1
+
+    def test_query_multiple_filters(self):
+        db = ResultsDatabase(
+            [
+                make_result(),
+                make_result(algorithm="pr"),
+                make_result(machines=4),
+            ]
+        )
+        assert len(db.query(algorithm="bfs", machines=1)) == 1
+
+    def test_query_by_status(self):
+        db = ResultsDatabase(
+            [make_result(), make_result(status="failed-memory")]
+        )
+        assert len(db.query(status="failed-memory")) == 1
+
+    def test_one(self):
+        db = ResultsDatabase([make_result()])
+        assert db.one(platform="GraphMat").dataset == "D300"
+
+    def test_one_rejects_ambiguity(self):
+        db = ResultsDatabase([make_result(), make_result()])
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            db.one(platform="GraphMat")
+
+    def test_processing_times_only_successful(self):
+        db = ResultsDatabase(
+            [
+                make_result(modeled_processing_time=1.0),
+                make_result(status="crashed", modeled_processing_time=2.0),
+            ]
+        )
+        assert db.processing_times(dataset="D300") == [1.0]
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        db = ResultsDatabase([make_result(), make_result(algorithm="pr")])
+        path = db.save(tmp_path / "results.json")
+        loaded = ResultsDatabase.load(path)
+        assert len(loaded) == 2
+        assert loaded.query(algorithm="pr")[0] == db.query(algorithm="pr")[0]
+
+    def test_save_creates_directories(self, tmp_path):
+        db = ResultsDatabase([make_result()])
+        path = db.save(tmp_path / "deep" / "dir" / "results.json")
+        assert path.exists()
+
+
+class TestBenchmarkResult:
+    def test_succeeded_property(self):
+        assert make_result().succeeded
+        assert not make_result(status="crashed").succeeded
+
+    def test_as_dict(self):
+        d = make_result().as_dict()
+        assert d["platform"] == "GraphMat"
+        assert d["sla_compliant"] is True

@@ -1,0 +1,77 @@
+"""Tests for scale computation and T-shirt classes (Table 2)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.harness.scale import (
+    class_order,
+    classes_up_to,
+    graph_scale,
+    scale_class,
+)
+
+
+class TestScaleClass:
+    @pytest.mark.parametrize(
+        "scale,label",
+        [
+            (6.9, "2XS"),
+            (5.0, "2XS"),
+            (7.0, "XS"),
+            (7.3, "XS"),
+            (7.5, "S"),
+            (7.8, "S"),
+            (8.0, "M"),
+            (8.4, "M"),
+            (8.5, "L"),
+            (8.7, "L"),
+            (9.0, "XL"),
+            (9.3, "XL"),
+            (9.5, "2XL"),
+            (11.0, "2XL"),
+        ],
+    )
+    def test_table2_mapping(self, scale, label):
+        assert scale_class(scale) == label
+
+    def test_boundaries_are_half_open(self):
+        assert scale_class(7.4999) == "XS"
+        assert scale_class(7.5) == "S"
+
+    @pytest.mark.parametrize(
+        "dataset,scale,label",
+        [
+            ("wiki-talk", 6.9, "2XS"),
+            ("dota-league", 7.7, "S"),
+            ("datagen-300", 8.5, "L"),
+            ("graph500-26", 9.0, "XL"),
+            ("com-friendster", 9.3, "XL"),
+        ],
+    )
+    def test_paper_dataset_labels(self, dataset, scale, label):
+        assert scale_class(scale) == label
+
+
+class TestClassOrder:
+    def test_ordering(self):
+        assert class_order("2XS") < class_order("XS") < class_order("S")
+        assert class_order("L") < class_order("XL") < class_order("2XL")
+
+    def test_unknown_label(self):
+        with pytest.raises(ConfigurationError, match="unknown scale class"):
+            class_order("3XL")
+
+    def test_classes_up_to_l(self):
+        assert classes_up_to("L") == ["2XS", "XS", "S", "M", "L"]
+
+    def test_classes_up_to_smallest(self):
+        assert classes_up_to("2XS") == ["2XS"]
+
+
+class TestGraphScale:
+    def test_matches_dataset_catalog(self):
+        from repro.harness.datasets import DATASETS
+
+        for ds in DATASETS.values():
+            p = ds.profile
+            assert graph_scale(p.num_vertices, p.num_edges) == p.scale

@@ -1,0 +1,33 @@
+"""Tests for the installation self-check."""
+
+from repro.harness.selfcheck import CHECKS, run_selfcheck
+
+
+class TestSelfcheck:
+    def test_all_checks_pass_here(self):
+        results = run_selfcheck()
+        failed = [r for r in results if not r.passed]
+        assert not failed, failed
+
+    def test_six_checks_defined(self):
+        assert len(CHECKS) == 6
+        names = [name for name, _ in CHECKS]
+        assert "calibration" in names and "determinism" in names
+
+    def test_details_are_informative(self):
+        for result in run_selfcheck():
+            assert result.detail
+
+    def test_failures_are_captured_not_raised(self, monkeypatch):
+        import repro.harness.selfcheck as sc
+
+        def broken():
+            raise AssertionError("intentionally broken")
+
+        monkeypatch.setattr(
+            sc, "CHECKS", [("broken", broken)] + sc.CHECKS[:1]
+        )
+        results = sc.run_selfcheck()
+        assert results[0].passed is False
+        assert "intentionally broken" in results[0].detail
+        assert results[1].passed is True

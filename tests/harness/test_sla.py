@@ -1,0 +1,49 @@
+"""Tests for the service-level agreement (paper §2.3)."""
+
+from repro.harness.sla import SLA_MAKESPAN_SECONDS, job_successful, sla_compliant
+from repro.platforms.base import JobResult, JobStatus
+from repro.platforms.cluster import ClusterResources
+
+
+def make_result(status=JobStatus.SUCCEEDED, makespan=100.0):
+    return JobResult(
+        platform="X",
+        algorithm="bfs",
+        dataset="D300",
+        resources=ClusterResources(),
+        status=status,
+        modeled_makespan=makespan,
+    )
+
+
+class TestSLA:
+    def test_budget_is_one_hour(self):
+        assert SLA_MAKESPAN_SECONDS == 3600.0
+
+    def test_fast_success_compliant(self):
+        assert sla_compliant(make_result())
+
+    def test_exactly_one_hour_compliant(self):
+        assert sla_compliant(make_result(makespan=3600.0))
+
+    def test_over_one_hour_breaks_sla(self):
+        assert not sla_compliant(make_result(makespan=3600.1))
+
+    def test_crash_breaks_sla(self):
+        assert not sla_compliant(make_result(status=JobStatus.CRASHED))
+
+    def test_memory_failure_breaks_sla(self):
+        assert not sla_compliant(make_result(status=JobStatus.FAILED_MEMORY))
+
+    def test_not_supported_breaks_sla(self):
+        assert not sla_compliant(make_result(status=JobStatus.NOT_SUPPORTED))
+
+    def test_custom_budget(self):
+        assert not sla_compliant(make_result(makespan=100.0), budget=50.0)
+
+    def test_missing_makespan_treated_as_compliant(self):
+        assert sla_compliant(make_result(makespan=None))
+
+    def test_job_successful_alias(self):
+        assert job_successful(make_result())
+        assert not job_successful(make_result(makespan=9999.0))

@@ -1,0 +1,250 @@
+"""Tests for the performance-model mechanics (platform-independent)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.platforms.cluster import ClusterResources
+from repro.platforms.model import PerformanceModel, WorkloadProfile
+
+
+def make_profile(**overrides):
+    defaults = dict(
+        name="test",
+        num_vertices=1_000_000,
+        num_edges=20_000_000,
+        directed=False,
+        weighted=False,
+        mean_degree=40.0,
+        degree_cv2=2.0,
+        memory_skew=1.0,
+    )
+    defaults.update(overrides)
+    return WorkloadProfile(**defaults)
+
+
+def make_model(**overrides):
+    defaults = dict(
+        base_evps=100e6,
+        tproc_floor=0.1,
+        parallel_fraction={"*": 0.95},
+        dist_exponent={"*": 0.8},
+        bytes_per_element=50.0,
+    )
+    defaults.update(overrides)
+    return PerformanceModel(**defaults)
+
+
+def R(machines=1, threads=None):
+    return ClusterResources(machines=machines, threads=threads)
+
+
+class TestWorkloadProfile:
+    def test_elements_and_scale(self):
+        p = make_profile()
+        assert p.elements == 21_000_000
+        assert p.scale == pytest.approx(7.3)
+
+    def test_degree_second_moment(self):
+        p = make_profile(mean_degree=10.0, degree_cv2=3.0)
+        # V * d^2 * (1 + cv2)
+        assert p.degree_second_moment_sum == pytest.approx(1e6 * 100 * 4)
+
+
+class TestWork:
+    def test_bfs_work_is_elements(self):
+        model = make_model()
+        assert model.work_elements("bfs", make_profile()) == pytest.approx(21e6)
+
+    def test_pr_work_scales_with_factor(self):
+        model = make_model()
+        assert model.work_elements("pr", make_profile()) == pytest.approx(7.5 * 21e6)
+
+    def test_queue_based_bfs_uses_coverage(self):
+        model = make_model(queue_based_bfs=True)
+        p = make_profile(bfs_coverage=0.10)
+        assert model.work_elements("bfs", p) == pytest.approx(2.1e6)
+
+    def test_lcc_work_quadratic_in_degree(self):
+        model = make_model()
+        sparse = make_profile(mean_degree=5.0)
+        dense = make_profile(mean_degree=50.0)
+        ratio = model.work_elements("lcc", dense) / model.work_elements("lcc", sparse)
+        assert ratio == pytest.approx(100.0)
+
+    def test_wcc_component_penalty(self):
+        plain = make_model()
+        penalized = make_model(wcc_component_penalty=0.5)
+        p = make_profile(component_count=100_000)
+        assert penalized.work_elements("wcc", p) > plain.work_elements("wcc", p)
+
+    def test_algorithm_adjust_applies(self):
+        model = make_model(algorithm_adjust={"pr": 2.0})
+        base = make_model()
+        p = make_profile()
+        assert model.work_elements("pr", p) == pytest.approx(
+            2.0 * base.work_elements("pr", p)
+        )
+
+
+class TestVerticalScaling:
+    def test_more_threads_is_faster(self):
+        model = make_model()
+        p = make_profile()
+        t1 = model.processing_time("bfs", p, R(threads=1))
+        t16 = model.processing_time("bfs", p, R(threads=16))
+        assert t16 < t1
+
+    def test_amdahl_bounds_speedup(self):
+        model = make_model(parallel_fraction={"*": 0.5}, tproc_floor=0.0)
+        p = make_profile()
+        t1 = model.processing_time("bfs", p, R(threads=1))
+        t32 = model.processing_time("bfs", p, R(threads=32))
+        assert t1 / t32 < 2.0  # serial fraction 0.5 caps speedup below 2
+
+    def test_hyperthreading_yield(self):
+        # base_evps is the full-node rate, so HT yield shows up as a
+        # 16-thread run being slower than the 32-thread run.
+        with_ht = make_model(ht_yield=0.5)
+        p = make_profile()
+        assert with_ht.processing_time(
+            "bfs", p, R(threads=32)
+        ) < with_ht.processing_time("bfs", p, R(threads=16))
+
+    def test_no_ht_means_16_equals_32(self):
+        model = make_model(ht_yield=0.0)
+        p = make_profile()
+        assert model.processing_time("bfs", p, R(threads=16)) == pytest.approx(
+            model.processing_time("bfs", p, R(threads=32))
+        )
+
+
+class TestHorizontalScaling:
+    def test_distribution_shock(self):
+        model = make_model(dist_shock=3.0, dist_exponent={"*": 1.0})
+        p = make_profile()
+        t1 = model.processing_time("bfs", p, R(machines=1))
+        t2 = model.processing_time("bfs", p, R(machines=2))
+        assert t2 > t1  # 2 machines slower than 1: the shock
+
+    def test_recovery_with_more_machines(self):
+        model = make_model(dist_shock=3.0, dist_exponent={"*": 1.0})
+        p = make_profile()
+        t2 = model.processing_time("bfs", p, R(machines=2))
+        t16 = model.processing_time("bfs", p, R(machines=16))
+        assert t16 < t2
+
+    def test_shock_adjust_per_algorithm(self):
+        model = make_model(dist_shock=2.0, dist_shock_adjust={"pr": 2.0})
+        p = make_profile()
+        bfs_ratio = model.processing_time(
+            "bfs", p, R(machines=2)
+        ) / model.processing_time("bfs", p, R(machines=1))
+        pr_ratio = model.processing_time(
+            "pr", p, R(machines=2)
+        ) / model.processing_time("pr", p, R(machines=1))
+        assert pr_ratio > bfs_ratio
+
+    def test_non_distributed_rejects_machines(self):
+        model = make_model(distributed=False)
+        with pytest.raises(ConfigurationError):
+            model.processing_time("bfs", make_profile(), R(machines=2))
+
+
+class TestMemoryModel:
+    def test_footprint_scales_with_elements(self):
+        model = make_model(bytes_per_element=50.0)
+        p = make_profile()
+        assert model.memory_footprint_bytes("bfs", p) == pytest.approx(
+            21e6 * 50
+        )
+
+    def test_skew_sensitivity(self):
+        model = make_model(skew_sensitivity=2.0)
+        skewed = make_profile(memory_skew=1.5)
+        plain = make_profile(memory_skew=1.0)
+        assert model.memory_footprint_bytes("bfs", skewed) == pytest.approx(
+            2.0 * model.memory_footprint_bytes("bfs", plain)
+        )
+
+    def test_memory_alg_multiplier(self):
+        model = make_model(memory_alg_mult={"lcc": 10.0})
+        p = make_profile()
+        assert model.memory_footprint_bytes("lcc", p) == pytest.approx(
+            10 * model.memory_footprint_bytes("bfs", p)
+        )
+
+    def test_distribution_divides_demand(self):
+        model = make_model(boundary_fraction=0.0, replication=0.0)
+        p = make_profile()
+        single = model.memory_demand_per_machine("bfs", p, R(machines=1))
+        quad = model.memory_demand_per_machine("bfs", p, R(machines=4))
+        assert quad == pytest.approx(single / 4)
+
+    def test_boundary_fraction_limits_scaling(self):
+        model = make_model(boundary_fraction=0.5, replication=0.0)
+        p = make_profile()
+        single = model.memory_demand_per_machine("bfs", p, R(machines=1))
+        many = model.memory_demand_per_machine("bfs", p, R(machines=64))
+        assert many > 0.49 * single  # the boundary share never shrinks
+
+    def test_fits_in_memory(self):
+        model = make_model(bytes_per_element=50.0)
+        small = make_profile()
+        huge = make_profile(num_edges=3_000_000_000)
+        assert model.fits_in_memory("bfs", small, R())
+        assert not model.fits_in_memory("bfs", huge, R())
+
+    def test_swap_penalty_kicks_in_near_capacity(self):
+        model = make_model(swap_threshold=0.5, swap_penalty=4.0)
+        # ~1.22 GiB demand on 64 GiB is fine; scale the profile up to
+        # ~80% of capacity to trigger swapping.
+        p = make_profile(num_edges=1_100_000_000)
+        assert model.swap_multiplier("bfs", p, R()) > 1.0
+        assert model.swap_multiplier("bfs", make_profile(), R()) == 1.0
+
+
+class TestMakespanAndVariability:
+    def test_makespan_components(self):
+        model = make_model(fixed_overhead=10.0, load_rate=1e6)
+        p = make_profile()
+        tproc = model.processing_time("bfs", p, R())
+        makespan = model.makespan("bfs", p, R())
+        assert makespan == pytest.approx(10.0 + 21.0 + tproc + 0.5)
+
+    def test_upload_time(self):
+        model = make_model(upload_rate=1e6)
+        assert model.upload_time(make_profile()) == pytest.approx(21.0)
+
+    def test_variability_deterministic_per_key(self):
+        model = make_model(variability_cv_single=0.1)
+        a = model.apply_variability(10.0, R(), seed_key=("x", 1))
+        b = model.apply_variability(10.0, R(), seed_key=("x", 1))
+        assert a == b
+
+    def test_variability_differs_across_keys(self):
+        model = make_model(variability_cv_single=0.1)
+        a = model.apply_variability(10.0, R(), seed_key=("x", 1))
+        b = model.apply_variability(10.0, R(), seed_key=("x", 2))
+        assert a != b
+
+    def test_zero_cv_is_identity(self):
+        model = make_model(variability_cv_single=0.0)
+        assert model.apply_variability(10.0, R(), seed_key=("x",)) == 10.0
+
+    def test_sampled_cv_matches_parameter(self):
+        model = make_model(variability_cv_single=0.08)
+        samples = [
+            model.apply_variability(10.0, R(), seed_key=("k", i))
+            for i in range(500)
+        ]
+        import numpy as np
+
+        arr = np.array(samples)
+        assert arr.std() / arr.mean() == pytest.approx(0.08, rel=0.25)
+        assert arr.mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_distributed_cv_used(self):
+        model = make_model(
+            variability_cv_single=0.0, variability_cv_distributed=0.2
+        )
+        assert model.variability_cv(R(machines=2)) == 0.2

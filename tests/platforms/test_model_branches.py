@@ -1,0 +1,127 @@
+"""Branch-coverage tests for performance-model paths not hit elsewhere."""
+
+import pytest
+
+from repro.platforms.cluster import ClusterResources
+from repro.platforms.model import PerformanceModel, WorkloadProfile
+
+
+def make_profile(**overrides):
+    defaults = dict(
+        name="branch-test",
+        num_vertices=10_000_000,
+        num_edges=500_000_000,
+        directed=False,
+        weighted=False,
+        mean_degree=100.0,
+        degree_cv2=1.0,
+        memory_skew=1.0,
+    )
+    defaults.update(overrides)
+    return WorkloadProfile(**defaults)
+
+
+def R(machines=1, threads=None):
+    return ClusterResources(machines=machines, threads=threads)
+
+
+class TestRateModifiers:
+    def test_scale_sensitivity_slows_large_inputs(self):
+        model = PerformanceModel(base_evps=1e8, tproc_floor=0.0,
+                                 scale_sensitivity=2.0)
+        flat = PerformanceModel(base_evps=1e8, tproc_floor=0.0)
+        big = make_profile()
+        assert model.processing_time("bfs", big, R()) > flat.processing_time(
+            "bfs", big, R()
+        )
+
+    def test_scale_sensitivity_inactive_below_reference(self):
+        model = PerformanceModel(base_evps=1e8, tproc_floor=0.0,
+                                 scale_sensitivity=5.0)
+        small = make_profile(num_vertices=1_000_000, num_edges=10_000_000,
+                             mean_degree=20.0)
+        flat = PerformanceModel(base_evps=1e8, tproc_floor=0.0)
+        assert model.processing_time("bfs", small, R()) == pytest.approx(
+            flat.processing_time("bfs", small, R())
+        )
+
+    def test_rate_skew_sensitivity(self):
+        model = PerformanceModel(base_evps=1e8, tproc_floor=0.0,
+                                 rate_skew_sensitivity=1.0)
+        skewed = make_profile(memory_skew=1.5,
+                              num_vertices=1_000_000,
+                              num_edges=10_000_000, mean_degree=20.0)
+        plain = make_profile(num_vertices=1_000_000,
+                             num_edges=10_000_000, mean_degree=20.0)
+        assert model.processing_time("bfs", skewed, R()) == pytest.approx(
+            1.5 * model.processing_time("bfs", plain, R())
+        )
+
+
+class TestFallbackTables:
+    def test_default_parallel_fraction_star(self):
+        model = PerformanceModel(base_evps=1e8, tproc_floor=0.0,
+                                 parallel_fraction={"*": 0.5})
+        assert model._fraction("cdlp") == 0.5
+
+    def test_default_exponent_star(self):
+        model = PerformanceModel(base_evps=1e8, tproc_floor=0.0,
+                                 dist_exponent={"*": 0.4})
+        assert model._exponent("wcc") == 0.4
+
+    def test_hardcoded_defaults_when_tables_empty(self):
+        model = PerformanceModel(base_evps=1e8, tproc_floor=0.0)
+        assert model._fraction("bfs") == 0.9
+        assert model._exponent("bfs") == 0.8
+
+    def test_shock_adjust_default_is_one(self):
+        model = PerformanceModel(base_evps=1e8, tproc_floor=0.0,
+                                 dist_shock=2.0)
+        assert model.machine_scaling_factor("bfs", 2) == pytest.approx(0.5)
+
+
+class TestDistFloor:
+    def test_applied_only_when_distributed(self):
+        model = PerformanceModel(base_evps=1e12, tproc_floor=0.0,
+                                 dist_floor=5.0, dist_shock=1.0,
+                                 dist_exponent={"*": 1.0})
+        profile = make_profile(num_vertices=100, num_edges=1000,
+                               mean_degree=20.0)
+        single = model.processing_time("bfs", profile, R(1))
+        double = model.processing_time("bfs", profile, R(2))
+        assert single < 1.0
+        assert double == pytest.approx(single * 0.5 + 5.0, abs=0.5)
+
+
+class TestMemoryEdges:
+    def test_capacity_is_95_percent(self):
+        model = PerformanceModel(base_evps=1e8, tproc_floor=0.0)
+        assert model.memory_capacity_per_machine(R()) == pytest.approx(
+            0.95 * 64 * 2 ** 30
+        )
+
+    def test_swap_multiplier_caps_at_penalty(self):
+        model = PerformanceModel(base_evps=1e8, tproc_floor=0.0,
+                                 bytes_per_element=1e6,
+                                 swap_threshold=0.5, swap_penalty=3.0)
+        # Demand far above capacity: multiplier saturates at the penalty
+        # (the job would OOM before running; the multiplier stays bounded).
+        profile = make_profile()
+        assert model.swap_multiplier("bfs", profile, R()) == pytest.approx(3.0)
+
+    def test_work_elements_unknown_algorithm(self):
+        from repro.exceptions import UnsupportedAlgorithmError
+
+        model = PerformanceModel(base_evps=1e8, tproc_floor=0.0)
+        with pytest.raises(UnsupportedAlgorithmError):
+            model.work_elements("dfs", make_profile())
+
+
+class TestWorkloadProfileEdges:
+    def test_empty_profile_scale(self):
+        profile = WorkloadProfile(
+            name="empty", num_vertices=0, num_edges=0, directed=False,
+            weighted=False, mean_degree=0.0, degree_cv2=0.0,
+        )
+        assert profile.scale == 0.0
+        assert profile.elements == 0

@@ -1,0 +1,67 @@
+"""Tests for native-model driver execution (Pregel/GAS/SpMV backends)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graph.generators import erdos_renyi
+from repro.platforms.registry import create_driver
+
+NATIVE_PLATFORMS = ("giraph", "powergraph", "graphmat")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(50, 0.1, weighted=True, seed=6, name="native-test")
+
+
+class TestNativeMode:
+    @pytest.mark.parametrize("platform", NATIVE_PLATFORMS)
+    @pytest.mark.parametrize("algorithm", ["bfs", "pr", "wcc", "cdlp", "sssp"])
+    def test_native_output_matches_reference(self, platform, algorithm, graph):
+        native = create_driver(platform, execution="native")
+        reference = create_driver(platform)
+        params = (
+            {"source_vertex": int(graph.vertex_ids[0])}
+            if algorithm in ("bfs", "sssp")
+            else {}
+        )
+        native_job = native.execute(native.upload(graph), algorithm, params)
+        reference_job = reference.execute(
+            reference.upload(graph), algorithm, params
+        )
+        assert native_job.succeeded
+        if algorithm == "pr":
+            assert np.allclose(native_job.output, reference_job.output,
+                               rtol=1e-9)
+        else:
+            assert np.array_equal(native_job.output, reference_job.output)
+
+    @pytest.mark.parametrize("platform", NATIVE_PLATFORMS)
+    def test_lcc_falls_back_to_reference(self, platform, graph):
+        driver = create_driver(platform, execution="native")
+        assert driver._native_runner("lcc") is None
+        job = driver.execute(driver.upload(graph), "lcc")
+        assert job.succeeded
+
+    def test_validation_passes_through_runner(self, graph):
+        from repro.harness.config import BenchmarkConfig
+        from repro.harness.runner import BenchmarkRunner
+
+        runner = BenchmarkRunner(BenchmarkConfig(seed=0))
+        runner._drivers["giraph"] = create_driver("giraph", execution="native")
+        result = runner.run_job("giraph", "R1", "bfs")
+        assert result.validated is True
+
+    def test_invalid_execution_mode(self):
+        with pytest.raises(ConfigurationError):
+            create_driver("giraph", execution="quantum")
+
+    def test_default_is_reference(self):
+        assert create_driver("giraph").execution == "reference"
+
+    def test_platforms_without_native_mode_still_work(self, graph):
+        driver = create_driver("openg")
+        assert driver.execution == "reference"
+        job = driver.execute(driver.upload(graph), "wcc")
+        assert job.succeeded

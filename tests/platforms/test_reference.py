@@ -1,0 +1,94 @@
+"""Tests for the measured reference platform (R5 extensibility proof)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import erdos_renyi
+from repro.harness.config import BenchmarkConfig
+from repro.harness.runner import BenchmarkRunner
+from repro.platforms.base import JobStatus
+from repro.platforms.registry import EXTRA_PLATFORMS, PLATFORMS, create_driver
+
+
+@pytest.fixture
+def driver():
+    return create_driver("pythonref")
+
+
+@pytest.fixture
+def handle(driver):
+    return driver.upload(erdos_renyi(80, 0.1, weighted=True, seed=4))
+
+
+class TestRoster:
+    def test_not_in_table5(self):
+        assert "pythonref" not in PLATFORMS
+        assert "pythonref" in EXTRA_PLATFORMS
+
+    def test_info(self, driver):
+        assert driver.info.type_code == "C, S"
+        assert driver.name == "PythonRef"
+
+    def test_supports_everything(self, driver):
+        assert len(driver.supported_algorithms()) == 6
+
+
+class TestMeasuredExecution:
+    def test_tproc_is_wall_clock(self, driver, handle):
+        result = driver.execute(handle, "pr")
+        assert result.status is JobStatus.SUCCEEDED
+        assert result.modeled_processing_time == result.measured_processing_seconds
+        assert 0 < result.modeled_processing_time < 5
+
+    def test_no_jitter(self, driver, handle):
+        # The reference platform reports real times, which naturally
+        # vary; there is no seeded jitter layered on top.
+        assert driver.model.variability_cv_single == 0.0
+
+    def test_output_correct(self, driver, handle):
+        from repro.algorithms.pagerank import pagerank
+
+        result = driver.execute(handle, "pr")
+        assert np.allclose(result.output, pagerank(handle.graph))
+
+    def test_events_cover_makespan(self, driver, handle):
+        result = driver.execute(handle, "wcc")
+        assert [e["phase"] for e in result.events] == [
+            "startup", "load", "processing", "cleanup",
+        ]
+        assert result.events[2]["end"] <= result.modeled_makespan + 1e-9
+
+    def test_granula_archive_builds(self, driver, handle):
+        from repro.granula.archiver import build_archive
+
+        result = driver.execute(handle, "bfs", {"source_vertex": 0})
+        archive = build_archive(result)
+        assert archive.processing_time == pytest.approx(
+            result.modeled_processing_time
+        )
+
+
+class TestHarnessIntegration:
+    def test_runs_through_the_runner(self):
+        config = BenchmarkConfig(
+            platforms=["pythonref"], datasets=["R1"], algorithms=["bfs", "wcc"]
+        )
+        db = BenchmarkRunner(config).run()
+        assert len(db) == 2
+        for result in db:
+            assert result.succeeded
+            assert result.validated is True
+            assert result.sla_compliant
+            # EVPS is computed against the *full-scale* catalog counts
+            # but measured miniature time — meaningless as an absolute,
+            # still recorded consistently.
+            assert result.eps > 0
+
+    def test_multi_machine_rejected(self, driver, handle):
+        from repro.exceptions import ConfigurationError
+        from repro.platforms.cluster import ClusterResources
+
+        with pytest.raises(ConfigurationError):
+            driver.execute(
+                handle, "wcc", resources=ClusterResources(machines=2)
+            )

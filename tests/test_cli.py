@@ -1,0 +1,319 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_job_arguments(self):
+        args = build_parser().parse_args(
+            ["job", "graphmat", "D300", "bfs", "--machines", "4"]
+        )
+        assert args.platform == "graphmat"
+        assert args.machines == 4
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "dota-league" in out
+        assert "graph500-26" in out
+
+    def test_platforms(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "PGX.D" in out
+        assert "C, D" in out and "I, S" in out
+
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "dataset-variety" in out
+        assert "4.8" in out
+
+    def test_job(self, capsys):
+        assert main(["job", "graphmat", "D100", "bfs"]) == 0
+        out = capsys.readouterr().out
+        assert "succeeded" in out
+
+    def test_job_failure_reported(self, capsys):
+        assert main(["job", "pgxd", "G25", "bfs"]) == 0
+        out = capsys.readouterr().out
+        assert "failed-memory" in out
+
+    def test_job_unknown_platform_errors(self, capsys):
+        assert main(["job", "neo4j", "D100", "bfs"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_generate(self, tmp_path, capsys):
+        prefix = tmp_path / "out"
+        code = main(
+            ["generate", str(prefix), "--persons", "100", "--seed", "3"]
+        )
+        assert code == 0
+        assert (tmp_path / "out.v").exists()
+        assert (tmp_path / "out.e").exists()
+
+    def test_generate_weighted_with_cc(self, tmp_path):
+        prefix = tmp_path / "out"
+        code = main(
+            [
+                "generate", str(prefix), "--persons", "120",
+                "--target-cc", "0.2", "--weighted",
+            ]
+        )
+        assert code == 0
+        content = (tmp_path / "out.e").read_text().splitlines()
+        assert len(content[0].split()) == 3  # weighted edges
+
+    def test_run_small_experiment(self, capsys):
+        assert main(["run", "data-generation"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 1
+
+    def test_granula(self, capsys, tmp_path):
+        html = tmp_path / "report.html"
+        code = main(["granula", "openg", "R1", "bfs", "--html", str(html)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Tproc" in out
+        assert html.exists()
+
+    def test_granula_failed_job(self, capsys):
+        code = main(["granula", "pgxd", "G25", "bfs"])
+        assert code == 1
+        assert "failed" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, capsys):
+        code = main(
+            [
+                "report", "--platforms", "openg", "--datasets", "R1",
+                "--algorithms", "bfs",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "## BFS" in out and "OpenG" in out
+
+    def test_report_to_file(self, tmp_path):
+        path = tmp_path / "report.md"
+        code = main(
+            [
+                "report", "--platforms", "graphmat", "--datasets", "R1",
+                "--algorithms", "bfs", "--output", str(path),
+            ]
+        )
+        assert code == 0
+        assert "GraphMat" in path.read_text()
+
+
+class TestValidateCommand:
+    def test_valid_output_accepted(self, tmp_path, capsys):
+        from repro.algorithms.output_io import write_output
+        from repro.algorithms.registry import run_reference
+        from repro.harness.datasets import get_dataset
+
+        dataset = get_dataset("R1")
+        graph = dataset.materialize(0)
+        params = dataset.algorithm_parameters("bfs", 0)
+        reference = run_reference("bfs", graph, params)
+        out_file = write_output(graph, reference, tmp_path / "bfs.out",
+                                algorithm="bfs")
+        assert main(["validate", "R1", "bfs", str(out_file)]) == 0
+        assert "matches" in capsys.readouterr().out
+
+    def test_tampered_output_rejected(self, tmp_path, capsys):
+        from repro.algorithms.output_io import write_output
+        from repro.algorithms.registry import run_reference
+        from repro.harness.datasets import get_dataset
+
+        dataset = get_dataset("R1")
+        graph = dataset.materialize(0)
+        params = dataset.algorithm_parameters("bfs", 0)
+        reference = run_reference("bfs", graph, params).copy()
+        reference[0] += 1
+        out_file = write_output(graph, reference, tmp_path / "bfs.out",
+                                algorithm="bfs")
+        assert main(["validate", "R1", "bfs", str(out_file)]) == 1
+        assert "VALIDATION FAILED" in capsys.readouterr().out
+
+
+class TestFigureFlag:
+    def test_run_with_figure(self, capsys):
+        assert main(["run", "vertical-scalability", "--figure"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+        assert "threads=32" in out
+
+
+class TestMaterializeCommand:
+    def test_materialize(self, tmp_path, capsys):
+        code = main(
+            [
+                "materialize", str(tmp_path / "archive"),
+                "--datasets", "R1", "--algorithms", "bfs",
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "archive" / "R1" / "wiki-talk.v").exists()
+        assert (tmp_path / "archive" / "R1" / "wiki-talk-BFS").exists()
+        assert "archived" in capsys.readouterr().out
+
+
+class TestFullRunCommand:
+    def test_subset_with_report_and_repo(self, tmp_path, capsys):
+        code = main(
+            [
+                "full-run",
+                "--experiments", "variability",
+                "--report", str(tmp_path / "report.md"),
+                "--repository", str(tmp_path / "repo"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ran 1 experiments" in out
+        assert (tmp_path / "report.md").exists()
+        assert list((tmp_path / "repo").glob("*.json"))
+
+
+class TestGenerateGraph500:
+    def test_graph500_generator(self, tmp_path):
+        prefix = tmp_path / "kron"
+        code = main(
+            [
+                "generate", str(prefix), "--generator", "graph500",
+                "--scale", "8", "--edgefactor", "4",
+            ]
+        )
+        assert code == 0
+        lines = (tmp_path / "kron.e").read_text().splitlines()
+        assert len(lines) > 100
+
+
+class TestEstimateCommand:
+    def test_d300_matches_table8(self, capsys):
+        code = main(
+            [
+                "estimate", "graphmat", "bfs",
+                "--vertices", "4.35e6", "--edges", "304e6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scale=8.5" in out
+        assert "fits" in out
+        assert "modeled Tproc: 0.3" in out
+
+    def test_oom_reported(self, capsys):
+        code = main(
+            [
+                "estimate", "pgxd", "bfs",
+                "--vertices", "17.1e6", "--edges", "524e6", "--skew", "1.5",
+            ]
+        )
+        assert code == 1
+        assert "OUT OF MEMORY" in capsys.readouterr().out
+
+    def test_distributed_estimate(self, capsys):
+        code = main(
+            [
+                "estimate", "pgxd", "pr",
+                "--vertices", "12.8e6", "--edges", "1.01e9",
+                "--machines", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 x" in out and "within" in out
+
+
+class TestRepositoryCommand:
+    @pytest.fixture
+    def stocked_repo(self, tmp_path):
+        from repro.harness.repository import ResultsRepository, RunMetadata
+        from repro.harness.results import BenchmarkResult, ResultsDatabase
+
+        def result(tproc):
+            return BenchmarkResult(
+                platform="GraphMat", algorithm="bfs", dataset="D300",
+                machines=1, threads=32, status="succeeded",
+                modeled_processing_time=tproc, sla_compliant=True,
+                validated=True,
+            )
+
+        repo = ResultsRepository(tmp_path / "repo")
+        repo.submit(RunMetadata("v1", "GraphMat"), ResultsDatabase([result(1.0)]))
+        repo.submit(RunMetadata("v2", "GraphMat"), ResultsDatabase([result(2.0)]))
+        return tmp_path / "repo"
+
+    def test_list(self, stocked_repo, capsys):
+        assert main(["repository", str(stocked_repo), "list"]) == 0
+        out = capsys.readouterr().out
+        assert "v1" in out and "v2" in out
+
+    def test_best(self, stocked_repo, capsys):
+        assert main(["repository", str(stocked_repo), "best", "bfs", "D300"]) == 0
+        out = capsys.readouterr().out
+        assert "GraphMat" in out and "run v1" in out
+
+    def test_best_missing(self, stocked_repo, capsys):
+        assert main(["repository", str(stocked_repo), "best", "pr", "R1"]) == 1
+
+    def test_regressions_found(self, stocked_repo, capsys):
+        code = main(["repository", str(stocked_repo), "regressions", "v1", "v2"])
+        assert code == 1
+        assert "2.00x" in capsys.readouterr().out
+
+    def test_no_regressions(self, stocked_repo, capsys):
+        code = main(["repository", str(stocked_repo), "regressions", "v2", "v1"])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_empty_repository_list(self, tmp_path, capsys):
+        assert main(["repository", str(tmp_path / "new"), "list"]) == 0
+        assert "no runs" in capsys.readouterr().out
+
+
+class TestAnalyzeCommand:
+    def test_head_to_head(self, capsys):
+        code = main(
+            ["analyze", "graphmat", "giraph", "D300", "bfs",
+             "--repetitions", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "95% CI" in out
+        assert "graphmat is" in out and "faster than" in out
+
+
+class TestSelfcheckCommand:
+    def test_healthy_installation(self, capsys):
+        assert main(["selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "all 6 checks passed" in out
+        assert "calibration" in out and "determinism" in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_invocation(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "selfcheck"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr[-1000:]
+        assert "all 6 checks passed" in completed.stdout

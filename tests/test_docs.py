@@ -1,0 +1,121 @@
+"""Documentation health checks."""
+
+import inspect
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+
+ROOT = Path(repro.__file__).resolve().parent.parent.parent
+
+
+class TestDocumentsExist:
+    @pytest.mark.parametrize(
+        "name",
+        ["README.md", "DESIGN.md", "EXPERIMENTS.md",
+         "docs/architecture.md", "docs/calibration.md", "docs/extending.md"],
+    )
+    def test_present_and_substantial(self, name):
+        path = ROOT / name
+        assert path.exists(), name
+        assert len(path.read_text()) > 1000, f"{name} looks stubby"
+
+    def test_design_confirms_paper_identity(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        assert "LDBC Graphalytics" in text
+        assert "VLDB 2016" in text
+
+    def test_experiments_covers_all_artifacts(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for artifact in (
+            "Table 1", "Table 2", "Table 5", "Table 6", "Table 8",
+            "Table 10", "Table 11", "Table 12",
+            "Figure 2", "Figure 4", "Figure 5", "Figure 7", "Figure 8",
+            "Figure 9", "Figure 10",
+        ):
+            assert artifact in text, f"EXPERIMENTS.md missing {artifact}"
+
+    def test_readme_quickstart_imports_work(self):
+        # The README quickstart references these names; they must exist.
+        assert hasattr(repro, "datagen")
+        assert hasattr(repro, "BenchmarkRunner")
+        assert hasattr(repro, "breadth_first_search")
+
+
+def _public_members(module):
+    for name in getattr(module, "__all__", []):
+        yield name, getattr(module, name)
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro",
+            "repro.graph",
+            "repro.graph.graph",
+            "repro.graph.builder",
+            "repro.graph.io",
+            "repro.graph.stats",
+            "repro.graph.properties",
+            "repro.algorithms",
+            "repro.algorithms.validation",
+            "repro.algorithms.registry",
+            "repro.algorithms.extras",
+            "repro.algorithms.variants",
+            "repro.datagen",
+            "repro.datagen.generator",
+            "repro.datagen.flow",
+            "repro.engines",
+            "repro.engines.pregel",
+            "repro.engines.gas",
+            "repro.engines.spmv",
+            "repro.platforms",
+            "repro.platforms.base",
+            "repro.platforms.model",
+            "repro.platforms.partitioning",
+            "repro.harness",
+            "repro.harness.experiments",
+            "repro.harness.runner",
+            "repro.harness.renewal",
+            "repro.granula",
+            "repro.cli",
+        ],
+    )
+    def test_module_documented(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 40, module_name
+
+    def test_public_classes_and_functions_documented(self):
+        import importlib
+
+        undocumented = []
+        for module_name in (
+            "repro.graph.graph",
+            "repro.algorithms.registry",
+            "repro.platforms.base",
+            "repro.platforms.model",
+            "repro.harness.runner",
+            "repro.granula.archiver",
+        ):
+            module = importlib.import_module(module_name)
+            for name, member in _public_members(module):
+                if inspect.isclass(member) or inspect.isfunction(member):
+                    if not (member.__doc__ or "").strip():
+                        undocumented.append(f"{module_name}.{name}")
+        assert not undocumented, undocumented
+
+    def test_paper_section_references_resolve(self):
+        # Doc comments cite paper sections like §4.6 or "Table 10"; spot
+        # check that the major calibration modules carry citations.
+        for module_name in (
+            "repro/platforms/giraph.py",
+            "repro/platforms/pgxd.py",
+            "repro/datagen/flow.py",
+        ):
+            text = (ROOT / "src" / module_name).read_text()
+            assert re.search(r"Table \d+|§\d\.\d", text), module_name

@@ -1,0 +1,139 @@
+"""Failure-injection tests: the validation and robustness paths under
+misbehaving platforms.
+
+The harness must *catch* wrong outputs, crashes, and SLA breaches — not
+just record happy paths. These tests wire deliberately faulty drivers
+through the real runner.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.harness.config import BenchmarkConfig
+from repro.harness.runner import BenchmarkRunner
+from repro.platforms.base import JobStatus, PlatformDriver, PlatformInfo
+from repro.platforms.model import PerformanceModel
+
+FAULTY_INFO = PlatformInfo(
+    name="FaultyPlatform",
+    vendor="tests",
+    language="Python",
+    programming_model="chaos",
+    origin="community",
+    distributed=True,
+    version="0.0",
+)
+
+FAST_MODEL = PerformanceModel(
+    base_evps=1e9,
+    tproc_floor=0.01,
+    fixed_overhead=1.0,
+    load_rate=1e9,
+    upload_rate=1e9,
+    variability_cv_single=0.0,
+    variability_cv_distributed=0.0,
+)
+
+
+class WrongOutputDriver(PlatformDriver):
+    """Produces subtly wrong results (off-by-one BFS depths)."""
+
+    def __init__(self):
+        super().__init__(FAULTY_INFO, FAST_MODEL)
+
+    def execute(self, handle, algorithm, params=None, resources=None, **kwargs):
+        result = super().execute(handle, algorithm, params, resources, **kwargs)
+        if result.output is not None:
+            tampered = np.array(result.output, copy=True)
+            tampered[0] = tampered[0] + 1
+            result.output = tampered
+        return result
+
+
+class SlowDriver(PlatformDriver):
+    """Models a platform whose makespan always breaks the 1-hour SLA."""
+
+    def __init__(self):
+        slow = PerformanceModel(
+            base_evps=10.0,  # elements/second: hopeless
+            tproc_floor=0.0,
+            fixed_overhead=1.0,
+            load_rate=1e9,
+            upload_rate=1e9,
+            variability_cv_single=0.0,
+        )
+        super().__init__(FAULTY_INFO, slow)
+
+
+def _patched_runner(driver) -> BenchmarkRunner:
+    runner = BenchmarkRunner(BenchmarkConfig(seed=0))
+    runner._drivers["faulty"] = driver
+    return runner
+
+
+class TestWrongOutputCaught:
+    @pytest.mark.parametrize("algorithm", ["bfs", "pr", "wcc", "sssp"])
+    def test_validation_flags_tampered_output(self, algorithm):
+        runner = _patched_runner(WrongOutputDriver())
+        dataset = "R4" if get_algorithm(algorithm).weighted else "R1"
+        result = runner.run_job("faulty", dataset, algorithm)
+        assert result.succeeded            # the job itself "worked" ...
+        assert result.validated is False   # ... but the output is wrong
+
+    def test_honest_platform_passes_same_path(self):
+        runner = BenchmarkRunner(BenchmarkConfig(seed=0))
+        result = runner.run_job("powergraph", "R1", "bfs")
+        assert result.validated is True
+
+
+class TestSlaBreachCaught:
+    def test_slow_platform_breaks_sla(self):
+        runner = _patched_runner(SlowDriver())
+        result = runner.run_job("faulty", "D300", "bfs")
+        assert result.succeeded
+        assert result.modeled_makespan > 3600
+        assert not result.sla_compliant
+
+    def test_stress_style_failure_counting(self):
+        # A platform breaking the SLA counts as a failure in the paper's
+        # sense ("does not complete successfully").
+        from repro.harness.sla import job_successful
+        from repro.platforms.base import JobResult
+        from repro.platforms.cluster import ClusterResources
+
+        breached = JobResult(
+            platform="X", algorithm="bfs", dataset="D",
+            resources=ClusterResources(), status=JobStatus.SUCCEEDED,
+            modeled_makespan=4000.0,
+        )
+        assert not job_successful(breached)
+
+
+class TestCrashPath:
+    def test_crash_has_no_output_and_fails_validation_pipeline(self):
+        runner = BenchmarkRunner(BenchmarkConfig(seed=0))
+        result = runner.run_job("graphx", "R1", "cdlp")
+        assert result.status == "crashed"
+        assert result.validated is None
+        assert result.modeled_processing_time is None
+
+    def test_repository_accepts_runs_with_failures(self, tmp_path):
+        from repro.harness.repository import ResultsRepository, RunMetadata
+
+        runner = BenchmarkRunner(BenchmarkConfig(seed=0))
+        runner.run_job("graphx", "R1", "cdlp")   # crash
+        runner.run_job("graphx", "R1", "bfs")    # validated success
+        repo = ResultsRepository(tmp_path)
+        repo.submit(RunMetadata("mixed", "GraphX"), runner.database)
+        assert repo.run_ids() == ["mixed"]
+
+    def test_repository_rejects_tampered_run(self, tmp_path):
+        from repro.exceptions import ValidationError
+        from repro.harness.repository import ResultsRepository, RunMetadata
+
+        runner = _patched_runner(WrongOutputDriver())
+        runner.run_job("faulty", "R1", "bfs")
+        repo = ResultsRepository(tmp_path)
+        with pytest.raises(ValidationError):
+            repo.submit(RunMetadata("bad", "Faulty"), runner.database)
