@@ -24,6 +24,7 @@ __all__ = [
     "ExactMatchRule",
     "EpsilonMatchRule",
     "EquivalenceMatchRule",
+    "VALIDATION_RULES",
     "validation_rule_for",
     "validate_output",
 ]
@@ -121,7 +122,9 @@ class EquivalenceMatchRule:
                 )
 
 
-_RULES = {
+#: Algorithm acronym -> validation rule instance. Public so conformance
+#: tooling (repro.lint REG001) can cross-check it against the registry.
+VALIDATION_RULES = {
     "bfs": ExactMatchRule(),
     "pr": EpsilonMatchRule(),
     "wcc": EquivalenceMatchRule(),
@@ -129,6 +132,8 @@ _RULES = {
     "lcc": EpsilonMatchRule(),
     "sssp": EpsilonMatchRule(),
 }
+
+_RULES = VALIDATION_RULES
 
 
 def validation_rule_for(acronym: str):

@@ -127,7 +127,10 @@ def sssp_delta_stepping(graph: Graph, source: int, *, delta: float = None) -> np
         while current:
             settled |= current
             requests = []
-            for v in current:
+            # Sorted iteration keeps relaxation order (and thus float
+            # tie-breaking) independent of set hashing — the benchmark's
+            # determinism requirement applies to variants too.
+            for v in sorted(current):
                 for slot in range(indptr[v], indptr[v + 1]):
                     if weights[slot] <= delta:
                         requests.append((int(indices[slot]), dist[v] + weights[slot]))
@@ -140,7 +143,7 @@ def sssp_delta_stepping(graph: Graph, source: int, *, delta: float = None) -> np
             if i in buckets:
                 current |= buckets.pop(i)
         # Heavy-edge phase.
-        for v in settled:
+        for v in sorted(settled):
             for slot in range(indptr[v], indptr[v + 1]):
                 if weights[slot] > delta:
                     relax(int(indices[slot]), dist[v] + weights[slot])

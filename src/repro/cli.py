@@ -8,7 +8,8 @@ Commands:
 * ``run`` — run one experiment and print its report;
 * ``job`` — run a single (platform, dataset, algorithm) job;
 * ``generate`` — generate a Datagen graph and write it in EVL format;
-* ``granula`` — run one job and render its Granula archive.
+* ``granula`` — run one job and render its Granula archive;
+* ``lint`` — static determinism/conformance analysis of the codebase.
 """
 
 from __future__ import annotations
@@ -143,6 +144,44 @@ def build_parser() -> argparse.ArgumentParser:
     regress.add_argument("old_run")
     regress.add_argument("new_run")
     regress.add_argument("--threshold", type=float, default=1.10)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static determinism & benchmark-conformance analysis",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    lint.add_argument(
+        "--baseline", default=None,
+        help="baseline file of grandfathered findings "
+             "(default: lint-baseline.json at the project root)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings as the new baseline and exit 0",
+    )
+    lint.add_argument(
+        "--select", nargs="*", default=None,
+        help="run only these rule ids (e.g. DET001 CON002)",
+    )
+    lint.add_argument(
+        "--show-baselined", action="store_true",
+        help="also print findings covered by the baseline",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
 
     full = sub.add_parser(
         "full-run", help="run the complete experiment suite (Table 6)"
@@ -504,6 +543,61 @@ def _cmd_repository(args) -> int:
     return 1
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.lint import (
+        LintEngine,
+        all_rules,
+        load_baseline,
+        load_config,
+        partition_findings,
+        render_json,
+        render_text,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for rule_id, rule in sorted(all_rules().items()):
+            scope = ", ".join(rule.scope) if rule.scope else "everywhere"
+            print(f"{rule_id}  {rule.severity:7s} [{scope}]")
+            print(f"    {rule.description}")
+        return 0
+
+    config = load_config()
+    if args.baseline:
+        config.baseline = args.baseline
+    if args.select:
+        config.select = list(args.select)
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        import repro
+
+        paths = [Path(repro.__file__).parent]
+
+    engine = LintEngine(config)
+    findings = engine.run(paths)
+
+    if args.write_baseline:
+        path = write_baseline(config.baseline_path, findings)
+        print(f"baseline with {len(findings)} findings written to {path}")
+        return 0
+
+    if args.no_baseline:
+        baseline = {}
+    else:
+        baseline = load_baseline(config.baseline_path)
+    new, baselined = partition_findings(findings, baseline)
+
+    if args.format == "json":
+        print(render_json(new, baselined))
+    else:
+        print(render_text(new, baselined, verbose_baseline=args.show_baselined))
+    return 1 if new else 0
+
+
 def _cmd_full_run(args) -> int:
     from repro.harness.full_run import run_full_benchmark
     from repro.harness.repository import ResultsRepository
@@ -558,6 +652,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_repository(args)
         if args.command == "analyze":
             return _cmd_analyze(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "full-run":
             return _cmd_full_run(args)
     except GraphalyticsError as exc:

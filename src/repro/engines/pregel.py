@@ -26,6 +26,7 @@ from repro.exceptions import ConfigurationError, GraphFormatError
 from repro.graph.graph import Graph
 
 __all__ = [
+    "Aggregator",
     "VertexContext",
     "VertexProgram",
     "PregelEngine",
@@ -35,6 +36,23 @@ __all__ = [
     "cdlp_program",
     "pagerank_program",
 ]
+
+
+@dataclass(frozen=True)
+class Aggregator:
+    """A Pregel aggregator (Malewicz et al. §3.3).
+
+    Values a vertex contributes via :meth:`VertexContext.aggregate`
+    during superstep S are combined with ``combine`` (which must be
+    commutative and associative) and become visible to every vertex via
+    :meth:`VertexContext.aggregated` in superstep S+1. This is the
+    *only* sanctioned global channel for vertex programs — writing to
+    closures or globals from ``compute`` breaks the superstep barrier
+    (enforced by lint rule CON001).
+    """
+
+    initial: object
+    combine: Callable[[object, object], object]
 
 
 @dataclass
@@ -51,6 +69,9 @@ class VertexContext:
     out_weights: Optional[np.ndarray]
     _outbox: List[Tuple[int, object]] = field(default_factory=list)
     _halted: bool = False
+    _aggregator_defs: Dict[str, Aggregator] = field(default_factory=dict)
+    _aggregated_prev: Dict[str, object] = field(default_factory=dict)
+    _aggregated_next: Dict[str, object] = field(default_factory=dict)
 
     def send_message_to(self, target: int, message: object) -> None:
         """Queue a message for delivery in the next superstep."""
@@ -63,6 +84,27 @@ class VertexContext:
     def vote_to_halt(self) -> None:
         self._halted = True
 
+    def aggregate(self, name: str, value: object) -> None:
+        """Contribute a value to an aggregator for the *next* superstep."""
+        try:
+            combine = self._aggregator_defs[name].combine
+        except KeyError:
+            raise ConfigurationError(
+                f"program declares no aggregator {name!r}"
+            ) from None
+        self._aggregated_next[name] = combine(
+            self._aggregated_next[name], value
+        )
+
+    def aggregated(self, name: str) -> object:
+        """An aggregator's value as of the end of the previous superstep."""
+        try:
+            return self._aggregated_prev[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"program declares no aggregator {name!r}"
+            ) from None
+
 
 @dataclass(frozen=True)
 class VertexProgram:
@@ -71,12 +113,15 @@ class VertexProgram:
     ``init`` produces each vertex's initial value; ``compute`` is the
     per-superstep kernel (mutates ``ctx.value``, sends messages, votes
     to halt). ``max_supersteps`` bounds fixed-iteration programs.
+    ``aggregators`` declares the engine-managed global channels
+    available through ``ctx.aggregate``/``ctx.aggregated``.
     """
 
     name: str
     init: Callable[[Graph, int], object]
     compute: Callable[[VertexContext, List[object]], None]
     max_supersteps: Optional[int] = None
+    aggregators: Dict[str, Aggregator] = field(default_factory=dict)
 
 
 class PregelEngine:
@@ -108,6 +153,9 @@ class PregelEngine:
         limit = program.max_supersteps or superstep_limit
         supersteps = 0
         self.superstep_seconds = []
+        aggregated = {
+            name: agg.initial for name, agg in sorted(program.aggregators.items())
+        }
         for superstep in range(limit):
             if not active.any() and not inbox:
                 break
@@ -115,6 +163,11 @@ class PregelEngine:
             superstep_started = time.perf_counter()
             outbox: Dict[int, List[object]] = defaultdict(list)
             next_active = np.zeros(n, dtype=bool)
+            # Aggregator values contributed this superstep; the engine
+            # swaps them in at the superstep barrier below.
+            aggregating = {
+                name: agg.initial for name, agg in sorted(program.aggregators.items())
+            }
             workset = set(np.nonzero(active)[0].tolist()) | set(inbox)
             for v in sorted(workset):
                 messages = inbox.get(v, [])
@@ -128,6 +181,9 @@ class PregelEngine:
                     num_vertices=n,
                     out_neighbors=nbrs,
                     out_weights=weights,
+                    _aggregator_defs=program.aggregators,
+                    _aggregated_prev=aggregated,
+                    _aggregated_next=aggregating,
                 )
                 program.compute(ctx, messages)
                 values[v] = ctx.value
@@ -137,6 +193,7 @@ class PregelEngine:
                     next_active[v] = True
             inbox = outbox
             active = next_active
+            aggregated = aggregating
             self.superstep_seconds.append(
                 time.perf_counter() - superstep_started
             )
@@ -270,11 +327,11 @@ def pagerank_program(
     """Fixed-superstep PageRank with dangling-mass redistribution.
 
     Dangling vertices cannot message "everyone" cheaply in Pregel, so —
-    exactly like Giraph implementations — their mass is accumulated in a
-    shared aggregator and folded in during the next superstep.
+    exactly like Giraph implementations — their mass flows through an
+    engine-managed :class:`Aggregator` and is folded in during the next
+    superstep.
     """
     n = graph.num_vertices
-    aggregator = {"dangling": 0.0, "next_dangling": 0.0}
 
     def init(g: Graph, v: int):
         return 1.0 / n
@@ -282,7 +339,7 @@ def pagerank_program(
     def compute(ctx: VertexContext, messages: List[object]) -> None:
         if ctx.superstep > 0:
             incoming = sum(messages)
-            dangling_share = aggregator["dangling"] / n
+            dangling_share = ctx.aggregated("dangling") / n
             ctx.value = (1.0 - damping) / n + damping * (
                 incoming + dangling_share
             )
@@ -292,18 +349,13 @@ def pagerank_program(
                 share = ctx.value / degree
                 ctx.send_message_to_all_neighbors(share)
             else:
-                aggregator["next_dangling"] += ctx.value
-            if ctx.vertex == ctx.num_vertices - 1:
-                # Superstep barrier bookkeeping: rotate the aggregator
-                # once per superstep (the engine visits vertices in
-                # dense-index order, so the last vertex closes the step).
-                aggregator["dangling"] = aggregator["next_dangling"]
-                aggregator["next_dangling"] = 0.0
+                ctx.aggregate("dangling", ctx.value)
         else:
             ctx.vote_to_halt()
 
     program = VertexProgram(
-        "pr", init, compute, max_supersteps=iterations + 1
+        "pr", init, compute, max_supersteps=iterations + 1,
+        aggregators={"dangling": Aggregator(0.0, lambda a, b: a + b)},
     )
     return program, lambda values: _as_array(values, np.float64)
 

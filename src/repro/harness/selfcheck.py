@@ -10,7 +10,9 @@ trusting results. This one verifies, in seconds:
 * kernel correctness — a quick algorithm sweep on a tiny graph,
   validated against precomputed invariants;
 * calibration anchors — the Table 8 headline numbers still hold;
-* determinism — two fresh runs of one job agree bit for bit.
+* determinism — two fresh runs of one job agree bit for bit;
+* lint — the static determinism/conformance analyzer reports nothing
+  beyond the committed baseline.
 
 Exposed as ``graphalytics selfcheck``; each check returns a
 :class:`CheckResult` so failures are reportable individually.
@@ -135,6 +137,32 @@ def _check_determinism() -> str:
     return "repeated runs agree bit for bit"
 
 
+def _check_lint() -> str:
+    from pathlib import Path
+
+    import repro
+    from repro.lint import (
+        LintEngine,
+        load_baseline,
+        load_config,
+        partition_findings,
+    )
+
+    config = load_config(Path(repro.__file__))
+    engine = LintEngine(config)
+    findings = engine.run([Path(repro.__file__).parent])
+    baseline = load_baseline(config.baseline_path)
+    new, baselined = partition_findings(findings, baseline)
+    if new:
+        first = new[0]
+        raise AssertionError(
+            f"{len(new)} non-baseline lint findings; first: "
+            f"{first.path}:{first.line} {first.rule_id} {first.message}"
+        )
+    suffix = f" ({len(baselined)} baselined)" if baselined else ""
+    return f"static analysis clean{suffix}"
+
+
 #: name -> check body (raises AssertionError on failure).
 CHECKS: List = [
     ("dataset-catalog", _check_dataset_catalog),
@@ -143,6 +171,7 @@ CHECKS: List = [
     ("kernels", _check_kernels),
     ("calibration", _check_calibration),
     ("determinism", _check_determinism),
+    ("lint", _check_lint),
 ]
 
 
@@ -153,6 +182,7 @@ def run_selfcheck() -> List[CheckResult]:
         try:
             detail = body()
             results.append(CheckResult(name, True, detail))
+        # lint: disable=EXC001 - probes report failures as CheckResults
         except Exception as exc:  # noqa: BLE001 - report, don't crash
             results.append(CheckResult(name, False, str(exc)))
     return results

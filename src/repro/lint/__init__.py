@@ -1,0 +1,51 @@
+"""repro.lint — determinism & benchmark-conformance static analysis.
+
+Graphalytics' validity rests on invariants no unit test can observe
+from the outside: the six kernels must be deterministic (paper §2.2),
+vertex programs must respect the Pregel/GAS state contract, drivers
+must execute through the harness lifecycle, and reported numbers must
+come from the metered §2.3 metric implementations. This package
+enforces those invariants as an AST-based lint pass over the repro
+sources:
+
+    >>> from repro.lint import LintEngine, load_config
+    >>> engine = LintEngine(load_config())
+    >>> findings = engine.run(["src/repro"])
+
+Exposed on the command line as ``graphalytics lint`` (exit code 1 on
+findings beyond the committed baseline) and as the ``lint`` probe of
+``graphalytics selfcheck``. See ``docs/lint.md``.
+"""
+
+from repro.lint.baseline import load_baseline, partition_findings, write_baseline
+from repro.lint.config import LintConfig, find_project_root, load_config
+from repro.lint.core import (
+    Finding,
+    LintEngine,
+    Module,
+    Rule,
+    Severity,
+    all_rules,
+    get_rule,
+    register_rule,
+)
+from repro.lint.report import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "LintConfig",
+    "Module",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+    "load_config",
+    "find_project_root",
+    "load_baseline",
+    "write_baseline",
+    "partition_findings",
+    "render_text",
+    "render_json",
+]

@@ -1,0 +1,73 @@
+"""Baseline handling: grandfathered findings.
+
+The baseline is a committed JSON file mapping finding *fingerprints*
+(rule + path + enclosing symbol + message — line numbers excluded, so
+unrelated edits do not invalidate it) to occurrence counts. A lint run
+fails only on findings **beyond** the baselined counts; regenerating the
+baseline (``graphalytics lint --write-baseline``) is an explicit,
+reviewable act.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.lint.core import Finding
+
+__all__ = ["load_baseline", "write_baseline", "partition_findings"]
+
+_VERSION = 1
+
+
+def load_baseline(path: Optional[Path]) -> Dict[str, int]:
+    """Fingerprint -> allowed count; empty when the file is absent."""
+    if path is None or not Path(path).is_file():
+        return {}
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"unreadable lint baseline {path}: {exc}") from exc
+    if payload.get("version") != _VERSION:
+        raise ConfigurationError(
+            f"lint baseline {path} has unsupported version "
+            f"{payload.get('version')!r} (expected {_VERSION})"
+        )
+    fingerprints = payload.get("fingerprints", {})
+    return {str(k): int(v) for k, v in fingerprints.items()}
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> Path:
+    """Persist the current findings as the new baseline."""
+    counts = Counter(f.fingerprint for f in findings)
+    payload = {
+        "version": _VERSION,
+        "fingerprints": {k: counts[k] for k in sorted(counts)},
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def partition_findings(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (new, baselined).
+
+    Each fingerprint consumes baseline budget in source order; findings
+    past the allowed count for their fingerprint are *new*.
+    """
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        budget = remaining.get(finding.fingerprint, 0)
+        if budget > 0:
+            remaining[finding.fingerprint] = budget - 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    return new, grandfathered

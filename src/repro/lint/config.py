@@ -1,0 +1,140 @@
+"""Lint configuration, read from ``[tool.graphalytics.lint]``.
+
+``pyproject.toml`` keys (all optional)::
+
+    [tool.graphalytics.lint]
+    baseline = "lint-baseline.json"   # relative to the project root
+    select   = ["DET001", "DET002"]   # empty/absent = every rule
+    ignore   = ["REP001"]
+    exclude  = ["tests/*"]            # glob patterns on relative paths
+
+    [tool.graphalytics.lint.scopes]
+    DET001 = ["algorithms", "engines"]  # override a rule's scope
+
+The reader uses :mod:`tomllib` on Python >= 3.11 and falls back to a
+minimal parser (string/list-of-string keys only, which is all this
+section uses) on older interpreters, keeping the linter dependency-free.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["LintConfig", "load_config", "find_project_root"]
+
+
+@dataclass
+class LintConfig:
+    """Resolved lint settings for one run."""
+
+    root: Optional[Path] = None          # project root (baseline anchor)
+    baseline: str = "lint-baseline.json"
+    select: List[str] = field(default_factory=list)   # empty = all rules
+    ignore: List[str] = field(default_factory=list)
+    exclude: List[str] = field(default_factory=list)
+    scopes: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def baseline_path(self) -> Optional[Path]:
+        if not self.baseline:
+            return None
+        path = Path(self.baseline)
+        if not path.is_absolute() and self.root is not None:
+            path = Path(self.root) / path
+        return path
+
+
+def find_project_root(start: Optional[Path] = None) -> Optional[Path]:
+    """Nearest ancestor (of start or cwd) containing ``pyproject.toml``."""
+    current = Path(start or Path.cwd()).resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in [current, *current.parents]:
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return None
+
+
+def _parse_toml(text: str) -> Dict[str, Dict[str, object]]:
+    try:
+        import tomllib
+
+        return tomllib.loads(text)
+    except ModuleNotFoundError:  # pragma: no cover - Python < 3.11
+        return _parse_toml_minimal(text)
+
+
+_SECTION_RE = re.compile(r"^\s*\[(?P<name>[^\]]+)\]\s*$")
+_KEY_RE = re.compile(r"^\s*(?P<key>[A-Za-z0-9_\-\"']+)\s*=\s*(?P<value>.+?)\s*$")
+
+
+def _parse_toml_minimal(text: str) -> Dict[str, object]:
+    """Tiny TOML subset: [sections], string and [list-of-string] values.
+
+    Only used on interpreters without :mod:`tomllib`; sufficient for the
+    ``[tool.graphalytics.lint]`` table this module consumes.
+    """
+    result: Dict[str, object] = {}
+    table: Dict[str, object] = result
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0] if not raw.lstrip().startswith("#") else ""
+        if not line.strip():
+            continue
+        section = _SECTION_RE.match(line)
+        if section:
+            table = result
+            for part in section.group("name").split("."):
+                table = table.setdefault(part.strip().strip('"'), {})  # type: ignore[assignment]
+            continue
+        pair = _KEY_RE.match(line)
+        if not pair:
+            continue
+        key = pair.group("key").strip('"').strip("'")
+        value = pair.group("value")
+        if value.startswith("["):
+            items = re.findall(r"\"([^\"]*)\"|'([^']*)'", value)
+            table[key] = [a or b for a, b in items]
+        elif value.startswith(("\"", "'")):
+            table[key] = value[1:-1]
+        elif value in ("true", "false"):
+            table[key] = value == "true"
+        else:
+            try:
+                table[key] = int(value)
+            except ValueError:
+                table[key] = value
+    return result
+
+
+def load_config(start: Optional[Path] = None) -> LintConfig:
+    """Read lint settings from the nearest ``pyproject.toml``.
+
+    Returns defaults (no baseline anchor) when no project root exists —
+    the engine still runs, just without a baseline or scope overrides.
+    """
+    root = find_project_root(start)
+    if root is None:
+        return LintConfig()
+    data = _parse_toml((root / "pyproject.toml").read_text(encoding="utf-8"))
+    section = (
+        data.get("tool", {}).get("graphalytics", {}).get("lint", {})
+        if isinstance(data.get("tool", {}), dict)
+        else {}
+    )
+    scopes_raw = section.get("scopes", {})
+    scopes = {
+        str(rule): [str(s) for s in seg]
+        for rule, seg in scopes_raw.items()
+        if isinstance(seg, (list, tuple))
+    }
+    return LintConfig(
+        root=root,
+        baseline=str(section.get("baseline", "lint-baseline.json")),
+        select=[str(r) for r in section.get("select", [])],
+        ignore=[str(r) for r in section.get("ignore", [])],
+        exclude=[str(p) for p in section.get("exclude", [])],
+        scopes=scopes,
+    )

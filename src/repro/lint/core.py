@@ -1,0 +1,364 @@
+"""The lint walker core: findings, rules, suppressions, and the engine.
+
+The benchmark's validity rests on invariants the test suite cannot see
+— determinism of the six kernels, the Pregel/GAS state contract, the
+driver lifecycle, metered reporting. :mod:`repro.lint` enforces them
+statically: every rule is an AST pass over the repro sources, producing
+:class:`Finding` records that the CLI diffs against a committed
+baseline (see :mod:`repro.lint.baseline`).
+
+Design:
+
+* a rule subclasses :class:`Rule` and registers itself with
+  :func:`register_rule`; it receives one parsed :class:`Module` at a
+  time and yields findings;
+* rules declare a *scope* — path segments (``algorithms``, ``engines``,
+  ...) the rule applies to — so kernel-only invariants do not fire on
+  the CLI; scopes are overridable from ``pyproject.toml``;
+* ``# lint: disable=DET001`` comments (same line, or a standalone
+  comment on the line above) suppress findings at the source;
+* the engine parses each file once and hands the annotated tree
+  (parent links included) to every in-scope rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "Module",
+    "Rule",
+    "register_rule",
+    "all_rules",
+    "get_rule",
+    "LintEngine",
+]
+
+
+class Severity:
+    """Finding severities, ordered: error > warning > info."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    _ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
+
+    @classmethod
+    def rank(cls, severity: str) -> int:
+        return cls._ORDER.get(severity, 99)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: str
+    path: str          # project-relative posix path
+    line: int
+    col: int
+    message: str
+    symbol: str = ""   # enclosing function/class, for stable fingerprints
+
+    @property
+    def fingerprint(self) -> str:
+        """Baseline identity: stable across unrelated line drift."""
+        return f"{self.rule_id}::{self.path}::{self.symbol}::{self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+
+#: ``# lint: disable=DET001`` or ``# lint: disable=DET001,CON002`` or
+#: ``# lint: disable`` (every rule).
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*disable(?:=(?P<rules>[A-Z0-9, ]+))?", re.ASCII
+)
+
+
+def _parse_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Line -> suppressed rule ids (``None`` means all rules).
+
+    A directive on a code line covers that line; a directive on a
+    standalone comment line covers the following line as well.
+    """
+    suppressed: Dict[int, Optional[Set[str]]] = {}
+
+    def merge(lineno: int, rules: Optional[Set[str]]) -> None:
+        current = suppressed.get(lineno, set())
+        if rules is None or current is None:
+            suppressed[lineno] = None
+        else:
+            suppressed[lineno] = set(current) | rules
+
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        spec = match.group("rules")
+        rules = (
+            None
+            if spec is None
+            else {r.strip() for r in spec.split(",") if r.strip()}
+        )
+        merge(lineno, rules)
+        if text.lstrip().startswith("#"):  # standalone comment: covers next line
+            merge(lineno + 1, rules)
+    return suppressed
+
+
+class Module:
+    """One parsed source file, shared by every rule.
+
+    Attributes rules rely on:
+
+    * ``tree`` — the AST, with ``.parent`` links on every node;
+    * ``segments`` — path parts of the project-relative path (used for
+      rule scoping, e.g. ``("src", "repro", "engines", "pregel.py")``);
+    * ``stem`` — module basename without extension.
+    """
+
+    def __init__(self, path: Path, rel_path: str, source: str):
+        self.path = path
+        self.rel_path = rel_path
+        self.segments: Tuple[str, ...] = tuple(Path(rel_path).parts)
+        self.stem = Path(rel_path).stem
+        self.source = source
+        self.tree = ast.parse(source, filename=str(path))
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                child.parent = node  # type: ignore[attr-defined]
+        self.suppressions = _parse_suppressions(source)
+
+    # -- helpers for rules -------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return getattr(node, "parent", None)
+
+    def enclosing_function(self, node: ast.AST) -> str:
+        """Dotted name of the enclosing def/class chain (may be '')."""
+        names: List[str] = []
+        current = self.parent(node)
+        while current is not None:
+            if isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                names.append(current.name)
+            current = self.parent(current)
+        return ".".join(reversed(names))
+
+    def finding(
+        self, rule: "Rule", node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule_id=rule.rule_id,
+            severity=rule.severity,
+            path=self.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            symbol=self.enclosing_function(node),
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if finding.line not in self.suppressions:
+            return False
+        rules = self.suppressions[finding.line]
+        return rules is None or finding.rule_id in rules
+
+
+class Rule:
+    """Base class: one statically checkable benchmark invariant.
+
+    Subclasses set ``rule_id``, ``severity``, ``description``, and an
+    optional ``scope`` (path segments the rule fires in; ``None`` means
+    everywhere), then implement :meth:`check`.
+    """
+
+    rule_id: str = ""
+    severity: str = Severity.WARNING
+    description: str = ""
+    #: Path segments (directory or module names) this rule applies to.
+    scope: Optional[Tuple[str, ...]] = None
+
+    def applies_to(self, module: Module, scope: Optional[Sequence[str]]) -> bool:
+        effective = tuple(scope) if scope is not None else self.scope
+        if not effective:
+            return True
+        names = set(module.segments) | {module.stem}
+        return any(part in names for part in effective)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(cls):
+    """Class decorator: instantiate and index a rule by its id."""
+    rule = cls()
+    if not rule.rule_id:
+        raise ConfigurationError(f"rule {cls.__name__} has no rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise ConfigurationError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def _load_builtin_rules() -> None:
+    # Importing the package registers every built-in rule exactly once.
+    from repro.lint import rules  # noqa: F401
+
+
+def all_rules() -> Dict[str, Rule]:
+    """Every registered rule, id -> instance (loads built-ins)."""
+    _load_builtin_rules()
+    return dict(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    _load_builtin_rules()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise ConfigurationError(f"unknown lint rule {rule_id!r}") from None
+
+
+# -- shared AST helpers (used by the rule modules) ---------------------------
+
+def call_name(node: ast.AST) -> str:
+    """Dotted name of a call target: ``np.random.default_rng`` etc."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def names_in(node: ast.AST) -> Set[str]:
+    """All identifier fragments (names and attributes) under a node."""
+    found: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            found.add(child.id)
+        elif isinstance(child, ast.Attribute):
+            found.add(child.attr)
+    return found
+
+
+class LintEngine:
+    """Parses files and runs every enabled, in-scope rule over them."""
+
+    def __init__(self, config=None):
+        from repro.lint.config import LintConfig
+
+        self.config = config or LintConfig()
+        rules = all_rules()
+        selected = self.config.select or sorted(rules)
+        unknown = [r for r in selected if r not in rules]
+        unknown += [r for r in self.config.ignore if r not in rules]
+        if unknown:
+            raise ConfigurationError(f"unknown lint rules: {sorted(set(unknown))}")
+        self.rules: List[Rule] = [
+            rules[rule_id]
+            for rule_id in sorted(selected)
+            if rule_id not in self.config.ignore
+        ]
+
+    # -- file collection ---------------------------------------------------
+
+    def collect_files(self, paths: Sequence[Path]) -> List[Path]:
+        files: List[Path] = []
+        for path in paths:
+            path = Path(path)
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            elif path.suffix == ".py":
+                files.append(path)
+        result = []
+        for f in files:
+            rel = self._rel_path(f)
+            if any(
+                Path(rel).match(pattern) for pattern in self.config.exclude
+            ):
+                continue
+            result.append(f)
+        return result
+
+    def _rel_path(self, path: Path) -> str:
+        path = Path(path).resolve()
+        root = self.config.root
+        if root is not None:
+            try:
+                return path.relative_to(Path(root).resolve()).as_posix()
+            except ValueError:
+                pass
+        try:
+            return path.relative_to(Path.cwd()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    # -- running -----------------------------------------------------------
+
+    def lint_file(self, path: Path) -> List[Finding]:
+        path = Path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read {path}: {exc}") from exc
+        rel = self._rel_path(path)
+        try:
+            module = Module(path, rel, source)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    rule_id="SYNTAX",
+                    severity=Severity.ERROR,
+                    path=rel,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ]
+        findings: List[Finding] = []
+        for rule in self.rules:
+            scope_override = self.config.scopes.get(rule.rule_id)
+            if not rule.applies_to(module, scope_override):
+                continue
+            for finding in rule.check(module):
+                if not module.is_suppressed(finding):
+                    findings.append(finding)
+        return findings
+
+    def run(self, paths: Sequence[Path]) -> List[Finding]:
+        """Lint every python file under the given paths, sorted."""
+        findings: List[Finding] = []
+        for path in self.collect_files([Path(p) for p in paths]):
+            findings.extend(self.lint_file(path))
+        findings.sort(
+            key=lambda f: (f.path, f.line, f.col, f.rule_id, f.message)
+        )
+        return findings

@@ -1,0 +1,70 @@
+"""Finding reporters: human text and machine JSON.
+
+Text output is one line per finding in the familiar
+``path:line:col: RULE message`` shape, followed by a per-rule summary.
+JSON output is a stable document (version, findings, per-rule counts,
+new/baselined split) for CI consumers.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.core import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding] = (),
+    *,
+    verbose_baseline: bool = False,
+) -> str:
+    """One line per new finding + summary; '' when everything is clean."""
+    lines: List[str] = []
+    for finding in new:
+        suffix = f" [{finding.symbol}]" if finding.symbol else ""
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.rule_id} {finding.message}{suffix}"
+        )
+    if verbose_baseline:
+        for finding in baselined:
+            lines.append(
+                f"{finding.path}:{finding.line}:{finding.col}: "
+                f"{finding.rule_id} (baselined) {finding.message}"
+            )
+    if not new and not baselined:
+        return "lint: clean (0 findings)"
+    counts = Counter(f.rule_id for f in new)
+    summary = ", ".join(f"{rule}: {n}" for rule, n in sorted(counts.items()))
+    lines.append(
+        f"lint: {len(new)} new finding{'s' if len(new) != 1 else ''}"
+        + (f" ({summary})" if summary else "")
+        + (f", {len(baselined)} baselined" if baselined else "")
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding] = (),
+) -> str:
+    """Stable JSON document covering both new and baselined findings."""
+    def rows(findings: Sequence[Finding], is_baselined: bool):
+        return [
+            dict(f.as_dict(), baselined=is_baselined) for f in findings
+        ]
+
+    counts: Dict[str, int] = dict(Counter(f.rule_id for f in new))
+    payload = {
+        "version": 1,
+        "new": len(new),
+        "baselined": len(baselined),
+        "counts": {k: counts[k] for k in sorted(counts)},
+        "findings": rows(new, False) + rows(baselined, True),
+    }
+    return json.dumps(payload, indent=2)

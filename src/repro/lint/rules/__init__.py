@@ -1,0 +1,41 @@
+"""Built-in rule set; importing this package registers every rule.
+
+===========  ========  ====================================================
+rule id      severity  invariant
+===========  ========  ====================================================
+``DET001``   error     no unordered set/dict iteration in kernels/engines
+``DET002``   error     every RNG takes an explicit seed
+``DET003``   warning   no float accumulation over unordered iterables
+``CON001``   error     vertex programs respect the Pregel/GAS state contract
+``CON002``   error     drivers execute through the PlatformDriver lifecycle
+``EXC001``   warning   no broad except swallowing benchmark failures
+``REG001``   error     algorithm registry ↔ validation/experiment wiring
+``REP001``   warning   reporters emit metered numbers via harness.metrics
+===========  ========  ====================================================
+
+See ``docs/lint.md`` for rationale and suppression syntax.
+"""
+
+from repro.lint.rules.determinism import (  # noqa: F401
+    UnorderedAccumulationRule,
+    UnorderedIterationRule,
+    UnseededRngRule,
+)
+from repro.lint.rules.contracts import (  # noqa: F401
+    DriverBypassRule,
+    VertexProgramStateRule,
+)
+from repro.lint.rules.robustness import SwallowedExceptionRule  # noqa: F401
+from repro.lint.rules.consistency import RegistryConsistencyRule  # noqa: F401
+from repro.lint.rules.reporting import UnmeteredRateRule  # noqa: F401
+
+__all__ = [
+    "UnorderedIterationRule",
+    "UnseededRngRule",
+    "UnorderedAccumulationRule",
+    "VertexProgramStateRule",
+    "DriverBypassRule",
+    "SwallowedExceptionRule",
+    "RegistryConsistencyRule",
+    "UnmeteredRateRule",
+]

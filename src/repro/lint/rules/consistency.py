@@ -1,0 +1,114 @@
+"""Registry consistency: REG001.
+
+Paper §2.2: the benchmark is the *closed* set of six core algorithms,
+each with a validation rule and experiment wiring. An algorithm added
+to :mod:`repro.algorithms.registry` without a validator (or never wired
+into an experiment/dataset) would run unvalidated — the exact failure
+mode the Graphalytics process forbids. This rule cross-checks the live
+registries whenever the registry module itself is linted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Mapping, Optional, Sequence
+
+from repro.lint.core import Finding, Module, Rule, Severity, register_rule
+
+__all__ = ["RegistryConsistencyRule", "registry_gaps"]
+
+
+def registry_gaps(
+    algorithms: Sequence[str],
+    validators: Mapping[str, object],
+    experiment_algorithms: Sequence[str],
+    dataset_parameters: Optional[Mapping[str, Optional[str]]] = None,
+) -> List[str]:
+    """Pure consistency check; returns one message per gap.
+
+    ``dataset_parameters`` maps each algorithm to ``None`` (parameters
+    resolve) or an error string (no dataset could provide parameters).
+    """
+    messages: List[str] = []
+    wired = set(experiment_algorithms)
+    for acronym in algorithms:
+        if acronym not in validators:
+            messages.append(
+                f"algorithm '{acronym}' has no validation rule in "
+                f"algorithms.validation; every registered kernel must be "
+                f"output-validated (paper §2.2.3)"
+            )
+        if acronym not in wired:
+            messages.append(
+                f"algorithm '{acronym}' is wired into no experiment in "
+                f"harness.experiments; registered kernels must be part of "
+                f"the benchmark workload"
+            )
+        if dataset_parameters is not None:
+            error = dataset_parameters.get(acronym)
+            if error:
+                messages.append(
+                    f"algorithm '{acronym}' gets no benchmark-description "
+                    f"parameters from any dataset: {error}"
+                )
+    return messages
+
+
+def _live_gaps() -> List[str]:
+    from repro.algorithms.registry import ALGORITHMS
+    from repro.algorithms.validation import VALIDATION_RULES
+    from repro.harness.datasets import DATASETS
+    from repro.harness.experiments import EXPERIMENTS
+
+    experiment_algorithms = [
+        a for exp in EXPERIMENTS.values() for a in exp.algorithms
+    ]
+    dataset_parameters = {}
+    sample = next(iter(DATASETS.values()))
+    for acronym in ALGORITHMS:
+        try:
+            sample.algorithm_parameters(acronym)
+            dataset_parameters[acronym] = None
+        except Exception as exc:  # defensive: report, don't crash the lint run
+            dataset_parameters[acronym] = str(exc)
+    return registry_gaps(
+        list(ALGORITHMS), VALIDATION_RULES, experiment_algorithms,
+        dataset_parameters,
+    )
+
+
+@register_rule
+class RegistryConsistencyRule(Rule):
+    """REG001: every registered algorithm validated and wired.
+
+    Fires only on ``repro/algorithms/registry.py`` (the module that owns
+    ``ALGORITHMS``), anchored at the ``ALGORITHMS`` assignment, and
+    compares the *live* registries: algorithm list vs validation rules
+    vs experiment wiring vs dataset parameter resolution.
+    """
+
+    rule_id = "REG001"
+    severity = Severity.ERROR
+    description = "algorithm registry out of sync with validation/experiment wiring"
+    scope = ("algorithms",)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if module.stem != "registry":
+            return
+        anchor: Optional[ast.AST] = None
+        for node in module.tree.body:
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                if any(
+                    isinstance(t, ast.Name) and t.id == "ALGORITHMS"
+                    for t in targets
+                ):
+                    anchor = node
+                    break
+        if anchor is None:
+            return  # not the algorithm registry (e.g. platforms/registry.py)
+        for message in _live_gaps():
+            yield module.finding(self, anchor, message)

@@ -1,0 +1,81 @@
+"""Harness robustness rules: EXC001.
+
+The harness records modeled failures (OOM, crash, SLA breach) as data;
+what it must never do is *swallow* them. An over-broad ``except`` in a
+retry or orchestration path can turn a failed job into a silently
+missing row, corrupting the benchmark's failure statistics (paper §4.6
+stress test counts failures explicitly).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.core import Finding, Module, Rule, Severity, register_rule
+
+__all__ = ["SwallowedExceptionRule"]
+
+#: Exception names considered over-broad for a silent handler: the
+#: builtins plus the library's own base class (catching a *specific*
+#: GraphalyticsError subclass is legitimate harness behavior).
+_BROAD_NAMES = {"Exception", "BaseException", "GraphalyticsError"}
+
+
+def _handler_names(handler: ast.ExceptHandler) -> List[str]:
+    if handler.type is None:
+        return []
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names = []
+    for t in types:
+        if isinstance(t, ast.Name):
+            names.append(t.id)
+        elif isinstance(t, ast.Attribute):
+            names.append(t.attr)
+    return names
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+@register_rule
+class SwallowedExceptionRule(Rule):
+    """EXC001: broad except swallowing benchmark failures.
+
+    A bare ``except:``, ``except Exception``, or ``except
+    GraphalyticsError`` that neither re-raises nor narrows the type can
+    absorb SLA violations, validation failures, and driver errors in
+    harness retry paths. Catch the specific subclass you can handle, or
+    re-raise after recording.
+    """
+
+    rule_id = "EXC001"
+    severity = Severity.WARNING
+    description = "broad except swallows GraphalyticsError in harness paths"
+    scope = ("harness", "platforms", "granula")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _reraises(node):
+                continue
+            if node.type is None:
+                yield module.finding(
+                    self, node,
+                    "bare `except:` swallows every failure, including "
+                    "benchmark errors; catch a specific exception",
+                )
+                continue
+            broad = [n for n in _handler_names(node) if n in _BROAD_NAMES]
+            if broad:
+                yield module.finding(
+                    self, node,
+                    f"`except {'/'.join(broad)}` without re-raise can "
+                    f"swallow benchmark failures; catch the specific "
+                    f"subclass or re-raise after recording",
+                )

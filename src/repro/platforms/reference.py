@@ -80,7 +80,7 @@ class ReferenceDriver(PlatformDriver):
         algorithm = algorithm.lower()
         resources = resources or ClusterResources()
         self.validate_resources(resources)
-        spec = get_algorithm(algorithm)
+        get_algorithm(algorithm)  # raises for unknown acronyms
 
         load_started = time.perf_counter()
         graph = handle.graph
@@ -88,7 +88,9 @@ class ReferenceDriver(PlatformDriver):
         load_seconds = time.perf_counter() - load_started
 
         started = time.perf_counter()
-        output = spec.run(graph, params)
+        # Through the driver lifecycle hook, like every other driver
+        # (lint rule CON002): reference execution stays swappable.
+        output = self._run_algorithm(algorithm, graph, params)
         measured = time.perf_counter() - started
 
         makespan = load_seconds + measured

@@ -9,10 +9,11 @@ class TestSelfcheck:
         failed = [r for r in results if not r.passed]
         assert not failed, failed
 
-    def test_six_checks_defined(self):
-        assert len(CHECKS) == 6
+    def test_seven_checks_defined(self):
+        assert len(CHECKS) == 7
         names = [name for name, _ in CHECKS]
         assert "calibration" in names and "determinism" in names
+        assert "lint" in names
 
     def test_details_are_informative(self):
         for result in run_selfcheck():

@@ -1,0 +1,22 @@
+"""Shared helpers for the lint test suite."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, LintEngine
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+@pytest.fixture
+def lint_fixture():
+    """Run the engine over one fixture module; returns its findings."""
+
+    def run(relative, select=None):
+        config = LintConfig(root=REPO_ROOT, select=list(select or []))
+        engine = LintEngine(config)
+        return engine.run([FIXTURES / relative])
+
+    return run

@@ -1,0 +1,13 @@
+"""DET001 fixture: unordered iteration feeding kernel order."""
+
+
+def kernel():
+    frontier = {2, 0, 1}
+    visited = []
+    for v in frontier:
+        visited.append(v)
+    labels = [v + 1 for v in frontier]
+    smallest = min(v for v in frontier)  # order-insensitive consumer: ok
+    for v in sorted(frontier):  # explicitly ordered: ok
+        visited.append(v)
+    return visited, labels, smallest

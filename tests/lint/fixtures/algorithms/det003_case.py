@@ -1,0 +1,9 @@
+"""DET003 fixture: float accumulation over a set."""
+
+
+def total_mass():
+    masses = {0.1, 0.2, 0.3}
+    bad = sum(masses)
+    also_bad = sum(m * 2.0 for m in masses)
+    fine = sum(sorted(masses))
+    return bad, also_bad, fine

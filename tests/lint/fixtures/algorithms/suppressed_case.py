@@ -1,0 +1,12 @@
+"""Suppression fixture: violations silenced with lint directives."""
+
+
+def kernel():
+    frontier = {1, 0}
+    out = []
+    for v in frontier:  # lint: disable=DET001
+        out.append(v)
+    # lint: disable
+    for v in frontier:
+        out.append(v)
+    return out

@@ -1,0 +1,13 @@
+"""DET002 fixture: unseeded RNG construction and global-state use."""
+import random
+
+import numpy as np
+
+
+def make_rngs(seed):
+    bad_stdlib = random.Random()
+    bad_numpy = np.random.default_rng()
+    bad_global = random.random()
+    good_stdlib = random.Random(seed)
+    good_numpy = np.random.default_rng(seed)
+    return bad_stdlib, bad_numpy, bad_global, good_stdlib, good_numpy

@@ -1,0 +1,16 @@
+"""CON001 fixture: vertex program leaking state past the contract."""
+
+SHARED = {}
+
+
+def compute(ctx, messages):
+    SHARED[ctx.vertex] = ctx.value
+    total = sum(messages)
+    ctx.value = total
+
+
+def gather(ctx, edge):
+    acc = []
+    SHARED.setdefault("order", []).append(ctx.vertex)
+    acc.append(edge)
+    return acc

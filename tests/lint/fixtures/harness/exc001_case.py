@@ -1,0 +1,22 @@
+"""EXC001 fixture: broad exception handlers in harness paths."""
+
+
+def run_with_retry(job):
+    try:
+        return job()
+    except Exception:
+        return None
+
+
+def rethrowing(job):
+    try:
+        return job()
+    except Exception:
+        raise
+
+
+def narrow(job):
+    try:
+        return job()
+    except ValueError:
+        return None

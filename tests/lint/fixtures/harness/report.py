@@ -1,0 +1,7 @@
+"""REP001 fixture: a reporter computing rates inline."""
+
+
+def render(job):
+    eps = job.num_edges / job.processing_seconds
+    metered = job.eps
+    return eps, metered

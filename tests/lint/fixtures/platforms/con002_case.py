@@ -1,0 +1,16 @@
+"""CON002 fixture: a driver running kernels outside the lifecycle."""
+
+from repro.algorithms import pagerank
+from repro.algorithms.registry import get_algorithm
+
+
+class RogueDriver:
+    def execute(self, graph, params):
+        direct = pagerank(graph)
+        spec = get_algorithm("bfs")
+        bound = spec.run(graph, params)
+        chained = get_algorithm("wcc").run(graph, params)
+        return direct, bound, chained
+
+    def _run_algorithm(self, algorithm, graph, params):
+        return pagerank(graph)  # inside the lifecycle hook: ok

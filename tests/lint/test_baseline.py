@@ -1,0 +1,62 @@
+"""Baseline persistence and new/grandfathered partitioning."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.lint import Finding, load_baseline, partition_findings, write_baseline
+
+
+def _finding(message="msg", line=1):
+    return Finding("DET001", "error", "a/b.py", line, 1, message, "fn")
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_finding(), _finding(), _finding("other")])
+        baseline = load_baseline(path)
+        assert baseline == {
+            _finding().fingerprint: 2,
+            _finding("other").fingerprint: 1,
+        }
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+        assert load_baseline(None) == {}
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("not json", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="unreadable"):
+            load_baseline(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99}), encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="version"):
+            load_baseline(path)
+
+    def test_written_file_is_stable_json(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_finding("b"), _finding("a")])
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["version"] == 1
+        assert list(payload["fingerprints"]) == sorted(payload["fingerprints"])
+
+
+class TestPartitioning:
+    def test_baselined_findings_survive_line_drift(self):
+        baseline = {_finding(line=10).fingerprint: 1}
+        new, old = partition_findings([_finding(line=99)], baseline)
+        assert new == [] and len(old) == 1
+
+    def test_budget_consumed_per_occurrence(self):
+        baseline = {_finding().fingerprint: 1}
+        new, old = partition_findings([_finding(), _finding()], baseline)
+        assert len(old) == 1 and len(new) == 1
+
+    def test_unknown_fingerprints_are_new(self):
+        new, old = partition_findings([_finding()], {})
+        assert len(new) == 1 and old == []

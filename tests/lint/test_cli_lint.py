@@ -1,0 +1,108 @@
+"""The ``graphalytics lint`` subcommand, end to end."""
+
+import json
+
+from repro.cli import main
+
+BAD_SOURCE = """\
+import random
+
+
+def jitter():
+    return random.random()
+"""
+
+
+class TestCleanTree:
+    def test_shipped_tree_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_format_on_clean_tree(self, capsys):
+        assert main(["lint", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["new"] == 0
+        assert payload["findings"] == []
+
+    def test_explicit_path_argument(self, capsys):
+        assert main(["lint", "src/repro"]) == 0
+
+
+class TestViolations:
+    def test_injected_violation_exits_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_SOURCE, encoding="utf-8")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "DET002" in out
+        assert "1 new finding" in out
+
+    def test_json_format_reports_violation(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_SOURCE, encoding="utf-8")
+        assert main(["lint", "--format", "json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["new"] == 1
+        assert payload["findings"][0]["rule"] == "DET002"
+        assert payload["findings"][0]["line"] == 5
+
+    def test_select_limits_rules(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_SOURCE, encoding="utf-8")
+        assert main(["lint", str(bad), "--select", "CON002"]) == 0
+
+
+class TestBaselineFlow:
+    def test_write_then_pass_then_regress(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_SOURCE, encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+
+        assert main([
+            "lint", str(bad), "--baseline", str(baseline), "--write-baseline",
+        ]) == 0
+        assert baseline.is_file()
+        capsys.readouterr()
+
+        # Grandfathered: the same finding no longer fails the run.
+        assert main(["lint", str(bad), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+        # A second, new violation still fails.
+        bad.write_text(BAD_SOURCE + "\n\nx = random.shuffle([])\n",
+                       encoding="utf-8")
+        assert main(["lint", str(bad), "--baseline", str(baseline)]) == 1
+        assert "shuffle" in capsys.readouterr().out
+
+    def test_no_baseline_flag_ignores_baseline(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_SOURCE, encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "lint", str(bad), "--baseline", str(baseline), "--write-baseline",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "lint", str(bad), "--baseline", str(baseline), "--no-baseline",
+        ]) == 1
+
+    def test_show_baselined_prints_covered_findings(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_SOURCE, encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        main(["lint", str(bad), "--baseline", str(baseline),
+              "--write-baseline"])
+        capsys.readouterr()
+        assert main([
+            "lint", str(bad), "--baseline", str(baseline), "--show-baselined",
+        ]) == 0
+        assert "(baselined)" in capsys.readouterr().out
+
+
+class TestListRules:
+    def test_rule_table_printed(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "DET002", "DET003", "CON001",
+                        "CON002", "EXC001", "REG001", "REP001"):
+            assert rule_id in out

@@ -1,0 +1,95 @@
+"""Core machinery: suppressions, fingerprints, scoping, engine set-up."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.lint import Finding, LintConfig, LintEngine
+from repro.lint.core import _parse_suppressions
+
+
+class TestSuppressions:
+    def test_inline_and_standalone_directives(self, lint_fixture):
+        assert lint_fixture("algorithms/suppressed_case.py") == []
+
+    def test_parse_inline_rule_list(self):
+        parsed = _parse_suppressions("x = 1  # lint: disable=DET001,CON002\n")
+        assert parsed == {1: {"DET001", "CON002"}}
+
+    def test_parse_bare_disable_means_all(self):
+        parsed = _parse_suppressions("x = 1  # lint: disable\n")
+        assert parsed == {1: None}
+
+    def test_standalone_comment_covers_next_line(self):
+        parsed = _parse_suppressions("# lint: disable=DET001\nx = 1\n")
+        assert parsed == {1: {"DET001"}, 2: {"DET001"}}
+
+    def test_unrelated_comments_ignored(self):
+        assert _parse_suppressions("x = 1  # noqa: BLE001\n") == {}
+
+
+class TestFinding:
+    def test_fingerprint_excludes_line_numbers(self):
+        a = Finding("DET001", "error", "a/b.py", 10, 5, "msg", "fn")
+        b = Finding("DET001", "error", "a/b.py", 99, 1, "msg", "fn")
+        assert a.fingerprint == b.fingerprint
+
+    def test_fingerprint_distinguishes_rule_path_symbol_message(self):
+        base = Finding("DET001", "error", "a/b.py", 1, 1, "msg", "fn")
+        for variant in (
+            Finding("DET002", "error", "a/b.py", 1, 1, "msg", "fn"),
+            Finding("DET001", "error", "a/c.py", 1, 1, "msg", "fn"),
+            Finding("DET001", "error", "a/b.py", 1, 1, "other", "fn"),
+            Finding("DET001", "error", "a/b.py", 1, 1, "msg", "gn"),
+        ):
+            assert variant.fingerprint != base.fingerprint
+
+    def test_as_dict_round_trips_fields(self):
+        f = Finding("DET001", "error", "a/b.py", 10, 5, "msg", "fn")
+        d = f.as_dict()
+        assert d["rule"] == "DET001"
+        assert d["path"] == "a/b.py"
+        assert d["line"] == 10 and d["col"] == 5
+        assert d["symbol"] == "fn"
+
+
+class TestEngineSetup:
+    def test_unknown_selected_rule_rejected(self):
+        with pytest.raises(ConfigurationError, match="NOPE01"):
+            LintEngine(LintConfig(select=["NOPE01"]))
+
+    def test_unknown_ignored_rule_rejected(self):
+        with pytest.raises(ConfigurationError, match="NOPE01"):
+            LintEngine(LintConfig(ignore=["NOPE01"]))
+
+    def test_ignore_removes_rule(self):
+        engine = LintEngine(LintConfig(ignore=["DET001"]))
+        assert "DET001" not in [r.rule_id for r in engine.rules]
+
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def oops(:\n", encoding="utf-8")
+        findings = LintEngine(LintConfig()).run([bad])
+        assert len(findings) == 1
+        assert findings[0].rule_id == "SYNTAX"
+        assert findings[0].severity == "error"
+
+    def test_exclude_patterns_filter_files(self, tmp_path):
+        (tmp_path / "keep.py").write_text("import random\nrandom.random()\n")
+        (tmp_path / "skip.py").write_text("import random\nrandom.random()\n")
+        config = LintConfig(root=tmp_path, exclude=["skip.py"])
+        findings = LintEngine(config).run([tmp_path])
+        assert [f.path for f in findings] == ["keep.py"]
+
+    def test_scope_override_from_config(self, tmp_path):
+        # DET001 normally skips modules outside algorithms/engines;
+        # an override widens it to this tmp module's stem.
+        source = "s = {1, 2}\nfor v in s:\n    print(v)\n"
+        target = tmp_path / "custom.py"
+        target.write_text(source, encoding="utf-8")
+        scoped = LintConfig(root=tmp_path, select=["DET001"])
+        assert LintEngine(scoped).run([target]) == []
+        widened = LintConfig(
+            root=tmp_path, select=["DET001"], scopes={"DET001": ["custom"]}
+        )
+        findings = LintEngine(widened).run([target])
+        assert [(f.rule_id, f.line) for f in findings] == [("DET001", 2)]

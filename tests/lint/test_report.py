@@ -1,0 +1,44 @@
+"""Text and JSON reporters."""
+
+import json
+
+from repro.lint import Finding, render_json, render_text
+
+
+def _finding(rule="DET001", message="msg"):
+    return Finding(rule, "error", "a/b.py", 10, 5, message, "fn")
+
+
+class TestTextReport:
+    def test_clean_run(self):
+        assert render_text([], []) == "lint: clean (0 findings)"
+
+    def test_finding_line_format(self):
+        text = render_text([_finding()])
+        assert "a/b.py:10:5: DET001 msg [fn]" in text
+        assert "lint: 1 new finding (DET001: 1)" in text
+
+    def test_summary_counts_per_rule(self):
+        text = render_text([_finding(), _finding(), _finding(rule="CON002")])
+        assert "lint: 3 new findings (CON002: 1, DET001: 2)" in text
+
+    def test_baselined_hidden_unless_verbose(self):
+        quiet = render_text([], [_finding()])
+        assert "a/b.py" not in quiet
+        verbose = render_text([], [_finding()], verbose_baseline=True)
+        assert "(baselined)" in verbose
+
+
+class TestJsonReport:
+    def test_document_shape(self):
+        payload = json.loads(render_json([_finding()], [_finding("CON002")]))
+        assert payload["version"] == 1
+        assert payload["new"] == 1
+        assert payload["baselined"] == 1
+        assert payload["counts"] == {"DET001": 1}
+        flags = [row["baselined"] for row in payload["findings"]]
+        assert flags == [False, True]
+
+    def test_empty_document(self):
+        payload = json.loads(render_json([], []))
+        assert payload["new"] == 0 and payload["findings"] == []

@@ -302,7 +302,7 @@ class TestSelfcheckCommand:
     def test_healthy_installation(self, capsys):
         assert main(["selfcheck"]) == 0
         out = capsys.readouterr().out
-        assert "all 6 checks passed" in out
+        assert "all 7 checks passed" in out
         assert "calibration" in out and "determinism" in out
 
 
@@ -316,4 +316,4 @@ class TestModuleEntryPoint:
             capture_output=True, text=True, timeout=120,
         )
         assert completed.returncode == 0, completed.stderr[-1000:]
-        assert "all 6 checks passed" in completed.stdout
+        assert "all 7 checks passed" in completed.stdout

@@ -15,7 +15,8 @@ class TestDocumentsExist:
     @pytest.mark.parametrize(
         "name",
         ["README.md", "DESIGN.md", "EXPERIMENTS.md",
-         "docs/architecture.md", "docs/calibration.md", "docs/extending.md"],
+         "docs/architecture.md", "docs/calibration.md", "docs/extending.md",
+         "docs/lint.md"],
     )
     def test_present_and_substantial(self, name):
         path = ROOT / name
