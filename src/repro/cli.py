@@ -9,7 +9,10 @@ Commands:
 * ``job`` — run a single (platform, dataset, algorithm) job;
 * ``generate`` — generate a Datagen graph and write it in EVL format;
 * ``granula`` — run one job and render its Granula archive;
-* ``lint`` — static determinism/conformance analysis of the codebase.
+* ``lint`` — static determinism/conformance analysis of the codebase;
+* ``cache`` — inspect or clear the materialized-graph cache;
+* ``report``/``full-run`` — accept ``--workers N`` to execute on the
+  concurrent runtime (docs/runtime.md).
 """
 
 from __future__ import annotations
@@ -41,6 +44,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--figure", action="store_true",
         help="render an ASCII log-scale figure instead of raw rows",
+    )
+    run.add_argument(
+        "--workers", type=int, default=1,
+        help="prefetch the experiment's graphs and validation references "
+             "on this many worker processes before the (sequential) body runs",
     )
 
     job = sub.add_parser("job", help="run a single benchmark job")
@@ -83,6 +91,20 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--algorithms", nargs="*", default=None)
     report.add_argument("--seed", type=int, default=0)
     report.add_argument("--output", help="write the report to this path")
+    report.add_argument(
+        "--workers", type=int, default=1,
+        help="execute the matrix on this many worker processes "
+             "(deterministic merge; see docs/runtime.md)",
+    )
+    report.add_argument(
+        "--cache-dir", default=None,
+        help="persistent materialized-graph cache directory "
+             "(default: a private per-run directory)",
+    )
+    report.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="per-job wall-clock budget in seconds (workers > 1 only)",
+    )
 
     val = sub.add_parser(
         "validate",
@@ -195,6 +217,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiments", nargs="*", default=None,
         help="subset of experiment ids (default: all eight)",
     )
+    full.add_argument(
+        "--workers", type=int, default=1,
+        help="prefetch all experiment inputs on this many worker processes",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the materialized-graph cache"
+    )
+    cache.add_argument(
+        "--dir", dest="cache_dir", default=None,
+        help="cache directory (default: $GRAPHALYTICS_CACHE_DIR or the "
+             "XDG cache home)",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("stats", help="entry inventory and last-run counters")
+    cache_sub.add_parser("clear", help="remove every cached entry")
 
     return parser
 
@@ -255,7 +293,24 @@ def _cmd_run(args) -> int:
     experiment = get_experiment(args.experiment)
     print(f"running experiment {experiment.experiment_id} "
           f"({experiment.title}, paper §{experiment.section}) ...")
-    report = experiment.run(seed=args.seed)
+    runner = None
+    if args.workers > 1:
+        from repro.harness.config import BenchmarkConfig
+        from repro.harness.runner import BenchmarkRunner
+        from repro.runtime.executor import RuntimeConfig, prefetch_into_runner
+
+        runner = BenchmarkRunner(BenchmarkConfig(seed=args.seed))
+        prefetch = prefetch_into_runner(
+            runner,
+            datasets=list(experiment.datasets),
+            algorithms=list(experiment.algorithms),
+            runtime=RuntimeConfig(workers=args.workers),
+        )
+        if prefetch is not None:
+            print(f"# prefetched {prefetch.dag_size} artifacts on "
+                  f"{args.workers} workers in "
+                  f"{prefetch.elapsed_seconds:.2f} s")
+    report = experiment.run(runner, seed=args.seed)
     if args.figure:
         _print_figure(experiment, report)
     else:
@@ -375,7 +430,19 @@ def _cmd_report(args) -> int:
     if args.algorithms:
         overrides["algorithms"] = args.algorithms
     config = BenchmarkConfig(seed=args.seed, **overrides)
-    database = BenchmarkRunner(config).run()
+    runner = BenchmarkRunner(config)
+    if args.workers > 1 or args.cache_dir or args.job_timeout:
+        from repro.runtime.executor import RuntimeConfig
+
+        runtime = RuntimeConfig(
+            workers=max(1, args.workers),
+            cache_dir=args.cache_dir,
+            job_timeout=args.job_timeout,
+        )
+        database = runner.run(runtime=runtime)
+        print(f"# runtime: {runner.last_run.describe()}")
+    else:
+        database = runner.run()
     if args.output:
         path = save_report(database, args.output)
         print(f"report written to {path}")
@@ -608,6 +675,7 @@ def _cmd_full_run(args) -> int:
         experiment_ids=args.experiments,
         report_path=args.report,
         repository=repository,
+        workers=args.workers,
     )
     print(
         f"ran {len(result.reports)} experiments, {result.job_count} jobs"
@@ -618,6 +686,33 @@ def _cmd_full_run(args) -> int:
         print(f"report written to {args.report}")
     if repository is not None:
         print(f"run stored in {args.repository}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.runtime.cache import GraphCache, default_cache_directory
+
+    directory = args.cache_dir or default_cache_directory()
+    cache = GraphCache(directory)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {directory}")
+        return 0
+    # stats
+    entries = cache.disk_entries()
+    print(f"cache directory: {directory}")
+    if not entries:
+        print("(no cached entries)")
+    total = 0
+    for entry in entries:
+        total += entry.bytes
+        print(f"  {entry.kind:10s} {entry.label:32s} {entry.bytes:>12,d} B")
+    if entries:
+        print(f"{len(entries)} entries, {total:,d} bytes")
+    stats = cache.read_run_stats()
+    if stats is not None:
+        print(f"last run: {stats.describe()} "
+              f"(hit rate {stats.hit_rate * 100:.0f}%)")
     return 0
 
 
@@ -656,6 +751,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_lint(args)
         if args.command == "full-run":
             return _cmd_full_run(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
     except GraphalyticsError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

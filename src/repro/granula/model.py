@@ -146,6 +146,16 @@ _MODELS: Dict[str, PlatformPerformanceModel] = {
             )
         ),
     ),
+    # Not a graph platform: the benchmark runtime archives its own
+    # scheduler timeline (expand/execute/merge) through the same modeler.
+    "runtime": PlatformPerformanceModel(
+        "runtime",
+        (
+            PhaseSpec("expand", "Expand the matrix into the job DAG"),
+            PhaseSpec("execute", "Dispatch jobs to the worker pool"),
+            PhaseSpec("merge", "Deterministically merge worker results"),
+        ),
+    ),
 }
 
 

@@ -26,31 +26,6 @@ from repro.exceptions import GraphFormatError
 __all__ = ["Graph"]
 
 
-def _build_csr(
-    n: int,
-    src: np.ndarray,
-    dst: np.ndarray,
-    weights: Optional[np.ndarray],
-) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
-    """Build (indptr, indices, weights) for edges src->dst over n vertices."""
-    degree = np.bincount(src, minlength=n)
-    indptr = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(degree, out=indptr[1:])
-    order = np.argsort(src, kind="stable")
-    indices = dst[order].astype(np.int64, copy=False)
-    w = weights[order] if weights is not None else None
-    # Sort each adjacency list by neighbor for deterministic iteration and
-    # O(log d) membership tests.
-    for v in range(n):
-        lo, hi = indptr[v], indptr[v + 1]
-        if hi - lo > 1:
-            sub = np.argsort(indices[lo:hi], kind="stable")
-            indices[lo:hi] = indices[lo:hi][sub]
-            if w is not None:
-                w[lo:hi] = w[lo:hi][sub]
-    return indptr, indices, w
-
-
 def _build_csr_fast(
     n: int,
     src: np.ndarray,

@@ -99,6 +99,21 @@ class Dataset:
             self._cache[seed] = graph
         return self._cache[seed]
 
+    def prime(self, seed: int, graph: Graph) -> None:
+        """Install an externally materialized graph into the per-process memo.
+
+        Used by the runtime's content-addressed cache: a graph loaded
+        from the shared spill directory is byte-identical to one the
+        recipe would build, so it can stand in for a fresh
+        materialization. The same directedness/weight validation as
+        :meth:`materialize` applies.
+        """
+        if graph.directed != self.profile.directed:
+            raise DatasetError(f"{self.dataset_id}: primed graph directedness mismatch")
+        if graph.is_weighted != self.profile.weighted:
+            raise DatasetError(f"{self.dataset_id}: primed graph weight mismatch")
+        self._cache.setdefault(seed, graph)
+
     def algorithm_parameters(self, algorithm: str, seed: int = 0) -> Mapping[str, object]:
         """Benchmark-description parameters for one algorithm."""
         algorithm = algorithm.lower()

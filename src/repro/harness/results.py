@@ -115,6 +115,24 @@ class ResultsDatabase:
 
     # -- persistence -----------------------------------------------------
 
+    def canonical_json(self) -> str:
+        """Deterministic serialization: ``measured_*`` fields nulled.
+
+        Modeled metrics are pure functions of the job spec and seed;
+        the ``measured_*`` wall-clocks are whatever this machine did
+        today. Nulling them yields a string that is bit-identical across
+        runs, worker counts, and completion orders — the comparator for
+        the runtime's determinism contract (docs/runtime.md).
+        """
+        payload = []
+        for result in self._results:
+            record = result.as_dict()
+            for key in record:
+                if key.startswith("measured_"):
+                    record[key] = None
+            payload.append(record)
+        return json.dumps(payload, indent=1, sort_keys=True)
+
     def save(self, path: Union[str, Path]) -> Path:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)

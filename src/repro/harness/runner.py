@@ -43,6 +43,8 @@ class BenchmarkRunner:
         self._drivers: Dict[str, PlatformDriver] = {}
         self._handles: Dict[Tuple[str, str], UploadHandle] = {}
         self._references: Dict[Tuple[str, str], np.ndarray] = {}
+        #: RuntimeRunResult of the last concurrent ``run()``, if any.
+        self.last_run = None
 
     # -- plumbing -----------------------------------------------------------
 
@@ -69,6 +71,12 @@ class BenchmarkRunner:
             graph = dataset.materialize(self.config.seed)
             self._references[key] = run_reference(algorithm, graph, params)
         return self._references[key]
+
+    def prime_reference(
+        self, dataset_id: str, algorithm: str, output: np.ndarray
+    ) -> None:
+        """Install a precomputed validation reference (runtime prefetch)."""
+        self._references[(dataset_id, algorithm.lower())] = output
 
     def can_run(self, platform: str, dataset: Dataset, algorithm: str) -> bool:
         """Whether the combination is runnable at all.
@@ -169,8 +177,27 @@ class BenchmarkRunner:
 
     # -- batch runs --------------------------------------------------------
 
-    def run(self) -> ResultsDatabase:
-        """Run the full configured selection; returns the database."""
+    def run(self, *, workers: int = 1, runtime=None) -> ResultsDatabase:
+        """Run the full configured selection; returns the database.
+
+        With ``workers > 1`` (or an explicit
+        :class:`~repro.runtime.executor.RuntimeConfig`) the matrix is
+        executed by the concurrent runtime: a dependency-aware job DAG
+        dispatched onto a multiprocessing worker pool sharing a
+        content-addressed graph cache. The merged database is
+        deterministic — identical to the serial run except for the
+        environment-dependent ``measured_*`` wall-clocks (see
+        ``ResultsDatabase.canonical_json`` and docs/runtime.md).
+        """
+        if workers > 1 or runtime is not None:
+            from repro.runtime.executor import RuntimeConfig, execute_matrix
+
+            if runtime is None:
+                runtime = RuntimeConfig(workers=workers)
+            outcome = execute_matrix(self.config, runtime)
+            self.database.extend(outcome.database)
+            self.last_run = outcome
+            return self.database
         for platform in self.config.platforms:
             for dataset_id in self.config.datasets:
                 dataset = get_dataset(dataset_id)

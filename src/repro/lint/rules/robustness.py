@@ -1,20 +1,31 @@
-"""Harness robustness rules: EXC001.
+"""Harness robustness rules: EXC001, RUN001.
 
 The harness records modeled failures (OOM, crash, SLA breach) as data;
 what it must never do is *swallow* them. An over-broad ``except`` in a
 retry or orchestration path can turn a failed job into a silently
 missing row, corrupting the benchmark's failure statistics (paper §4.6
-stress test counts failures explicitly).
+stress test counts failures explicitly). The concurrent runtime
+sharpens the contract (RUN001): its worker and job entrypoints may
+catch broadly — that is how a crashing job becomes a ``harness-*`` row
+— but only if the handler demonstrably converts the exception into a
+structured failure record or re-raises.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
-from repro.lint.core import Finding, Module, Rule, Severity, register_rule
+from repro.lint.core import (
+    Finding,
+    Module,
+    Rule,
+    Severity,
+    names_in,
+    register_rule,
+)
 
-__all__ = ["SwallowedExceptionRule"]
+__all__ = ["SwallowedExceptionRule", "RuntimeFailureRecordRule"]
 
 #: Exception names considered over-broad for a silent handler: the
 #: builtins plus the library's own base class (catching a *specific*
@@ -79,3 +90,77 @@ class SwallowedExceptionRule(Rule):
                     f"swallow benchmark failures; catch the specific "
                     f"subclass or re-raise after recording",
                 )
+
+
+#: Function-name tokens identifying runtime worker/job entrypoints: the
+#: paths where an exception IS a job outcome and must become data.
+_ENTRYPOINT_TOKENS = (
+    "worker", "job", "dispatch", "task", "attempt", "envelope", "run_",
+)
+
+#: Identifier fragments that show the handler produces a structured
+#: failure record (JobFailure, AttemptRecord, failure envelopes, the
+#: scheduler's record_attempt / attempt_failed transitions).
+_RECORD_TOKENS = ("fail", "attempt")
+
+
+def _innermost_function(module: Module, node: ast.AST) -> Optional[str]:
+    current = module.parent(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current.name
+        current = module.parent(current)
+    return None
+
+
+def _records_failure(handler: ast.ExceptHandler) -> bool:
+    found = names_in(handler)
+    return any(
+        token in name.lower() for name in found for token in _RECORD_TOKENS
+    )
+
+
+@register_rule
+class RuntimeFailureRecordRule(Rule):
+    """RUN001: runtime entrypoint drops an exception without a record.
+
+    In ``repro.runtime``, a worker loop or job-execution function that
+    catches broadly must turn the exception into a structured failure
+    record (an :class:`~repro.runtime.jobs.AttemptRecord` /
+    :class:`~repro.runtime.jobs.JobFailure` / failure envelope) or
+    re-raise. Anything else silently loses a job — the exact failure
+    mode the runtime exists to make impossible.
+    """
+
+    rule_id = "RUN001"
+    severity = Severity.ERROR
+    description = (
+        "runtime worker/job entrypoint must re-raise or convert "
+        "exceptions into structured failure records"
+    )
+    scope = ("runtime",)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            function = _innermost_function(module, node)
+            if function is None or not any(
+                token in function.lower() for token in _ENTRYPOINT_TOKENS
+            ):
+                continue
+            handled = _handler_names(node)
+            if node.type is not None and not any(
+                name in _BROAD_NAMES for name in handled
+            ):
+                continue  # narrow handler: not a job-outcome path
+            if _reraises(node) or _records_failure(node):
+                continue
+            caught = "/".join(handled) if handled else "bare except"
+            yield module.finding(
+                self, node,
+                f"`{caught}` in runtime entrypoint `{function}` neither "
+                f"re-raises nor produces a structured failure record "
+                f"(AttemptRecord/JobFailure/failure envelope); the job "
+                f"would be silently lost",
+            )

@@ -1,0 +1,361 @@
+"""Content-addressed cache of materialized graphs and reference outputs.
+
+Dataset miniatures are deterministic functions of ``(dataset spec,
+seed)`` (see DESIGN.md §2), so the runtime materializes each one **once
+per run** and shares it across workers. The cache is keyed by a SHA-256
+digest of the canonical dataset spec — the id, the seed, the full-scale
+profile the recipe targets, and a format version — so a recipe change
+invalidates old entries instead of silently serving them.
+
+Two layers:
+
+* an **in-memory LRU** (per process; bounded entry count) for repeated
+  jobs inside one worker;
+* an **on-disk spill** directory (shared by every worker of a run, and
+  across runs if the caller passes a persistent directory). Writes are
+  atomic (`tmp` + ``os.replace``), so concurrent workers racing to
+  store the same key are safe — last writer wins with identical bytes.
+
+Every layer interaction is counted (:class:`CacheStats`); workers ship
+their deltas back with each job result, and the scheduler aggregates
+them into the run's cache report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "GraphCache",
+    "default_cache_directory",
+]
+
+#: Bump to invalidate every existing cache entry (e.g. when a recipe or
+#: the Graph pickle layout changes).
+CACHE_FORMAT_VERSION = 1
+
+
+def default_cache_directory() -> Path:
+    """The persistent cache location (``graphalytics cache ...``).
+
+    ``GRAPHALYTICS_CACHE_DIR`` wins; otherwise the XDG cache home.
+    """
+    override = os.environ.get("GRAPHALYTICS_CACHE_DIR")
+    if override:
+        return Path(override)
+    base = os.environ.get("XDG_CACHE_HOME") or str(Path.home() / ".cache")
+    return Path(base) / "graphalytics"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one process (or one merged run)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    bytes_written: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: Union["CacheStats", Dict[str, int]]) -> None:
+        data = other.as_dict() if isinstance(other, CacheStats) else dict(other)
+        for key in (
+            "memory_hits", "disk_hits", "misses",
+            "stores", "evictions", "bytes_written",
+        ):
+            setattr(self, key, getattr(self, key) + int(data.get(key, 0)))
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "bytes_written": self.bytes_written,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.hits} hits ({self.memory_hits} memory, {self.disk_hits} "
+            f"disk), {self.misses} misses, {self.evictions} evictions, "
+            f"{self.bytes_written} bytes spilled"
+        )
+
+
+def _spec_payload(dataset, seed: int, *, kind: str, algorithm: str = "") -> str:
+    """Canonical JSON of everything the cached artifact depends on."""
+    profile = dataset.profile
+    return json.dumps(
+        {
+            "format": CACHE_FORMAT_VERSION,
+            "kind": kind,
+            "dataset": dataset.dataset_id,
+            "seed": seed,
+            "algorithm": algorithm,
+            "profile": {
+                "name": profile.name,
+                "num_vertices": profile.num_vertices,
+                "num_edges": profile.num_edges,
+                "directed": profile.directed,
+                "weighted": profile.weighted,
+            },
+            "pr_iterations": dataset.pr_iterations,
+            "cdlp_iterations": dataset.cdlp_iterations,
+        },
+        sort_keys=True,
+    )
+
+
+def graph_key(dataset, seed: int) -> str:
+    """Content address of one dataset materialization."""
+    payload = _spec_payload(dataset, seed, kind="graph")
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def reference_key(dataset, algorithm: str, seed: int) -> str:
+    """Content address of one validation-reference output."""
+    payload = _spec_payload(
+        dataset, seed, kind="reference", algorithm=algorithm.lower()
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheEntryInfo:
+    """Manifest of one on-disk entry, for ``graphalytics cache stats``."""
+
+    key: str
+    kind: str
+    label: str
+    bytes: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "kind": self.kind,
+            "label": self.label,
+            "bytes": self.bytes,
+        }
+
+
+class GraphCache:
+    """LRU-over-spill cache of graphs and reference outputs.
+
+    ``directory=None`` disables the disk layer (memory-only); the
+    runtime always passes a per-run or user-chosen directory so workers
+    share materializations.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        *,
+        memory_entries: int = 8,
+    ):
+        self.directory = Path(directory) if directory is not None else None
+        self.memory_entries = max(0, int(memory_entries))
+        self._lru: "OrderedDict[str, object]" = OrderedDict()
+        self.stats = CacheStats()
+        self._delta = CacheStats()
+
+    # -- stats -------------------------------------------------------------
+
+    def _count(self, **deltas: int) -> None:
+        self.stats.merge(deltas)
+        self._delta.merge(deltas)
+
+    def take_stats_delta(self) -> Dict[str, int]:
+        """Counters accumulated since the last call (for worker envelopes)."""
+        delta = self._delta.as_dict()
+        self._delta = CacheStats()
+        return delta
+
+    # -- memory layer -------------------------------------------------------
+
+    def _memory_get(self, key: str):
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            return self._lru[key]
+        return None
+
+    def _memory_put(self, key: str, value) -> None:
+        if self.memory_entries == 0:
+            return
+        self._lru[key] = value
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.memory_entries:
+            self._lru.popitem(last=False)
+            self._count(evictions=1)
+
+    # -- disk layer ----------------------------------------------------------
+
+    def _entry_path(self, key: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def _disk_get(self, key: str):
+        path = self._entry_path(key)
+        if path is None or not path.exists():
+            return None
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+
+    def _disk_put(self, key: str, value, *, kind: str, label: str) -> None:
+        path = self._entry_path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp, path)
+        manifest = {
+            "key": key,
+            "kind": kind,
+            "label": label,
+            "bytes": len(blob),
+            "format": CACHE_FORMAT_VERSION,
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=1, sort_keys=True)
+        os.replace(tmp, path.with_suffix(".json"))
+        self._count(stores=1, bytes_written=len(blob))
+
+    # -- lookup --------------------------------------------------------------
+
+    def _get(self, key: str, builder, *, kind: str, label: str):
+        value = self._memory_get(key)
+        if value is not None:
+            self._count(memory_hits=1)
+            return value
+        value = self._disk_get(key)
+        if value is not None:
+            self._count(disk_hits=1)
+            self._memory_put(key, value)
+            return value
+        self._count(misses=1)
+        value = builder()
+        self._disk_put(key, value, kind=kind, label=label)
+        self._memory_put(key, value)
+        return value
+
+    def get_graph(self, dataset, seed: int = 0):
+        """The dataset's miniature graph, via cache layers or the recipe."""
+        key = graph_key(dataset, seed)
+        graph = self._get(
+            key,
+            lambda: dataset.materialize(seed),
+            kind="graph",
+            label=f"{dataset.dataset_id} seed={seed}",
+        )
+        # A disk hit skips Dataset.materialize; prime its per-process
+        # memo so later in-process paths reuse the same object.
+        dataset.prime(seed, graph)
+        return graph
+
+    def get_reference(self, dataset, algorithm: str, seed: int = 0) -> np.ndarray:
+        """The validation-reference output for one (dataset, algorithm)."""
+        from repro.algorithms.registry import run_reference
+
+        algorithm = algorithm.lower()
+        key = reference_key(dataset, algorithm, seed)
+
+        def build() -> np.ndarray:
+            graph = self.get_graph(dataset, seed)
+            params = dataset.algorithm_parameters(algorithm, seed)
+            return run_reference(algorithm, graph, params)
+
+        return self._get(
+            key,
+            build,
+            kind="reference",
+            label=f"{dataset.dataset_id}/{algorithm} seed={seed}",
+        )
+
+    # -- maintenance -----------------------------------------------------------
+
+    def disk_entries(self) -> List[CacheEntryInfo]:
+        """Manifests of every on-disk entry, sorted by label."""
+        if self.directory is None or not self.directory.exists():
+            return []
+        entries: List[CacheEntryInfo] = []
+        for manifest_path in sorted(self.directory.glob("*/*.json")):
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            entries.append(
+                CacheEntryInfo(
+                    key=str(data.get("key", manifest_path.stem)),
+                    kind=str(data.get("kind", "?")),
+                    label=str(data.get("label", "?")),
+                    bytes=int(data.get("bytes", 0)),
+                )
+            )
+        entries.sort(key=lambda e: (e.kind, e.label, e.key))
+        return entries
+
+    def clear(self) -> int:
+        """Drop both layers; returns the number of disk entries removed."""
+        self._lru.clear()
+        removed = 0
+        if self.directory is not None and self.directory.exists():
+            for path in self.directory.glob("*/*.pkl"):
+                path.unlink()
+                removed += 1
+            for path in self.directory.glob("*/*.json"):
+                path.unlink()
+            for path in self.directory.glob("*/*.tmp"):
+                path.unlink()
+            for sub in self.directory.iterdir():
+                if sub.is_dir() and not any(sub.iterdir()):
+                    sub.rmdir()
+        return removed
+
+    def write_run_stats(self, stats: CacheStats) -> Optional[Path]:
+        """Persist a run's merged counters for ``graphalytics cache stats``."""
+        if self.directory is None:
+            return None
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / "last-run-stats.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(stats.as_dict(), handle, indent=1, sort_keys=True)
+        return path
+
+    def read_run_stats(self) -> Optional[CacheStats]:
+        if self.directory is None:
+            return None
+        path = self.directory / "last-run-stats.json"
+        if not path.exists():
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            stats = CacheStats()
+            stats.merge(json.load(handle))
+            return stats

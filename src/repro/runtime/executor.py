@@ -1,0 +1,521 @@
+"""The benchmark-execution runtime: concurrent matrix runs, one API.
+
+:func:`execute_matrix` expands a benchmark selection into the job DAG,
+executes it — inline for ``workers=1``, on the multiprocessing pool
+otherwise — and merges results deterministically:
+
+* every execute job's row enters the final database at its matrix
+  sequence number, so the database (and everything rendered from it) is
+  identical for any worker count and any completion order;
+* the only environment-dependent fields are the ``measured_*``
+  wall-clocks; ``ResultsDatabase.canonical_json`` excludes them, and
+  that serialization is bit-identical across worker counts (the
+  determinism contract, see docs/runtime.md);
+* a job that cannot be completed (timeout, worker crash, repeated
+  exceptions, failed dependency) still lands in the database as a
+  ``harness-*`` failure row — the SLA/robustness accounting never loses
+  a job.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.exceptions import ConfigurationError
+from repro.harness.config import BenchmarkConfig
+from repro.harness.datasets import get_dataset
+from repro.harness.results import BenchmarkResult, ResultsDatabase
+from repro.runtime.cache import CacheStats, GraphCache
+from repro.runtime.events import RuntimeEventLog
+from repro.runtime.faults import FaultPlan
+from repro.runtime.jobs import JobFailure, JobKind, failure_result
+from repro.runtime.pool import CacheBackedRunner, WorkerPool, run_job_spec
+from repro.runtime.scheduler import JobGraph, NodeState, expand_matrix
+
+__all__ = [
+    "RuntimeConfig",
+    "RuntimeRunResult",
+    "execute_matrix",
+    "example_matrix",
+    "prefetch_into_runner",
+]
+
+
+@dataclass
+class RuntimeConfig:
+    """Tuning knobs of the execution runtime (see docs/runtime.md)."""
+
+    workers: int = 1
+    #: "auto" picks inline for one worker, the process pool otherwise.
+    mode: str = "auto"
+    #: Per-job wall-clock budget (pool mode); ``None`` disables.
+    job_timeout: Optional[float] = None
+    #: Total tries per job, including the first (>= 1).
+    max_attempts: int = 2
+    #: First retry delay; doubles per further attempt.
+    backoff_base: float = 0.05
+    #: Shared spill directory; ``None`` = private per-run temp dir.
+    cache_dir: Optional[Union[str, Path]] = None
+    #: Per-process in-memory LRU capacity (graphs + references).
+    memory_cache_entries: int = 8
+    #: Deterministic fault injection (tests, chaos self-checks).
+    fault_plan: Optional[FaultPlan] = None
+    #: Dispatcher poll interval in pool mode (seconds).
+    poll_interval: float = 0.02
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if self.mode not in ("auto", "inline", "pool"):
+            raise ConfigurationError(
+                f"mode must be auto/inline/pool, got {self.mode!r}"
+            )
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ConfigurationError("job_timeout must be positive")
+
+    @property
+    def resolved_mode(self) -> str:
+        if self.mode != "auto":
+            return self.mode
+        return "inline" if self.workers <= 1 else "pool"
+
+
+@dataclass
+class RuntimeRunResult:
+    """Everything one runtime-driven matrix run produced."""
+
+    database: ResultsDatabase
+    failures: List[JobFailure] = field(default_factory=list)
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+    events: RuntimeEventLog = field(default_factory=RuntimeEventLog)
+    workers: int = 1
+    mode: str = "inline"
+    elapsed_seconds: float = 0.0
+    job_count: int = 0             # execute jobs in the matrix
+    dag_size: int = 0              # all DAG nodes
+
+    @property
+    def lost_jobs(self) -> int:
+        """Execute jobs with neither a result row nor a failure: must be 0."""
+        return self.job_count - len(self.database)
+
+    def archive(self):
+        """Granula performance archive of the run itself."""
+        return self.events.to_archive(
+            metadata={
+                "workers": self.workers,
+                "mode": self.mode,
+                "jobs": self.job_count,
+                "retries": self.events.count("retry"),
+                "timeouts": self.events.count("timeout"),
+                "crashes": self.events.count("crash"),
+                "cache_hits": self.cache_stats.hits,
+                "cache_misses": self.cache_stats.misses,
+            }
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.job_count} jobs on {self.workers} worker(s) "
+            f"[{self.mode}] in {self.elapsed_seconds:.2f} s; "
+            f"{len(self.failures)} harness failure(s); "
+            f"cache: {self.cache_stats.describe()}"
+        )
+
+
+def example_matrix(seed: int = 0, *, repetitions: int = 2) -> BenchmarkConfig:
+    """The small standard matrix used by docs, benches, and smoke tests.
+
+    Two platforms x two datasets x three algorithms x two repetitions
+    (SSSP is skipped on the unweighted R1) — 20 execute jobs with
+    repeated datasets, so cache hits and concurrency both show.
+    """
+    return BenchmarkConfig(
+        platforms=["powergraph", "graphmat"],
+        datasets=["R1", "R4"],
+        algorithms=["bfs", "pr", "sssp"],
+        repetitions=repetitions,
+        seed=seed,
+    )
+
+
+@contextmanager
+def _cache_directory(runtime: RuntimeConfig):
+    if runtime.cache_dir is not None:
+        path = Path(runtime.cache_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        yield path
+        return
+    with tempfile.TemporaryDirectory(prefix="graphalytics-cache-") as tmp:
+        yield Path(tmp)
+
+
+class _MatrixRun:
+    """One in-flight matrix execution (shared by inline and pool modes)."""
+
+    def __init__(
+        self,
+        config: BenchmarkConfig,
+        runtime: RuntimeConfig,
+        cache_dir: Path,
+        *,
+        include_execute: bool = True,
+    ):
+        self.config = config
+        self.runtime = runtime
+        self.cache_dir = cache_dir
+        self.events = RuntimeEventLog()
+        self.events.phase_start("expand")
+        specs = expand_matrix(config)
+        if not include_execute:
+            specs = [s for s in specs if s.kind != JobKind.EXECUTE]
+        self.graph = JobGraph(
+            specs,
+            max_attempts=runtime.max_attempts,
+            backoff_base=runtime.backoff_base,
+        )
+        self.execute_count = sum(
+            1 for s in specs if s.kind == JobKind.EXECUTE
+        )
+        self.events.phase_end("expand")
+        self.results: Dict[int, BenchmarkResult] = {}
+        self.cache_stats = CacheStats()
+        self._failures_seen = 0
+
+    # -- shared bookkeeping ------------------------------------------------
+
+    def complete_job(self, seq: int, payload: Dict[str, object], *,
+                     worker: int, elapsed: float) -> None:
+        node = self.graph.nodes[seq]
+        self.graph.complete(seq)
+        if node.spec.kind == JobKind.EXECUTE:
+            self.results[seq] = BenchmarkResult(**payload["result"])
+        self.events.emit(
+            "complete", job=node.spec.job_id, worker=worker, elapsed=elapsed
+        )
+
+    def attempt_failed(self, seq: int, *, worker: int, kind: str,
+                       detail: str, elapsed: float) -> None:
+        node = self.graph.nodes[seq]
+        failure = self.graph.record_attempt(
+            seq,
+            now=time.monotonic(),
+            worker=worker,
+            kind=kind,
+            detail=detail,
+            elapsed=elapsed,
+        )
+        if failure is None:
+            self.events.emit(
+                "retry",
+                job=node.spec.job_id,
+                worker=worker,
+                kind=kind,
+                attempt=len(node.attempts),
+                backoff=node.attempts[-1].backoff_seconds,
+            )
+        self.sync_failures()
+
+    def sync_failures(self) -> None:
+        """Turn newly permanent failures into database rows (execute jobs)."""
+        base = self.config.resources
+        while self._failures_seen < len(self.graph.failures):
+            failure = self.graph.failures[self._failures_seen]
+            self._failures_seen += 1
+            self.events.emit(
+                "job-failed",
+                job=failure.job_id,
+                kind=failure.final_kind,
+                attempts=len(failure.attempts),
+            )
+            if failure.spec.kind == JobKind.EXECUTE:
+                row = failure_result(failure)
+                # Respect a custom machine spec for the threads column.
+                self.results[failure.spec.seq] = BenchmarkResult(
+                    **{
+                        **row.as_dict(),
+                        "threads": failure.spec.resources(base).threads_per_machine,
+                    }
+                )
+
+    def merged(self) -> ResultsDatabase:
+        """The deterministic merge: rows ordered by matrix sequence."""
+        return ResultsDatabase(
+            [self.results[seq] for seq in sorted(self.results)]
+        )
+
+
+def _run_inline(run: _MatrixRun) -> None:
+    """Single-process execution through the same DAG and retry policy."""
+    runtime = run.runtime
+    if runtime.fault_plan is not None and any(
+        f.kind in ("hang", "crash") for f in runtime.fault_plan.faults
+    ):
+        raise ConfigurationError(
+            "hang/crash fault injection requires pool mode (workers > 1 "
+            "or mode='pool')"
+        )
+    cache = GraphCache(
+        run.cache_dir, memory_entries=runtime.memory_cache_entries
+    )
+    runner = CacheBackedRunner(run.config, cache)
+    graph = run.graph
+    while graph.unfinished:
+        now = time.monotonic()
+        progressed = False
+        for node in list(graph.ready_jobs(now)):
+            progressed = True
+            spec = node.spec
+            attempt = node.attempt_number
+            graph.mark_running(node.seq, worker=-1)
+            run.events.emit(
+                "dispatch", job=spec.job_id, worker=-1, attempt=attempt
+            )
+            started = time.monotonic()
+            try:
+                if runtime.fault_plan is not None:
+                    runtime.fault_plan.inject(spec, attempt)
+                payload = run_job_spec(runner, cache, spec)
+            except Exception as exc:
+                # Converted into a structured failure record, never lost.
+                run.attempt_failed(
+                    node.seq,
+                    worker=-1,
+                    kind="exception",
+                    detail=f"{type(exc).__name__}: {exc}",
+                    elapsed=time.monotonic() - started,
+                )
+                continue
+            run.complete_job(
+                node.seq, payload, worker=-1,
+                elapsed=time.monotonic() - started,
+            )
+        if not progressed:
+            wake = graph.next_wake(time.monotonic())
+            if wake is None:
+                break  # nothing ready, nothing scheduled: DAG is drained
+            time.sleep(max(0.0, wake - time.monotonic()))
+    run.cache_stats.merge(cache.stats)
+
+
+def _run_pool(run: _MatrixRun) -> None:
+    """Dispatch the DAG onto the worker pool; police deadlines and deaths."""
+    runtime = run.runtime
+    graph = run.graph
+    pool = WorkerPool(
+        runtime.workers,
+        run.config,
+        cache_dir=str(run.cache_dir),
+        memory_entries=runtime.memory_cache_entries,
+        fault_plan=runtime.fault_plan,
+    )
+    pool.start()
+    try:
+        while graph.unfinished:
+            now = time.monotonic()
+            idle = pool.idle_workers()
+            for node in graph.ready_jobs(now):
+                if not idle:
+                    break
+                worker = idle.pop(0)
+                attempt = node.attempt_number
+                pool.submit(worker, node.spec, attempt)
+                deadline = (
+                    now + runtime.job_timeout
+                    if runtime.job_timeout is not None
+                    else None
+                )
+                graph.mark_running(node.seq, worker=worker, deadline=deadline)
+                run.events.emit(
+                    "dispatch",
+                    job=node.spec.job_id,
+                    worker=worker,
+                    attempt=attempt,
+                )
+            envelope = pool.wait(runtime.poll_interval)
+            now = time.monotonic()
+            if envelope is not None:
+                _handle_envelope(run, pool, envelope)
+            _police_deadlines(run, pool, now)
+            _police_crashes(run, pool)
+    finally:
+        pool.shutdown()
+
+
+def _handle_envelope(run: _MatrixRun, pool: WorkerPool, envelope) -> None:
+    worker = int(envelope["worker"])
+    seq = int(envelope["seq"])
+    run.cache_stats.merge(envelope.get("cache", {}))
+    node = run.graph.nodes.get(seq)
+    stale = (
+        node is None
+        or node.state != NodeState.RUNNING
+        or node.worker != worker
+        or pool.busy_seq(worker) != seq
+    )
+    if stale:
+        # A result from a worker we already timed out and replaced: the
+        # job's fate was decided when we killed it; keep the decision.
+        run.events.emit("stale-result", seq=seq, worker=worker)
+        return
+    pool.mark_idle(worker)
+    if envelope["event"] == "done":
+        run.complete_job(
+            seq,
+            envelope["payload"],
+            worker=worker,
+            elapsed=float(envelope.get("elapsed", 0.0)),
+        )
+    else:
+        run.attempt_failed(
+            seq,
+            worker=worker,
+            kind="exception",
+            detail=str(envelope.get("detail", "worker exception")),
+            elapsed=float(envelope.get("elapsed", 0.0)),
+        )
+
+
+def _police_deadlines(run: _MatrixRun, pool: WorkerPool, now: float) -> None:
+    for node in run.graph.running_jobs():
+        if node.deadline is None or node.deadline > now:
+            continue
+        worker = node.worker if node.worker is not None else -1
+        run.events.emit("timeout", job=node.spec.job_id, worker=worker)
+        pool.restart(worker)
+        run.attempt_failed(
+            node.seq,
+            worker=worker,
+            kind="timeout",
+            detail=(
+                f"exceeded the {run.runtime.job_timeout:.3g} s job timeout; "
+                f"worker killed"
+            ),
+            elapsed=float(run.runtime.job_timeout or 0.0),
+        )
+
+
+def _police_crashes(run: _MatrixRun, pool: WorkerPool) -> None:
+    for worker in pool.dead_busy_workers():
+        seq = pool.busy_seq(worker)
+        node = run.graph.nodes.get(seq) if seq is not None else None
+        run.events.emit(
+            "crash",
+            job=node.spec.job_id if node is not None else seq,
+            worker=worker,
+        )
+        pool.restart(worker)
+        if node is not None and node.state == NodeState.RUNNING:
+            run.attempt_failed(
+                node.seq,
+                worker=worker,
+                kind="crash",
+                detail="worker process died while running the job",
+                elapsed=0.0,
+            )
+
+
+def execute_matrix(
+    config: BenchmarkConfig,
+    runtime: Optional[RuntimeConfig] = None,
+    *,
+    include_execute: bool = True,
+) -> RuntimeRunResult:
+    """Run a benchmark matrix through the concurrent runtime."""
+    runtime = runtime or RuntimeConfig()
+    started = time.monotonic()
+    with _cache_directory(runtime) as cache_dir:
+        run = _MatrixRun(
+            config, runtime, cache_dir, include_execute=include_execute
+        )
+        mode = runtime.resolved_mode
+        run.events.phase_start("execute")
+        if mode == "pool":
+            _run_pool(run)
+        else:
+            _run_inline(run)
+        run.events.phase_end("execute")
+        run.events.phase_start("merge")
+        database = run.merged()
+        run.events.phase_end("merge")
+        GraphCache(cache_dir).write_run_stats(run.cache_stats)
+    return RuntimeRunResult(
+        database=database,
+        failures=list(run.graph.failures),
+        cache_stats=run.cache_stats,
+        events=run.events,
+        workers=runtime.workers,
+        mode=mode,
+        elapsed_seconds=time.monotonic() - started,
+        job_count=run.execute_count,
+        dag_size=len(run.graph),
+    )
+
+
+def prefetch_into_runner(
+    runner,
+    *,
+    datasets: Sequence[str],
+    algorithms: Sequence[str],
+    runtime: Optional[RuntimeConfig] = None,
+) -> Optional[RuntimeRunResult]:
+    """Materialize datasets and references concurrently, then warm a runner.
+
+    Experiment bodies are inherently sequential (baselines feed later
+    jobs), but their expensive inputs are not: this fans materialization
+    and reference computation out to the pool, then primes the runner's
+    per-process memos from the shared cache so the serial experiment
+    runs on warm data. Returns ``None`` when there is nothing to fetch.
+    """
+    from repro.runtime.scheduler import can_run_combo
+
+    datasets = [d for d in datasets]
+    algorithms = [a.lower() for a in algorithms]
+    if not datasets:
+        return None
+    if not algorithms:
+        algorithms = ["bfs"]
+    runtime = runtime or RuntimeConfig()
+    config = runner.config.subset(
+        datasets=datasets, algorithms=algorithms, repetitions=1
+    )
+    with _cache_directory(runtime) as cache_dir:
+        fetch_runtime = RuntimeConfig(
+            workers=runtime.workers,
+            mode=runtime.mode,
+            job_timeout=runtime.job_timeout,
+            max_attempts=runtime.max_attempts,
+            backoff_base=runtime.backoff_base,
+            cache_dir=cache_dir,
+            memory_cache_entries=runtime.memory_cache_entries,
+        )
+        result = execute_matrix(config, fetch_runtime, include_execute=False)
+        cache = GraphCache(
+            cache_dir, memory_entries=runtime.memory_cache_entries
+        )
+        seed = runner.config.seed
+        for dataset_id in datasets:
+            dataset = get_dataset(dataset_id)
+            cache.get_graph(dataset, seed)  # primes the dataset memo
+            if not runner.config.validate_outputs:
+                continue
+            for algorithm in algorithms:
+                if not can_run_combo(
+                    config.platforms[0] if config.platforms else "powergraph",
+                    dataset_id,
+                    algorithm,
+                ):
+                    continue
+                runner.prime_reference(
+                    dataset_id,
+                    algorithm,
+                    cache.get_reference(dataset, algorithm, seed),
+                )
+    return result

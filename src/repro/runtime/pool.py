@@ -1,0 +1,322 @@
+"""The multiprocessing worker pool and the worker-side job body.
+
+Each worker is a long-lived OS process with a private task queue and a
+private result pipe. The dispatcher hands a worker one job at a time, so
+a hung or crashed job is attributable to exactly one process, which the
+dispatcher can kill and respawn without losing anything: the job's fate
+is recorded as an attempt on its DAG node, never inferred.
+
+Result channels are deliberately *not* shared: a worker killed mid-send
+(deadline breach, ``os._exit``) can leave a shared queue's write lock
+held forever, wedging every other worker's result. With one pipe per
+worker, a dying worker can only corrupt its own channel, which the
+dispatcher discards when it respawns the process.
+
+Worker-side state is deliberately reconstructable: a
+:class:`CacheBackedRunner` (a :class:`~repro.harness.runner.
+BenchmarkRunner` whose materializations and validation references come
+from the shared content-addressed cache) is built once per process and
+reused across jobs, so repeated datasets are loaded once per worker and
+built once per run.
+
+Every exception escaping a job body is converted into a structured
+failure envelope and shipped back — the worker loop never swallows a
+failure (lint rule RUN001 enforces this statically).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+import traceback
+from typing import Dict, List, Optional
+
+from repro.harness.config import BenchmarkConfig
+from repro.harness.datasets import get_dataset
+from repro.harness.runner import BenchmarkRunner
+from repro.runtime.cache import GraphCache
+from repro.runtime.faults import FaultPlan
+from repro.runtime.jobs import JobKind, JobSpec
+
+__all__ = ["CacheBackedRunner", "run_job_spec", "WorkerPool"]
+
+
+class CacheBackedRunner(BenchmarkRunner):
+    """A benchmark runner whose graph/reference artifacts come from the
+    shared content-addressed cache instead of per-process rebuilds."""
+
+    def __init__(self, config: BenchmarkConfig, cache: GraphCache):
+        super().__init__(config)
+        self.cache = cache
+
+    def _handle(self, platform, dataset):
+        # Prime the dataset memo from the cache before the base class
+        # materializes, so a spilled graph is loaded, not rebuilt.
+        self.cache.get_graph(dataset, self.config.seed)
+        return super()._handle(platform, dataset)
+
+    def _reference_output(self, dataset, algorithm, params):
+        key = (dataset.dataset_id, algorithm)
+        if key not in self._references:
+            self._references[key] = self.cache.get_reference(
+                dataset, algorithm, self.config.seed
+            )
+        return self._references[key]
+
+
+def run_job_spec(runner: CacheBackedRunner, cache: GraphCache, spec: JobSpec) -> Dict[str, object]:
+    """Execute one job spec; returns a picklable result payload.
+
+    Raises on failure — the caller (worker loop or inline executor)
+    converts exceptions into structured failure records.
+    """
+    dataset = get_dataset(spec.dataset)
+    if spec.kind == JobKind.MATERIALIZE:
+        graph = cache.get_graph(dataset, spec.seed)
+        return {
+            "kind": spec.kind,
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+        }
+    if spec.kind == JobKind.REFERENCE:
+        reference = cache.get_reference(dataset, spec.algorithm, spec.seed)
+        return {"kind": spec.kind, "elements": int(reference.shape[0])}
+    result = runner.run_job(
+        spec.platform,
+        spec.dataset,
+        spec.algorithm,
+        resources=spec.resources(runner.config.resources),
+        run_index=spec.run_index,
+    )
+    return {"kind": spec.kind, "result": result.as_dict()}
+
+
+def _worker_main(
+    worker_id: int,
+    task_queue,
+    result_conn,
+    config: BenchmarkConfig,
+    cache_dir: Optional[str],
+    memory_entries: int,
+    fault_plan: Optional[FaultPlan],
+) -> None:
+    """Worker entrypoint: loop tasks until the ``None`` sentinel.
+
+    Contract (RUN001): every exception is either re-raised or converted
+    into a structured failure envelope — no silent loss.
+    """
+    cache = GraphCache(cache_dir, memory_entries=memory_entries)
+    runner = CacheBackedRunner(config, cache)
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        spec, attempt = task
+        started = time.perf_counter()
+        try:
+            if fault_plan is not None:
+                fault_plan.inject(spec, attempt)
+            payload = run_job_spec(runner, cache, spec)
+        except Exception as exc:
+            # Converted into a structured failure record, per contract.
+            result_conn.send(
+                _failure_envelope(worker_id, spec, exc, started, cache)
+            )
+            continue
+        result_conn.send(
+            {
+                "event": "done",
+                "worker": worker_id,
+                "seq": spec.seq,
+                "payload": payload,
+                "cache": cache.take_stats_delta(),
+                "elapsed": time.perf_counter() - started,
+            }
+        )
+
+
+def _failure_envelope(
+    worker_id: int, spec: JobSpec, exc: BaseException, started: float,
+    cache: GraphCache,
+) -> Dict[str, object]:
+    """The structured failure record a worker ships for a raised job."""
+    return {
+        "event": "fail",
+        "worker": worker_id,
+        "seq": spec.seq,
+        "detail": f"{type(exc).__name__}: {exc}",
+        "traceback": traceback.format_exc(limit=8),
+        "cache": cache.take_stats_delta(),
+        "elapsed": time.perf_counter() - started,
+    }
+
+
+def _default_context():
+    """Prefer fork (fast, shares warm module state); fall back portably."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class _WorkerHandle:
+    """Bookkeeping for one worker process."""
+
+    def __init__(self, worker_id: int):
+        self.worker_id = worker_id
+        self.process = None
+        self.task_queue = None
+        self.result_recv = None
+        self.busy_seq: Optional[int] = None
+
+    def close_result_conn(self) -> None:
+        if self.result_recv is not None:
+            try:
+                self.result_recv.close()
+            except OSError:
+                pass
+            self.result_recv = None
+
+
+class WorkerPool:
+    """A fixed-size pool of single-job-at-a-time worker processes."""
+
+    def __init__(
+        self,
+        workers: int,
+        config: BenchmarkConfig,
+        *,
+        cache_dir: Optional[str] = None,
+        memory_entries: int = 8,
+        fault_plan: Optional[FaultPlan] = None,
+        context=None,
+    ):
+        self.size = max(1, int(workers))
+        self.config = config
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.memory_entries = memory_entries
+        self.fault_plan = fault_plan
+        self._ctx = context or _default_context()
+        self._handles: Dict[int, _WorkerHandle] = {}
+        self.respawns = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        for worker_id in range(self.size):
+            handle = _WorkerHandle(worker_id)
+            self._handles[worker_id] = handle
+            self._spawn(handle)
+
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        handle.close_result_conn()
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        handle.task_queue = self._ctx.SimpleQueue()
+        handle.result_recv = recv_conn
+        handle.busy_seq = None
+        handle.process = self._ctx.Process(
+            target=_worker_main,
+            name=f"graphalytics-worker-{handle.worker_id}",
+            args=(
+                handle.worker_id,
+                handle.task_queue,
+                send_conn,
+                self.config,
+                self.cache_dir,
+                self.memory_entries,
+                self.fault_plan,
+            ),
+            daemon=True,
+        )
+        handle.process.start()
+        # The parent's copy of the send end must close so recv() raises
+        # EOFError once the worker is gone instead of blocking forever.
+        send_conn.close()
+
+    def restart(self, worker_id: int) -> None:
+        """Kill (if needed) and respawn one worker; its job (and any
+        bytes stuck in its result pipe) is gone — the attempt record on
+        the DAG node is the source of truth, not the channel."""
+        handle = self._handles[worker_id]
+        if handle.process is not None and handle.process.is_alive():
+            handle.process.terminate()
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=5.0)
+        self.respawns += 1
+        self._spawn(handle)
+
+    def shutdown(self) -> None:
+        for handle in self._handles.values():
+            if handle.process is not None and handle.process.is_alive():
+                try:
+                    handle.task_queue.put(None)
+                except (OSError, ValueError):
+                    handle.process.terminate()
+        for handle in self._handles.values():
+            if handle.process is not None:
+                handle.process.join(timeout=5.0)
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                    handle.process.join(timeout=5.0)
+            handle.close_result_conn()
+        self._handles.clear()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def idle_workers(self) -> List[int]:
+        return sorted(
+            worker_id
+            for worker_id, handle in self._handles.items()
+            if handle.busy_seq is None
+        )
+
+    def submit(self, worker_id: int, spec: JobSpec, attempt: int) -> None:
+        handle = self._handles[worker_id]
+        handle.busy_seq = spec.seq
+        handle.task_queue.put((spec, attempt))
+
+    def mark_idle(self, worker_id: int) -> None:
+        self._handles[worker_id].busy_seq = None
+
+    def busy_seq(self, worker_id: int) -> Optional[int]:
+        return self._handles[worker_id].busy_seq
+
+    def is_alive(self, worker_id: int) -> bool:
+        process = self._handles[worker_id].process
+        return process is not None and process.is_alive()
+
+    def dead_busy_workers(self) -> List[int]:
+        """Workers that died while holding a job (crash candidates)."""
+        return sorted(
+            worker_id
+            for worker_id, handle in self._handles.items()
+            if handle.busy_seq is not None and not self.is_alive(worker_id)
+        )
+
+    def wait(self, timeout: float) -> Optional[Dict[str, object]]:
+        """Next worker envelope, or ``None`` after the poll interval."""
+        timeout = max(0.001, timeout)
+        conns = {
+            handle.result_recv: handle
+            for handle in self._handles.values()
+            if handle.result_recv is not None
+        }
+        if not conns:
+            time.sleep(timeout)
+            return None
+        ready = multiprocessing.connection.wait(list(conns), timeout=timeout)
+        for conn in ready:
+            handle = conns[conn]
+            try:
+                return handle.result_recv.recv()
+            except (EOFError, OSError):
+                # The worker died: the pipe is at EOF (or mid-message
+                # garbage). Stop polling it — the dispatcher's dead-
+                # worker policing records the crash and respawns it.
+                handle.close_result_conn()
+        # Poll tick — nothing to record yet; the dispatcher handles
+        # deadlines and dead workers itself.
+        return None

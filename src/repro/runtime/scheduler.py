@@ -1,0 +1,309 @@
+"""Dependency-aware job scheduling for the benchmark runtime.
+
+:func:`expand_matrix` turns a :class:`~repro.harness.config.
+BenchmarkConfig` into the runtime's job DAG:
+
+* one **materialize** job per dataset that any workload uses;
+* one **reference** job per validated (dataset, algorithm) pair —
+  depends on the materialization;
+* one **execute** job per (platform, dataset, algorithm, repetition) —
+  depends on the materialization and (when validating) the reference.
+
+Execute jobs are numbered in exactly the order
+``BenchmarkRunner.run`` visits them (platform → dataset → algorithm →
+repetition), and the merge step sorts by that number — which is what
+makes the final database identical for any worker count.
+
+:class:`JobGraph` tracks node states, promotes dependents as jobs
+finish, applies the bounded retry-with-backoff policy, and cascades a
+permanent dependency failure into structured failures for every
+transitive dependent (a job whose dataset never materialized is a
+*recorded* failure, not a missing row).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import ValidationError
+from repro.algorithms.registry import get_algorithm
+from repro.harness.config import BenchmarkConfig
+from repro.harness.datasets import get_dataset
+from repro.platforms.registry import get_platform
+from repro.runtime.jobs import AttemptRecord, JobFailure, JobKind, JobSpec
+
+__all__ = ["can_run_combo", "expand_matrix", "JobNode", "JobGraph"]
+
+
+def can_run_combo(
+    platform: str, dataset_id: str, algorithm: str, *, machines: int = 1
+) -> bool:
+    """Registry-only version of ``BenchmarkRunner.can_run`` (no driver)."""
+    dataset = get_dataset(dataset_id)
+    if get_algorithm(algorithm).weighted and not dataset.weighted:
+        return False
+    if machines > 1 and not get_platform(platform).distributed:
+        return False
+    return True
+
+
+class NodeState:
+    PENDING = "pending"    # waiting on dependencies
+    READY = "ready"        # dispatchable (possibly after a backoff delay)
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class JobNode:
+    """One DAG node plus its scheduling state."""
+
+    spec: JobSpec
+    deps: Tuple[int, ...] = ()
+    state: str = NodeState.PENDING
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    eligible_at: float = 0.0       # monotonic time before which not dispatchable
+    worker: Optional[int] = None
+    deadline: Optional[float] = None
+
+    @property
+    def seq(self) -> int:
+        return self.spec.seq
+
+    @property
+    def attempt_number(self) -> int:
+        """1-based number of the attempt about to run (or running)."""
+        return len(self.attempts) + 1
+
+
+def expand_matrix(config: BenchmarkConfig) -> List[JobSpec]:
+    """The run's job list, deterministic in spec and numbering."""
+    machines = config.resources.machines
+    threads = config.resources.threads
+    combos: List[Tuple[str, str, str]] = []
+    for platform in config.platforms:
+        for dataset_id in config.datasets:
+            for algorithm in config.algorithms:
+                if not can_run_combo(
+                    platform, dataset_id, algorithm, machines=machines
+                ):
+                    if config.skip_impossible:
+                        continue
+                    raise ValidationError(
+                        f"cannot run {algorithm} on {dataset_id} with {platform}"
+                    )
+                combos.append((platform, dataset_id, algorithm))
+
+    counter = itertools.count()
+    specs: List[JobSpec] = []
+    for dataset_id in config.datasets:
+        if any(c[1] == dataset_id for c in combos):
+            specs.append(
+                JobSpec(
+                    seq=next(counter),
+                    kind=JobKind.MATERIALIZE,
+                    dataset=dataset_id,
+                    seed=config.seed,
+                )
+            )
+    if config.validate_outputs:
+        seen = set()
+        for _, dataset_id, algorithm in combos:
+            if (dataset_id, algorithm) in seen:
+                continue
+            seen.add((dataset_id, algorithm))
+            specs.append(
+                JobSpec(
+                    seq=next(counter),
+                    kind=JobKind.REFERENCE,
+                    dataset=dataset_id,
+                    algorithm=algorithm,
+                    seed=config.seed,
+                )
+            )
+    for platform, dataset_id, algorithm in combos:
+        for run_index in range(config.repetitions):
+            specs.append(
+                JobSpec(
+                    seq=next(counter),
+                    kind=JobKind.EXECUTE,
+                    dataset=dataset_id,
+                    platform=platform,
+                    algorithm=algorithm,
+                    run_index=run_index,
+                    machines=machines,
+                    threads=threads,
+                    seed=config.seed,
+                )
+            )
+    return specs
+
+
+class JobGraph:
+    """The DAG with scheduling state and the retry/failure policy."""
+
+    def __init__(
+        self,
+        specs: List[JobSpec],
+        *,
+        max_attempts: int = 2,
+        backoff_base: float = 0.05,
+    ):
+        self.max_attempts = max(1, int(max_attempts))
+        self.backoff_base = float(backoff_base)
+        self.nodes: Dict[int, JobNode] = {}
+        self.failures: List[JobFailure] = []
+        by_key: Dict[Tuple[str, str, str], int] = {}
+        for spec in specs:
+            by_key[(spec.kind, spec.dataset, spec.algorithm)] = spec.seq
+        for spec in specs:
+            deps: List[int] = []
+            if spec.kind in (JobKind.REFERENCE, JobKind.EXECUTE):
+                mat = by_key.get((JobKind.MATERIALIZE, spec.dataset, ""))
+                if mat is not None:
+                    deps.append(mat)
+            if spec.kind == JobKind.EXECUTE:
+                ref = by_key.get((JobKind.REFERENCE, spec.dataset, spec.algorithm))
+                if ref is not None:
+                    deps.append(ref)
+            self.nodes[spec.seq] = JobNode(spec=spec, deps=tuple(deps))
+        self._dependents: Dict[int, List[int]] = {}
+        for node in self.nodes.values():
+            for dep in node.deps:
+                self._dependents.setdefault(dep, []).append(node.seq)
+        for node in self.nodes.values():
+            if not node.deps:
+                node.state = NodeState.READY
+
+    @classmethod
+    def from_config(cls, config: BenchmarkConfig, **kwargs) -> "JobGraph":
+        return cls(expand_matrix(config), **kwargs)
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def unfinished(self) -> int:
+        return sum(
+            1 for n in self.nodes.values()
+            if n.state not in (NodeState.DONE, NodeState.FAILED)
+        )
+
+    def ready_jobs(self, now: float) -> Iterator[JobNode]:
+        """Dispatchable nodes, lowest sequence number first."""
+        for seq in sorted(self.nodes):
+            node = self.nodes[seq]
+            if node.state == NodeState.READY and node.eligible_at <= now:
+                yield node
+
+    def running_jobs(self) -> List[JobNode]:
+        return [
+            self.nodes[seq]
+            for seq in sorted(self.nodes)
+            if self.nodes[seq].state == NodeState.RUNNING
+        ]
+
+    def next_wake(self, now: float) -> Optional[float]:
+        """Earliest future moment a backoff or deadline needs service."""
+        moments = [
+            n.eligible_at
+            for n in self.nodes.values()
+            if n.state == NodeState.READY and n.eligible_at > now
+        ]
+        moments += [
+            n.deadline
+            for n in self.nodes.values()
+            if n.state == NodeState.RUNNING and n.deadline is not None
+        ]
+        return min(moments) if moments else None
+
+    # -- transitions ---------------------------------------------------------
+
+    def mark_running(
+        self, seq: int, *, worker: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> None:
+        node = self.nodes[seq]
+        node.state = NodeState.RUNNING
+        node.worker = worker
+        node.deadline = deadline
+
+    def complete(self, seq: int) -> None:
+        node = self.nodes[seq]
+        node.state = NodeState.DONE
+        node.worker = None
+        node.deadline = None
+        for dep_seq in self._dependents.get(seq, ()):
+            dependent = self.nodes[dep_seq]
+            if dependent.state != NodeState.PENDING:
+                continue
+            if all(
+                self.nodes[d].state == NodeState.DONE for d in dependent.deps
+            ):
+                dependent.state = NodeState.READY
+
+    def record_attempt(
+        self, seq: int, *, now: float, worker: int, kind: str,
+        detail: str, elapsed: float,
+    ) -> Optional[JobFailure]:
+        """Record a failed attempt; schedule a retry or fail the job.
+
+        Returns the :class:`JobFailure` when the retry budget is spent
+        (``None`` means a retry was scheduled). A permanent failure
+        cascades to every transitive dependent.
+        """
+        node = self.nodes[seq]
+        attempt = node.attempt_number
+        backoff = 0.0
+        if attempt < self.max_attempts:
+            backoff = self.backoff_base * (2 ** (attempt - 1))
+        node.attempts.append(
+            AttemptRecord(
+                attempt=attempt,
+                worker=worker,
+                kind=kind,
+                detail=detail,
+                elapsed_seconds=elapsed,
+                backoff_seconds=backoff,
+            )
+        )
+        node.worker = None
+        node.deadline = None
+        if attempt < self.max_attempts:
+            node.state = NodeState.READY
+            node.eligible_at = now + backoff
+            return None
+        return self._fail(node)
+
+    def _fail(self, node: JobNode) -> JobFailure:
+        node.state = NodeState.FAILED
+        failure = JobFailure(spec=node.spec, attempts=list(node.attempts))
+        self.failures.append(failure)
+        self._cascade_dependency_failure(node.seq)
+        return failure
+
+    def _cascade_dependency_failure(self, seq: int) -> None:
+        for dep_seq in self._dependents.get(seq, ()):
+            dependent = self.nodes[dep_seq]
+            if dependent.state in (NodeState.DONE, NodeState.FAILED):
+                continue
+            dependent.attempts.append(
+                AttemptRecord(
+                    attempt=dependent.attempt_number,
+                    worker=-1,
+                    kind="dependency",
+                    detail=(
+                        f"dependency {self.nodes[seq].spec.job_id} failed"
+                    ),
+                )
+            )
+            dependent.state = NodeState.FAILED
+            self.failures.append(
+                JobFailure(spec=dependent.spec, attempts=list(dependent.attempts))
+            )
+            self._cascade_dependency_failure(dep_seq)

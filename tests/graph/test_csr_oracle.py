@@ -1,0 +1,104 @@
+"""CSR construction oracle.
+
+The naive per-vertex CSR builder (quadratic-ish: a Python loop sorting
+each adjacency list) used to live in production code as ``_build_csr``;
+it now exists only here, as the obviously-correct oracle that the
+vectorized ``_build_csr_fast`` must match bit for bit on random graphs.
+"""
+
+from typing import Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph, _build_csr_fast
+
+
+def _build_csr_oracle(
+    n: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: Optional[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """The retired slow builder: bucket by source, then sort each list."""
+    degree = np.bincount(src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degree, out=indptr[1:])
+    order = np.argsort(src, kind="stable")
+    indices = dst[order].astype(np.int64, copy=False)
+    w = weights[order].copy() if weights is not None else None
+    for v in range(n):
+        lo, hi = indptr[v], indptr[v + 1]
+        if hi - lo > 1:
+            sub = np.argsort(indices[lo:hi], kind="stable")
+            indices[lo:hi] = indices[lo:hi][sub]
+            if w is not None:
+                w[lo:hi] = w[lo:hi][sub]
+    return indptr, indices, w
+
+
+def _random_edges(rng, n, m, *, weighted):
+    """m unique non-self-loop edges over n vertices (directed pairs)."""
+    seen = set()
+    src, dst = [], []
+    while len(src) < m:
+        s = int(rng.integers(0, n))
+        d = int(rng.integers(0, n))
+        if s == d or (s, d) in seen:
+            continue
+        seen.add((s, d))
+        src.append(s)
+        dst.append(d)
+    weights = rng.random(m) if weighted else None
+    return (
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        weights,
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("weighted", [False, True])
+def test_fast_builder_matches_oracle_on_random_graphs(seed, weighted):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(5, 60))
+    max_edges = n * (n - 1)
+    m = int(rng.integers(1, min(400, max_edges)))
+    src, dst, weights = _random_edges(rng, n, m, weighted=weighted)
+
+    fast = _build_csr_fast(n, src, dst, weights)
+    slow = _build_csr_oracle(n, src, dst, weights)
+
+    np.testing.assert_array_equal(fast[0], slow[0])
+    np.testing.assert_array_equal(fast[1], slow[1])
+    if weighted:
+        np.testing.assert_array_equal(fast[2], slow[2])
+    else:
+        assert fast[2] is None and slow[2] is None
+
+
+def test_fast_builder_handles_empty_and_isolated_vertices():
+    n = 7
+    src = np.asarray([], dtype=np.int64)
+    dst = np.asarray([], dtype=np.int64)
+    fast = _build_csr_fast(n, src, dst, None)
+    slow = _build_csr_oracle(n, src, dst, None)
+    np.testing.assert_array_equal(fast[0], slow[0])
+    np.testing.assert_array_equal(fast[1], slow[1])
+    assert fast[0][-1] == 0
+
+
+def test_graph_adjacency_is_sorted_per_vertex():
+    # The public consequence of the CSR contract both builders share.
+    rng = np.random.default_rng(7)
+    src, dst, weights = _random_edges(rng, 25, 120, weighted=True)
+    graph = Graph(
+        vertex_ids=np.arange(25),
+        src=src,
+        dst=dst,
+        directed=True,
+        weights=weights,
+    )
+    for v in range(25):
+        neighbors = graph.out_neighbors(v)
+        assert np.all(np.diff(neighbors) > 0)

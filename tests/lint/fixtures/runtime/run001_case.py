@@ -1,0 +1,44 @@
+"""RUN001 fixture: exception handling in runtime worker/job entrypoints."""
+
+
+def _worker_main(queue):            # entrypoint name: "worker"
+    while True:
+        task = queue.get()
+        try:
+            task()
+        except Exception:
+            continue                # line 9: swallowed -> RUN001
+
+
+def dispatch_job(job, failures):    # entrypoint: "dispatch"/"job"
+    try:
+        return job()
+    except Exception as exc:
+        failures.append(make_failure_record(exc))  # converted: clean
+        return None
+
+
+def run_task(task):                 # entrypoint: "task"
+    try:
+        return task()
+    except Exception:
+        raise                       # re-raised: clean
+
+
+def run_job_spec(spec):             # entrypoint: "job"
+    try:
+        return spec()
+    except KeyError:
+        return None                 # narrow handler: not a job outcome
+
+
+def helper(value):                  # not an entrypoint name
+    try:
+        return int(value)
+    except Exception:
+        return 0                    # out of RUN001's reach (EXC001 scope
+                                    # does not include runtime either)
+
+
+def make_failure_record(exc):
+    return {"detail": str(exc)}

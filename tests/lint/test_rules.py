@@ -14,10 +14,10 @@ def _triples(findings):
 
 
 class TestRuleRegistry:
-    def test_all_eight_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         assert sorted(all_rules()) == [
             "CON001", "CON002", "DET001", "DET002",
-            "DET003", "EXC001", "REG001", "REP001",
+            "DET003", "EXC001", "REG001", "REP001", "RUN001",
         ]
 
     def test_rules_have_descriptions_and_severities(self):
@@ -115,6 +115,26 @@ class TestExc001SwallowedException:
             ("EXC001", "exc001_case.py", 7),
         ]
         assert findings[0].symbol == "run_with_retry"
+
+
+class TestRun001RuntimeFailureRecords:
+    def test_exact_findings(self, lint_fixture):
+        findings = lint_fixture("runtime/run001_case.py")
+        assert _triples(findings) == [
+            ("RUN001", "run001_case.py", 9),
+        ]
+        assert findings[0].severity == "error"
+        assert findings[0].symbol == "_worker_main"
+
+    def test_converting_reraising_and_narrow_handlers_pass(self, lint_fixture):
+        findings = lint_fixture("runtime/run001_case.py")
+        assert all(f.symbol == "_worker_main" for f in findings)
+
+    def test_out_of_scope_module_not_checked(self, lint_fixture):
+        # The same swallowing pattern outside repro.runtime is EXC001's
+        # territory (different scope), not RUN001's.
+        findings = lint_fixture("harness/exc001_case.py", select=["RUN001"])
+        assert findings == []
 
 
 class TestRep001UnmeteredRate:

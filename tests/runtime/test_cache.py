@@ -1,0 +1,145 @@
+"""The content-addressed graph cache: keys, layers, stats, maintenance."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.harness.datasets import get_dataset
+from repro.runtime.cache import (
+    CacheStats,
+    GraphCache,
+    graph_key,
+    reference_key,
+)
+
+
+class TestContentAddressing:
+    def test_key_is_deterministic(self):
+        dataset = get_dataset("R1")
+        assert graph_key(dataset, 0) == graph_key(dataset, 0)
+
+    def test_key_depends_on_seed_dataset_and_kind(self):
+        r1, r4 = get_dataset("R1"), get_dataset("R4")
+        keys = {
+            graph_key(r1, 0),
+            graph_key(r1, 1),
+            graph_key(r4, 0),
+            reference_key(r1, "bfs", 0),
+            reference_key(r1, "pr", 0),
+        }
+        assert len(keys) == 5
+
+    def test_reference_key_case_insensitive_algorithm(self):
+        dataset = get_dataset("R1")
+        assert reference_key(dataset, "BFS", 0) == reference_key(dataset, "bfs", 0)
+
+
+class TestLayers:
+    def test_build_then_memory_hit(self, tmp_path):
+        cache = GraphCache(tmp_path)
+        dataset = get_dataset("R1")
+        g1 = cache.get_graph(dataset, 0)
+        g2 = cache.get_graph(dataset, 0)
+        assert g1 is g2
+        assert cache.stats.misses == 1
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.stores == 1
+
+    def test_disk_hit_across_cache_instances(self, tmp_path):
+        dataset = get_dataset("R1")
+        writer = GraphCache(tmp_path)
+        built = writer.get_graph(dataset, 0)
+
+        reader = GraphCache(tmp_path)
+        loaded = reader.get_graph(dataset, 0)
+        assert reader.stats.disk_hits == 1
+        assert reader.stats.misses == 0
+        assert loaded.num_vertices == built.num_vertices
+        assert loaded.num_edges == built.num_edges
+
+    def test_disk_hit_primes_dataset_memo(self, tmp_path):
+        dataset = get_dataset("R2")
+        GraphCache(tmp_path).get_graph(dataset, 0)
+        dataset._cache.clear()
+        reader = GraphCache(tmp_path)
+        loaded = reader.get_graph(dataset, 0)
+        # materialize() must now return the cache-loaded object, not rebuild
+        assert dataset.materialize(0) is loaded
+
+    def test_lru_eviction_is_counted_and_bounded(self, tmp_path):
+        cache = GraphCache(tmp_path, memory_entries=1)
+        cache.get_graph(get_dataset("R1"), 0)
+        cache.get_graph(get_dataset("R2"), 0)
+        cache.get_graph(get_dataset("R3"), 0)
+        assert len(cache._lru) == 1
+        assert cache.stats.evictions == 2
+
+    def test_memory_only_mode(self):
+        cache = GraphCache(None)
+        graph = cache.get_graph(get_dataset("R1"), 0)
+        assert graph.num_vertices > 0
+        assert cache.disk_entries() == []
+
+    def test_reference_output_round_trips_through_disk(self, tmp_path):
+        dataset = get_dataset("R1")
+        writer = GraphCache(tmp_path)
+        ref = writer.get_reference(dataset, "bfs", 0)
+        reader = GraphCache(tmp_path)
+        again = reader.get_reference(dataset, "bfs", 0)
+        np.testing.assert_array_equal(ref, again)
+        assert reader.stats.disk_hits >= 1
+
+
+class TestStats:
+    def test_delta_resets_after_take(self, tmp_path):
+        cache = GraphCache(tmp_path)
+        cache.get_graph(get_dataset("R1"), 0)
+        delta = cache.take_stats_delta()
+        assert delta["misses"] == 1
+        assert cache.take_stats_delta()["misses"] == 0
+        # the cumulative stats survive the take
+        assert cache.stats.misses == 1
+
+    def test_merge_accepts_objects_and_dicts(self):
+        total = CacheStats()
+        total.merge(CacheStats(memory_hits=2, misses=1))
+        total.merge({"disk_hits": 3, "bytes_written": 10})
+        assert total.hits == 5
+        assert total.lookups == 6
+        assert 0 < total.hit_rate < 1
+
+    def test_run_stats_round_trip(self, tmp_path):
+        cache = GraphCache(tmp_path)
+        cache.write_run_stats(CacheStats(memory_hits=4, misses=2))
+        read = cache.read_run_stats()
+        assert read.memory_hits == 4
+        assert read.misses == 2
+
+
+class TestMaintenance:
+    def test_disk_entries_have_manifests(self, tmp_path):
+        cache = GraphCache(tmp_path)
+        cache.get_graph(get_dataset("R1"), 0)
+        cache.get_reference(get_dataset("R1"), "bfs", 0)
+        entries = cache.disk_entries()
+        assert [e.kind for e in entries] == ["graph", "reference"]
+        assert all(e.bytes > 0 for e in entries)
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = GraphCache(tmp_path)
+        cache.get_graph(get_dataset("R1"), 0)
+        cache.get_reference(get_dataset("R1"), "bfs", 0)
+        assert cache.clear() == 2
+        assert cache.disk_entries() == []
+        assert not list(tmp_path.glob("*/*.pkl"))
+
+    def test_corrupt_entry_detected_by_unpickling_error(self, tmp_path):
+        cache = GraphCache(tmp_path)
+        dataset = get_dataset("R1")
+        cache.get_graph(dataset, 0)
+        path = cache._entry_path(graph_key(dataset, 0))
+        path.write_bytes(b"not a pickle")
+        fresh = GraphCache(tmp_path)
+        with pytest.raises(pickle.UnpicklingError):
+            fresh.get_graph(dataset, 0)

@@ -1,0 +1,98 @@
+"""The runtime's determinism contract (ISSUE acceptance criterion).
+
+The full example matrix run with ``workers=1`` and ``workers=N`` must
+produce bit-identical results databases (canonical serialization, which
+nulls the environment-dependent ``measured_*`` wall-clocks) and
+bit-identical rendered reports.
+
+``GRAPHALYTICS_TEST_WORKERS`` overrides the parallel worker count (the
+CI runtime leg sets it to 2).
+"""
+
+import json
+import os
+
+from repro.harness.report import render_report
+from repro.harness.runner import BenchmarkRunner
+from repro.runtime import RuntimeConfig, example_matrix, execute_matrix
+
+WORKERS = int(os.environ.get("GRAPHALYTICS_TEST_WORKERS", "4"))
+
+
+class TestSerialParallelEquivalence:
+    def test_example_matrix_bit_identical_across_worker_counts(self):
+        config = example_matrix()
+        serial = execute_matrix(config, RuntimeConfig(workers=1))
+        parallel = execute_matrix(config, RuntimeConfig(workers=WORKERS))
+
+        assert serial.lost_jobs == 0
+        assert parallel.lost_jobs == 0
+        assert serial.job_count == parallel.job_count == 20
+        assert (
+            serial.database.canonical_json()
+            == parallel.database.canonical_json()
+        )
+
+    def test_reports_bit_identical_across_worker_counts(self):
+        config = example_matrix()
+        serial = execute_matrix(config, RuntimeConfig(workers=1))
+        parallel = execute_matrix(config, RuntimeConfig(workers=WORKERS))
+        # The markdown report only uses modeled values, so it is already
+        # bit-identical without any field nulling.
+        assert render_report(serial.database) == render_report(
+            parallel.database
+        )
+
+    def test_runtime_matches_legacy_serial_loop(self):
+        config = example_matrix()
+        legacy = BenchmarkRunner(config).run()
+        runtime = execute_matrix(config, RuntimeConfig(workers=WORKERS))
+        assert legacy.canonical_json() == runtime.database.canonical_json()
+
+    def test_row_order_is_the_serial_visit_order(self):
+        config = example_matrix()
+        result = execute_matrix(config, RuntimeConfig(workers=WORKERS))
+        rows = [
+            (r.platform, r.dataset, r.algorithm, r.run_index)
+            for r in result.database
+        ]
+        assert rows == sorted(
+            rows,
+            key=lambda r: (
+                [p.lower() for p in config.platforms].index(r[0].lower()),
+                config.datasets.index(r[1]),
+                config.algorithms.index(r[2]),
+                r[3],
+            ),
+        )
+
+
+class TestCanonicalJson:
+    def test_measured_fields_nulled_but_modeled_kept(self):
+        config = example_matrix()
+        result = execute_matrix(config, RuntimeConfig(workers=1))
+        payload = json.loads(result.database.canonical_json())
+        assert payload, "canonical payload is empty"
+        for record in payload:
+            assert record["measured_processing_seconds"] is None
+            assert record["modeled_processing_time"] is not None
+
+    def test_save_still_contains_measured_values(self, tmp_path):
+        config = example_matrix()
+        result = execute_matrix(config, RuntimeConfig(workers=1))
+        path = result.database.save(tmp_path / "db.json")
+        saved = json.loads(path.read_text())
+        assert any(
+            r["measured_processing_seconds"] is not None for r in saved
+        )
+
+
+class TestCacheEffectiveness:
+    def test_repeated_datasets_hit_the_cache(self):
+        # ISSUE acceptance: a matrix with repeated datasets must show
+        # at least one cache hit per repeated dataset.
+        config = example_matrix()
+        result = execute_matrix(config, RuntimeConfig(workers=WORKERS))
+        repeated_datasets = len(config.datasets)
+        assert result.cache_stats.hits >= repeated_datasets
+        assert result.cache_stats.misses > 0

@@ -1,0 +1,131 @@
+"""The worker pool and executor: dispatch, failure surfacing, events."""
+
+import os
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.harness.config import BenchmarkConfig
+from repro.runtime import (
+    FAILURE_STATUSES,
+    FaultPlan,
+    FaultSpec,
+    RuntimeConfig,
+    execute_matrix,
+)
+
+WORKERS = int(os.environ.get("GRAPHALYTICS_TEST_WORKERS", "2"))
+
+
+def _config(**overrides):
+    base = dict(
+        platforms=["powergraph"],
+        datasets=["R1"],
+        algorithms=["bfs", "pr"],
+        repetitions=2,
+    )
+    base.update(overrides)
+    return BenchmarkConfig(**base)
+
+
+class TestPoolExecution:
+    def test_pool_mode_completes_and_validates(self):
+        result = execute_matrix(_config(), RuntimeConfig(workers=WORKERS))
+        assert result.mode == "pool"
+        assert result.lost_jobs == 0
+        assert all(r.succeeded and r.validated for r in result.database)
+
+    def test_explicit_pool_mode_with_one_worker(self):
+        result = execute_matrix(
+            _config(), RuntimeConfig(workers=1, mode="pool")
+        )
+        assert result.mode == "pool"
+        assert result.lost_jobs == 0
+
+    def test_events_cover_every_job(self):
+        result = execute_matrix(_config(), RuntimeConfig(workers=WORKERS))
+        dispatched = {
+            e.fields["job"] for e in result.events.select("dispatch")
+        }
+        completed = {
+            e.fields["job"] for e in result.events.select("complete")
+        }
+        assert completed == dispatched
+        assert len(completed) == result.dag_size
+
+    def test_archive_exposes_runtime_phases(self):
+        result = execute_matrix(_config(), RuntimeConfig(workers=WORKERS))
+        archive = result.archive()
+        assert [p.name for p in archive.phases] == [
+            "expand", "execute", "merge",
+        ]
+        assert archive.phase("execute").metadata["jobs"] == result.job_count
+
+    def test_shared_cache_directory_reused_across_runs(self, tmp_path):
+        first = execute_matrix(
+            _config(), RuntimeConfig(workers=WORKERS, cache_dir=tmp_path)
+        )
+        second = execute_matrix(
+            _config(), RuntimeConfig(workers=WORKERS, cache_dir=tmp_path)
+        )
+        assert first.cache_stats.misses > 0
+        assert second.cache_stats.misses == 0     # everything spilled
+        assert second.database.canonical_json() == (
+            first.database.canonical_json()
+        )
+
+
+class TestConfigValidation:
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(workers=0)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(mode="threads")
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(job_timeout=0.0)
+
+    def test_inline_mode_rejects_hang_faults(self):
+        plan = FaultPlan((FaultSpec(kind="hang"),))
+        with pytest.raises(ConfigurationError):
+            execute_matrix(
+                _config(), RuntimeConfig(workers=1, fault_plan=plan)
+            )
+
+
+class TestInlineFailurePath:
+    def test_inline_error_faults_surface_as_failure_rows(self):
+        plan = FaultPlan(
+            (FaultSpec(kind="error", algorithm="pr", run_index=0, times=5),)
+        )
+        result = execute_matrix(
+            _config(),
+            RuntimeConfig(workers=1, fault_plan=plan, max_attempts=2),
+        )
+        assert result.lost_jobs == 0
+        failed = [r for r in result.database if not r.succeeded]
+        assert len(failed) == 1
+        assert failed[0].status == "harness-error"
+        assert failed[0].status in FAILURE_STATUSES
+        assert "InjectedFaultError" in failed[0].failure_reason
+        assert len(result.failures) == 1
+        assert result.failures[0].retries == 1
+
+    def test_inline_transient_fault_recovers_via_retry(self):
+        plan = FaultPlan(
+            (FaultSpec(kind="error", algorithm="bfs", run_index=1, times=1),)
+        )
+        result = execute_matrix(
+            _config(),
+            RuntimeConfig(
+                workers=1, fault_plan=plan, max_attempts=2,
+                backoff_base=0.01,
+            ),
+        )
+        assert result.lost_jobs == 0
+        assert result.failures == []
+        assert all(r.succeeded for r in result.database)
+        assert result.events.count("retry") == 1

@@ -110,6 +110,113 @@ class TestSlaBreachCaught:
         assert not job_successful(breached)
 
 
+class TestRuntimeFaultInjection:
+    """Hanging and crashing *workers* (not modeled platforms): the
+    concurrent runtime must terminate them, retry with backoff, and
+    surface a structured failure — never hang and never lose a job."""
+
+    def _config(self):
+        return BenchmarkConfig(
+            platforms=["powergraph"],
+            datasets=["R1"],
+            algorithms=["bfs", "pr"],
+            repetitions=2,
+        )
+
+    def test_timing_out_worker_is_killed_retried_and_recorded(self):
+        from repro.runtime import FaultPlan, FaultSpec, RuntimeConfig, execute_matrix
+
+        plan = FaultPlan(
+            (FaultSpec(kind="hang", algorithm="bfs", run_index=0, times=2),)
+        )
+        result = execute_matrix(
+            self._config(),
+            RuntimeConfig(
+                workers=2, job_timeout=0.5, fault_plan=plan,
+                max_attempts=2, backoff_base=0.01,
+            ),
+        )
+        # no lost jobs: every execute job has exactly one row
+        assert result.lost_jobs == 0
+        assert len(result.database) == 4
+        failed = result.database.query(status="harness-timeout")
+        assert len(failed) == 1
+        assert failed[0].algorithm == "bfs" and failed[0].run_index == 0
+        assert not failed[0].sla_compliant
+        # structured failure: both attempts recorded as timeouts, one retry
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.final_kind == "timeout"
+        assert failure.retries == 1
+        assert [a.kind for a in failure.attempts] == ["timeout", "timeout"]
+        assert failure.attempts[0].backoff_seconds > 0
+        assert result.events.count("timeout") == 2
+        assert result.events.count("retry") == 1
+        # the other three jobs are untouched
+        assert len(result.database.query(status="succeeded")) == 3
+
+    def test_transient_hang_recovers_on_retry(self):
+        from repro.runtime import FaultPlan, FaultSpec, RuntimeConfig, execute_matrix
+
+        plan = FaultPlan(
+            (FaultSpec(kind="hang", algorithm="pr", run_index=1, times=1),)
+        )
+        result = execute_matrix(
+            self._config(),
+            RuntimeConfig(
+                workers=2, job_timeout=0.5, fault_plan=plan,
+                max_attempts=2, backoff_base=0.01,
+            ),
+        )
+        assert result.lost_jobs == 0
+        assert result.failures == []
+        assert all(r.succeeded for r in result.database)
+        assert result.events.count("timeout") == 1
+        assert result.events.count("retry") == 1
+
+    def test_crashing_worker_is_respawned_and_job_retried(self):
+        from repro.runtime import FaultPlan, FaultSpec, RuntimeConfig, execute_matrix
+
+        plan = FaultPlan(
+            (FaultSpec(kind="crash", algorithm="bfs", run_index=1, times=1),)
+        )
+        result = execute_matrix(
+            self._config(),
+            RuntimeConfig(
+                workers=2, job_timeout=10.0, fault_plan=plan,
+                max_attempts=2, backoff_base=0.01,
+            ),
+        )
+        assert result.lost_jobs == 0
+        assert result.failures == []
+        assert all(r.succeeded for r in result.database)
+        assert result.events.count("crash") == 1
+        assert result.events.count("retry") == 1
+
+    def test_persistently_crashing_job_becomes_structured_failure(self):
+        from repro.runtime import FaultPlan, FaultSpec, RuntimeConfig, execute_matrix
+
+        plan = FaultPlan(
+            (FaultSpec(kind="crash", algorithm="pr", run_index=0, times=5),)
+        )
+        result = execute_matrix(
+            self._config(),
+            RuntimeConfig(
+                workers=2, job_timeout=10.0, fault_plan=plan,
+                max_attempts=2, backoff_base=0.01,
+            ),
+        )
+        assert result.lost_jobs == 0
+        failed = result.database.query(status="harness-crash")
+        assert len(failed) == 1
+        assert len(result.failures) == 1
+        assert result.failures[0].final_kind == "crash"
+        assert [a.kind for a in result.failures[0].attempts] == [
+            "crash", "crash",
+        ]
+        assert len(result.database.query(status="succeeded")) == 3
+
+
 class TestCrashPath:
     def test_crash_has_no_output_and_fails_validation_pipeline(self):
         runner = BenchmarkRunner(BenchmarkConfig(seed=0))
