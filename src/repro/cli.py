@@ -12,7 +12,9 @@ Commands:
 * ``lint`` — static determinism/conformance analysis of the codebase;
 * ``cache`` — inspect or clear the materialized-graph cache;
 * ``report``/``full-run`` — accept ``--workers N`` to execute on the
-  concurrent runtime (docs/runtime.md).
+  concurrent runtime (docs/runtime.md);
+* ``resume`` — continue a crashed journaled run from its run directory
+  (``--run-dir`` on run/report/full-run; docs/robustness.md).
 """
 
 from __future__ import annotations
@@ -49,6 +51,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="prefetch the experiment's graphs and validation references "
              "on this many worker processes before the (sequential) body runs",
+    )
+    run.add_argument(
+        "--run-dir", default=None,
+        help="journal the experiment under this directory; re-running "
+             "with the same directory resumes a crashed run",
     )
 
     job = sub.add_parser("job", help="run a single benchmark job")
@@ -104,6 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--job-timeout", type=float, default=None,
         help="per-job wall-clock budget in seconds (workers > 1 only)",
+    )
+    report.add_argument(
+        "--run-dir", default=None,
+        help="journal the run under this directory (crash-safe; an "
+             "existing journal of the same matrix is resumed)",
     )
 
     val = sub.add_parser(
@@ -221,6 +233,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="prefetch all experiment inputs on this many worker processes",
     )
+    full.add_argument(
+        "--run-dir", default=None,
+        help="journal the suite under this directory; re-running with "
+             "the same directory resumes a crashed run",
+    )
+
+    resume = sub.add_parser(
+        "resume",
+        help="continue a crashed journaled run from its run directory",
+    )
+    resume.add_argument("run_dir", help="directory holding journal.jsonl")
+    resume.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the remaining jobs (matrix runs only; "
+             "may differ from the crashed run)",
+    )
+    resume.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="per-job wall-clock budget in seconds (workers > 1 only)",
+    )
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the materialized-graph cache"
@@ -310,7 +342,7 @@ def _cmd_run(args) -> int:
             print(f"# prefetched {prefetch.dag_size} artifacts on "
                   f"{args.workers} workers in "
                   f"{prefetch.elapsed_seconds:.2f} s")
-    report = experiment.run(runner, seed=args.seed)
+    report = experiment.run(runner, seed=args.seed, run_dir=args.run_dir)
     if args.figure:
         _print_figure(experiment, report)
     else:
@@ -431,7 +463,7 @@ def _cmd_report(args) -> int:
         overrides["algorithms"] = args.algorithms
     config = BenchmarkConfig(seed=args.seed, **overrides)
     runner = BenchmarkRunner(config)
-    if args.workers > 1 or args.cache_dir or args.job_timeout:
+    if args.workers > 1 or args.cache_dir or args.job_timeout or args.run_dir:
         from repro.runtime.executor import RuntimeConfig
 
         runtime = RuntimeConfig(
@@ -439,7 +471,10 @@ def _cmd_report(args) -> int:
             cache_dir=args.cache_dir,
             job_timeout=args.job_timeout,
         )
-        database = runner.run(runtime=runtime)
+        database = runner.run(runtime=runtime, run_dir=args.run_dir)
+        if runner.last_run.restored_jobs:
+            print(f"# journal: restored {runner.last_run.restored_jobs} "
+                  f"job(s) from {args.run_dir}")
         print(f"# runtime: {runner.last_run.describe()}")
     else:
         database = runner.run()
@@ -676,6 +711,7 @@ def _cmd_full_run(args) -> int:
         report_path=args.report,
         repository=repository,
         workers=args.workers,
+        run_dir=args.run_dir,
     )
     print(
         f"ran {len(result.reports)} experiments, {result.job_count} jobs"
@@ -687,6 +723,62 @@ def _cmd_full_run(args) -> int:
     if repository is not None:
         print(f"run stored in {args.repository}")
     return 0
+
+
+def _cmd_resume(args) -> int:
+    from pathlib import Path
+
+    from repro.runtime.journal import RunJournal
+
+    replay = RunJournal.load(args.run_dir)
+    kind = replay.header.get("kind")
+    if replay.truncated_bytes:
+        print(f"# journal: dropped a torn tail of "
+              f"{replay.truncated_bytes} byte(s)")
+    if kind == "matrix":
+        from repro.runtime.executor import RuntimeConfig, resume_run
+
+        runtime = RuntimeConfig(
+            workers=max(1, args.workers), job_timeout=args.job_timeout
+        )
+        outcome = resume_run(args.run_dir, runtime)
+        print(f"# journal: restored {outcome.restored_jobs} of "
+              f"{outcome.dag_size} job(s); "
+              f"{outcome.dag_size - outcome.restored_jobs} executed now")
+        print(f"# runtime: {outcome.describe()}")
+        print(f"results written to {Path(args.run_dir) / 'results.json'}")
+        return 0
+    if kind == "full-run":
+        from repro.harness.full_run import run_full_benchmark
+
+        result = run_full_benchmark(
+            seed=int(replay.header.get("seed", 0)),
+            experiment_ids=replay.header.get("experiments"),
+            report_path=replay.header.get("report"),
+            workers=max(1, args.workers),
+            run_dir=args.run_dir,
+        )
+        print(f"ran {len(result.reports)} experiments, "
+              f"{result.job_count} jobs")
+        for note in result.notes:
+            print(f"# {note}")
+        print(f"results written to {Path(args.run_dir) / 'results.json'}")
+        return 0
+    if kind == "experiment":
+        from repro.harness.experiments import get_experiment
+
+        experiment = get_experiment(str(replay.header.get("experiment")))
+        report = experiment.run(
+            seed=int(replay.header.get("seed", 0)), run_dir=args.run_dir
+        )
+        print(f"resumed experiment {experiment.experiment_id}: "
+              f"{len(report.rows)} rows")
+        for note in report.notes:
+            print(f"# {note}")
+        return 0
+    print(f"error: journal records unknown run kind {kind!r}",
+          file=sys.stderr)
+    return 1
 
 
 def _cmd_cache(args) -> int:
@@ -751,6 +843,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_lint(args)
         if args.command == "full-run":
             return _cmd_full_run(args)
+        if args.command == "resume":
+            return _cmd_resume(args)
         if args.command == "cache":
             return _cmd_cache(args)
     except GraphalyticsError as exc:

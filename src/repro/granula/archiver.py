@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Union
 
 from repro.exceptions import ConfigurationError
 from repro.granula.model import PlatformPerformanceModel, model_for_platform
+from repro.ioutil import atomic_write
 
 __all__ = [
     "PhaseRecord",
@@ -105,11 +106,7 @@ class PerformanceArchive:
         }
 
     def save(self, path: Union[str, Path]) -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.as_dict(), handle, indent=1)
-        return path
+        return atomic_write(path, json.dumps(self.as_dict(), indent=1))
 
 
 def _derive_children(record: PhaseRecord, model: PlatformPerformanceModel) -> None:

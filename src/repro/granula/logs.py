@@ -23,6 +23,7 @@ from typing import Dict, List, Union
 
 from repro.exceptions import GraphFormatError
 from repro.granula.archiver import PerformanceArchive, build_archive
+from repro.ioutil import atomic_write
 
 __all__ = ["write_job_log", "read_job_log", "archive_from_log", "LoggedJob"]
 
@@ -74,8 +75,7 @@ def write_job_log(job, path: PathLike, *, job_id: str = "job-0") -> Path:
         lines.append(
             "GRANULA " + " ".join(f"{k}={_escape(v)}" for k, v in pairs.items())
         )
-    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
-    return path
+    return atomic_write(path, "\n".join(lines) + "\n")
 
 
 def read_job_log(path: PathLike) -> LoggedJob:

@@ -12,6 +12,7 @@ from pathlib import Path
 from typing import List, Union
 
 from repro.granula.archiver import PerformanceArchive, PhaseRecord
+from repro.ioutil import atomic_write
 
 __all__ = ["render_text", "render_html", "save_html", "render_comparison"]
 
@@ -103,10 +104,7 @@ Tproc {_format_seconds(archive.processing_time)}
 
 
 def save_html(archive: PerformanceArchive, path: Union[str, Path]) -> Path:
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(render_html(archive), encoding="utf-8")
-    return path
+    return atomic_write(path, render_html(archive))
 
 
 def render_comparison(archives: List[PerformanceArchive], *, width: int = 50) -> str:

@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
 from repro.exceptions import DatasetError
+from repro.ioutil import atomic_write
 from repro.algorithms.output_io import write_output
 from repro.algorithms.registry import ALGORITHMS, get_algorithm, run_reference
 from repro.graph.io import write_graph
@@ -74,8 +75,9 @@ def materialize_archive(
                 "class": dataset.tshirt,
             },
         }
-        (directory / f"{dataset.name}.properties").write_text(
-            json.dumps(properties, indent=1), encoding="utf-8"
+        atomic_write(
+            directory / f"{dataset.name}.properties",
+            json.dumps(properties, indent=1),
         )
         for algorithm in algorithm_list:
             spec = get_algorithm(algorithm)

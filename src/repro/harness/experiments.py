@@ -72,11 +72,58 @@ class Experiment:
     _body: callable = field(repr=False, default=None)  # type: ignore[assignment]
 
     def run(
-        self, runner: Optional[BenchmarkRunner] = None, *, seed: int = 0
+        self,
+        runner: Optional[BenchmarkRunner] = None,
+        *,
+        seed: int = 0,
+        run_dir=None,
     ) -> ExperimentReport:
+        """Execute the body; with ``run_dir``, journaled and resumable.
+
+        A journaled experiment records every completed job durably under
+        *run_dir*; re-running with the same directory replays the
+        recorded jobs and executes only the remainder, so a crashed
+        experiment finishes where it stopped (docs/robustness.md).
+        """
         runner = runner or BenchmarkRunner(BenchmarkConfig(seed=seed))
+        journal = None
+        if run_dir is not None:
+            from repro.runtime.journal import JournalError, RunJournal
+
+            if RunJournal.journal_path(run_dir).exists():
+                replay = RunJournal.load(run_dir)
+                header = replay.header
+                if (
+                    header.get("kind") != "experiment"
+                    or header.get("experiment") != self.experiment_id
+                ):
+                    raise JournalError(
+                        f"{RunJournal.journal_path(run_dir)} does not record "
+                        f"experiment {self.experiment_id!r}"
+                    )
+                if int(header.get("seed", -1)) != runner.config.seed:
+                    raise JournalError(
+                        f"journal was written with seed {header.get('seed')}, "
+                        f"cannot resume with seed {runner.config.seed}"
+                    )
+                journal = RunJournal.open(run_dir)
+                runner.attach_journal(journal, replay)
+            else:
+                journal = RunJournal.create(
+                    run_dir,
+                    {
+                        "kind": "experiment",
+                        "experiment": self.experiment_id,
+                        "seed": runner.config.seed,
+                    },
+                )
+                runner.attach_journal(journal)
         report = ExperimentReport(self.experiment_id, self.title)
         self._body(self, runner, report)
+        if journal is not None:
+            journal.append({"type": "run-complete"})
+            journal.close()
+            runner.detach_journal()
         return report
 
 
@@ -111,6 +158,7 @@ def _run_dataset_variety(exp: Experiment, runner: BenchmarkRunner,
                         "eps": result.eps,
                         "evps": result.evps,
                         "makespan": result.modeled_makespan,
+                        "sla_compliant": result.sla_compliant,
                         "status": _status_code(result),
                     }
                 )
@@ -131,6 +179,7 @@ def _run_algorithm_variety(exp: Experiment, runner: BenchmarkRunner,
                             "dataset": dataset_id,
                             "algorithm": algorithm,
                             "tproc": None,
+                            "sla_compliant": None,
                             "status": "NA",
                         }
                     )
@@ -147,6 +196,7 @@ def _run_algorithm_variety(exp: Experiment, runner: BenchmarkRunner,
                             else None
                         ),
                         "backend": result.backend,
+                        "sla_compliant": result.sla_compliant,
                         "status": _status_code(result),
                     }
                 )
@@ -179,6 +229,7 @@ def _run_vertical(exp: Experiment, runner: BenchmarkRunner,
                         "threads": threads,
                         "tproc": tproc,
                         "speedup": s,
+                        "sla_compliant": result.sla_compliant,
                         "status": _status_code(result),
                     }
                 )
@@ -213,6 +264,7 @@ def _run_strong(exp: Experiment, runner: BenchmarkRunner,
                         "speedup": (
                             speedup(baseline, tproc) if (baseline and tproc) else None
                         ),
+                        "sla_compliant": result.sla_compliant,
                         "status": _status_code(result),
                     }
                 )
@@ -245,6 +297,7 @@ def _run_weak(exp: Experiment, runner: BenchmarkRunner,
                         "slowdown": (
                             tproc / baseline if (baseline and tproc) else None
                         ),
+                        "sla_compliant": result.sla_compliant,
                         "status": _status_code(result),
                     }
                 )
@@ -268,6 +321,7 @@ def _run_stress(exp: Experiment, runner: BenchmarkRunner,
                     "platform": result.platform,
                     "dataset": dataset.dataset_id,
                     "scale": dataset.profile.scale,
+                    "sla_compliant": result.sla_compliant,
                     "status": _status_code(result),
                     "failure_reason": result.failure_reason,
                 }
@@ -304,12 +358,14 @@ def _run_variability(exp: Experiment, runner: BenchmarkRunner,
     for label, dataset_id, machines, platforms in configs:
         for platform in platforms:
             times: List[float] = []
+            compliant = True
             for run_index in range(repetitions):
                 result = runner.run_job(
                     platform, dataset_id, "bfs",
                     resources=_resources(machines=machines),
                     run_index=run_index,
                 )
+                compliant = compliant and result.sla_compliant
                 if result.succeeded and result.modeled_processing_time:
                     times.append(result.modeled_processing_time)
             if len(times) >= 2:
@@ -326,6 +382,9 @@ def _run_variability(exp: Experiment, runner: BenchmarkRunner,
                     "runs": len(times),
                     "mean": mean,
                     "cv": cv,
+                    # Every repetition must meet the SLA for the config
+                    # to count as compliant (paper §4.7 robustness view).
+                    "sla_compliant": compliant,
                 }
             )
 

@@ -49,6 +49,7 @@ def run_full_benchmark(
     repository: Optional[ResultsRepository] = None,
     run_metadata: Optional[RunMetadata] = None,
     workers: int = 1,
+    run_dir: Optional[Union[str, Path]] = None,
 ) -> FullRunResult:
     """Run the (selected) experiment suite end to end.
 
@@ -60,10 +61,50 @@ def run_full_benchmark(
     runtime materializes every dataset and validation reference the
     selected experiments need on a worker pool, then primes the shared
     runner so the serial suite runs entirely on warm data.
+
+    With ``run_dir`` the suite is journaled: every completed job is
+    recorded durably before the next starts, and re-invoking with the
+    same directory (or ``graphalytics resume <run_dir>``) replays the
+    recorded jobs and executes only the remainder (docs/robustness.md).
     """
     runner = BenchmarkRunner(BenchmarkConfig(seed=seed))
     result = FullRunResult(database=runner.database)
     selected = [EXPERIMENTS[eid] for eid in experiment_ids or list(EXPERIMENTS)]
+    journal = None
+    if run_dir is not None:
+        from repro.runtime.journal import JournalError, RunJournal
+
+        if RunJournal.journal_path(run_dir).exists():
+            replay = RunJournal.load(run_dir)
+            header = replay.header
+            if header.get("kind") != "full-run":
+                raise JournalError(
+                    f"{RunJournal.journal_path(run_dir)} records a "
+                    f"{header.get('kind')!r} run, not a full benchmark run"
+                )
+            if int(header.get("seed", -1)) != seed:
+                raise JournalError(
+                    f"journal was written with seed {header.get('seed')}, "
+                    f"cannot resume with seed {seed}"
+                )
+            journal = RunJournal.open(run_dir)
+            runner.attach_journal(journal, replay)
+            result.notes.append(
+                f"[journal] resumed from {run_dir}: "
+                f"{sum(len(q) for q in replay.serial_results.values())} "
+                f"recorded job(s) will replay instead of re-executing"
+            )
+        else:
+            journal = RunJournal.create(
+                run_dir,
+                {
+                    "kind": "full-run",
+                    "seed": seed,
+                    "experiments": [e.experiment_id for e in selected],
+                    "report": str(report_path) if report_path else None,
+                },
+            )
+            runner.attach_journal(journal)
     if workers > 1:
         from repro.runtime.executor import RuntimeConfig, prefetch_into_runner
 
@@ -91,6 +132,11 @@ def run_full_benchmark(
         report = experiment.run(runner)
         result.reports[experiment_id] = report
         result.notes.extend(f"[{experiment_id}] {note}" for note in report.notes)
+    if journal is not None:
+        journal.append({"type": "run-complete"})
+        journal.close()
+        runner.detach_journal()
+        runner.database.save(Path(run_dir) / "results.json")
     if report_path is not None:
         save_report(
             runner.database,

@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.harness.results import BenchmarkResult, ResultsDatabase
+from repro.ioutil import atomic_write
 
 __all__ = ["render_report", "save_report", "summarize"]
 
@@ -97,6 +98,28 @@ def render_report(database: ResultsDatabase, *, title: str = "Graphalytics bench
     )
     lines.append("")
 
+    # SLA breaches (paper §2.4: a job counts only if it meets the
+    # 1-hour makespan SLA). "not-supported" rows are NA, not breaches.
+    breaches = [
+        r for r in database
+        if not r.sla_compliant and r.status != "not-supported"
+    ]
+    if breaches:
+        lines.append("## SLA breaches")
+        lines.append("")
+        lines.append("| platform | algorithm | dataset | run | status |")
+        lines.append("|---|---|---|---|---|")
+        shown = breaches[:20]
+        for r in shown:
+            lines.append(
+                f"| {r.platform} | {r.algorithm.upper()} | {r.dataset} "
+                f"| {r.run_index} | {r.status} |"
+            )
+        if len(breaches) > len(shown):
+            lines.append("")
+            lines.append(f"... and {len(breaches) - len(shown)} more.")
+        lines.append("")
+
     grouped = _group(database)
     for algorithm in sorted(grouped):
         lines.append(f"## {algorithm.upper()}")
@@ -141,7 +164,4 @@ def save_report(
     *,
     title: str = "Graphalytics benchmark report",
 ) -> Path:
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(render_report(database, title=title), encoding="utf-8")
-    return path
+    return atomic_write(path, render_report(database, title=title))

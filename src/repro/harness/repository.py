@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.exceptions import ConfigurationError, ValidationError
+from repro.ioutil import atomic_write
 from repro.harness.results import BenchmarkResult, ResultsDatabase
 
 __all__ = ["RunMetadata", "ResultsRepository", "Regression"]
@@ -105,9 +106,7 @@ class ResultsRepository:
             },
             "results": [r.as_dict() for r in database],
         }
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=1)
-        return path
+        return atomic_write(path, json.dumps(payload, indent=1))
 
     # -- retrieval --------------------------------------------------------------
 

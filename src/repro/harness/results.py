@@ -9,11 +9,12 @@ can be archived and compared.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field, asdict
+from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
 from repro.exceptions import ConfigurationError
+from repro.ioutil import atomic_write
 
 __all__ = ["BenchmarkResult", "ResultsDatabase"]
 
@@ -46,7 +47,13 @@ class BenchmarkResult:
         return self.status == "succeeded"
 
     def as_dict(self) -> Dict[str, object]:
-        return asdict(self)
+        # All fields are scalars, so a flat comprehension matches
+        # dataclasses.asdict at a fraction of its recursive-copy cost —
+        # this runs once per job for the journal and once for the save.
+        return {name: getattr(self, name) for name in _RESULT_FIELDS}
+
+
+_RESULT_FIELDS = tuple(f.name for f in fields(BenchmarkResult))
 
 
 class ResultsDatabase:
@@ -134,12 +141,10 @@ class ResultsDatabase:
         return json.dumps(payload, indent=1, sort_keys=True)
 
     def save(self, path: Union[str, Path]) -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic: a crash mid-save must never replace a loadable database
+        # with a truncated one (see repro.ioutil).
         payload = [r.as_dict() for r in self._results]
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=1)
-        return path
+        return atomic_write(path, json.dumps(payload, indent=1))
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "ResultsDatabase":

@@ -45,6 +45,9 @@ class BenchmarkRunner:
         self._references: Dict[Tuple[str, str], np.ndarray] = {}
         #: RuntimeRunResult of the last concurrent ``run()``, if any.
         self.last_run = None
+        #: Write-ahead journal for the sequential path (see attach_journal).
+        self._journal = None
+        self._journal_replay = None
 
     # -- plumbing -----------------------------------------------------------
 
@@ -78,6 +81,24 @@ class BenchmarkRunner:
         """Install a precomputed validation reference (runtime prefetch)."""
         self._references[(dataset_id, algorithm.lower())] = output
 
+    def attach_journal(self, journal, replay=None) -> None:
+        """Make sequential ``run_job`` calls crash-safe and resumable.
+
+        Every completed job is appended durably to *journal* before the
+        next one starts; with *replay* (a loaded
+        :class:`~repro.runtime.journal.JournalReplay`), jobs the crashed
+        run already completed return their recorded rows instead of
+        re-executing. Recorded rows are matched by job identity and
+        consumed FIFO per identity, so deterministic experiment bodies
+        resume exactly where they stopped.
+        """
+        self._journal = journal
+        self._journal_replay = replay
+
+    def detach_journal(self) -> None:
+        self._journal = None
+        self._journal_replay = None
+
     def can_run(self, platform: str, dataset: Dataset, algorithm: str) -> bool:
         """Whether the combination is runnable at all.
 
@@ -107,6 +128,25 @@ class BenchmarkRunner:
         dataset = get_dataset(dataset_id)
         algorithm = algorithm.lower()
         resources = resources or self.config.resources
+        serial_key = None
+        if self._journal is not None or self._journal_replay is not None:
+            from repro.runtime.journal import serial_job_key
+
+            serial_key = serial_job_key(
+                platform,
+                dataset.dataset_id,
+                algorithm,
+                machines=resources.machines,
+                threads=resources.threads,
+                run_index=run_index,
+                seed=self.config.seed,
+            )
+        if self._journal_replay is not None:
+            record = self._journal_replay.take_serial(serial_key)
+            if record is not None:
+                result = BenchmarkResult(**record["result"])
+                self.database.add(result)
+                return result
         driver = self.driver(platform)
         handle = self._handle(platform, dataset)
         params = dataset.algorithm_parameters(algorithm, self.config.seed)
@@ -119,6 +159,16 @@ class BenchmarkRunner:
             seed=self.config.seed,
         )
         result = self._finalize(job, dataset, params)
+        if self._journal is not None:
+            # Journaled (durably) before the result is observable, so a
+            # crash after this line cannot lose the completed job.
+            self._journal.append(
+                {
+                    "type": "serial-job",
+                    "key": serial_key,
+                    "result": result.as_dict(),
+                }
+            )
         self.database.add(result)
         return result
 
@@ -177,7 +227,7 @@ class BenchmarkRunner:
 
     # -- batch runs --------------------------------------------------------
 
-    def run(self, *, workers: int = 1, runtime=None) -> ResultsDatabase:
+    def run(self, *, workers: int = 1, runtime=None, run_dir=None) -> ResultsDatabase:
         """Run the full configured selection; returns the database.
 
         With ``workers > 1`` (or an explicit
@@ -188,13 +238,25 @@ class BenchmarkRunner:
         deterministic — identical to the serial run except for the
         environment-dependent ``measured_*`` wall-clocks (see
         ``ResultsDatabase.canonical_json`` and docs/runtime.md).
+
+        With ``run_dir`` the run is journaled and crash-safe (always via
+        the runtime, whatever the worker count): if the directory holds
+        a journal from a crashed run of the *same* matrix, the run
+        resumes from it instead of starting over (docs/robustness.md).
         """
-        if workers > 1 or runtime is not None:
+        if workers > 1 or runtime is not None or run_dir is not None:
             from repro.runtime.executor import RuntimeConfig, execute_matrix
+            from repro.runtime.journal import RunJournal
 
             if runtime is None:
                 runtime = RuntimeConfig(workers=workers)
-            outcome = execute_matrix(self.config, runtime)
+            resume = (
+                run_dir is not None
+                and RunJournal.journal_path(run_dir).exists()
+            )
+            outcome = execute_matrix(
+                self.config, runtime, run_dir=run_dir, resume=resume
+            )
             self.database.extend(outcome.database)
             self.last_run = outcome
             return self.database

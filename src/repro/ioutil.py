@@ -1,0 +1,90 @@
+"""Crash-safe file persistence: the one `atomic_write` everything uses.
+
+A benchmark run is only as durable as its artifacts. A plain
+``open(path, "w")`` that dies mid-write — OOM kill, SIGKILL, power loss
+— leaves a truncated, unparseable file where a valid one used to be,
+which for a results database means the whole run is lost (exactly the
+failure mode the paper's multi-hour robustness experiments, §2.3/§4.6,
+cannot afford). :func:`atomic_write` gives every writer the standard
+crash-consistency recipe instead:
+
+1. write the full payload to a temporary file *in the same directory*
+   (same filesystem, so the final rename cannot degrade to a copy);
+2. flush and ``fsync`` the temp file, so the bytes are on disk before
+   the name is;
+3. ``os.replace`` it over the destination — atomic on POSIX and
+   Windows, so readers observe either the old complete file or the new
+   complete file, never a mixture;
+4. best-effort ``fsync`` of the containing directory, so the rename
+   itself survives a crash.
+
+Lint rule ROB001 enforces statically that run-artifact writers in
+``harness``, ``runtime``, ``granula``, and ``lint`` go through this
+helper rather than bare ``open(..., "w")`` / ``write_text``.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+__all__ = ["atomic_write", "fsync_directory"]
+
+
+def fsync_directory(directory: Union[str, Path]) -> None:
+    """Flush a directory's entries to disk (best-effort, POSIX only).
+
+    After ``os.replace`` the *file* is durable but the directory entry
+    pointing at it may not be; syncing the directory closes that window.
+    Platforms that cannot open directories simply skip it.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(
+    path: Union[str, Path],
+    data: Union[str, bytes],
+    *,
+    encoding: str = "utf-8",
+    durable: bool = True,
+) -> Path:
+    """Write ``data`` to ``path`` atomically; returns the path.
+
+    The destination either keeps its previous content or holds the new
+    content in full — a crash at any point never leaves a torn file.
+    ``durable=False`` skips the fsyncs (for tests and scratch output
+    where atomicity matters but the extra flushes do not).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = data.encode(encoding) if isinstance(data, str) else data
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            if durable:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if durable:
+        fsync_directory(path.parent)
+    return path

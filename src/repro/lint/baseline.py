@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
+from repro.ioutil import atomic_write
 from repro.lint.core import Finding
 
 __all__ = ["load_baseline", "write_baseline", "partition_findings"]
@@ -47,9 +48,7 @@ def write_baseline(path: Path, findings: Sequence[Finding]) -> Path:
         "version": _VERSION,
         "fingerprints": {k: counts[k] for k in sorted(counts)},
     }
-    path = Path(path)
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    return path
+    return atomic_write(Path(path), json.dumps(payload, indent=2) + "\n")
 
 
 def partition_findings(

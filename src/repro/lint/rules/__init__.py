@@ -9,6 +9,8 @@ rule id      severity  invariant
 ``CON001``   error     vertex programs respect the Pregel/GAS state contract
 ``CON002``   error     drivers execute through the PlatformDriver lifecycle
 ``EXC001``   warning   no broad except swallowing benchmark failures
+``RUN001``   error     runtime entrypoints convert exceptions into records
+``ROB001``   error     run artifacts are written via ``atomic_write``
 ``REG001``   error     algorithm registry ↔ validation/experiment wiring
 ``REP001``   warning   reporters emit metered numbers via harness.metrics
 ===========  ========  ====================================================
@@ -25,7 +27,11 @@ from repro.lint.rules.contracts import (  # noqa: F401
     DriverBypassRule,
     VertexProgramStateRule,
 )
-from repro.lint.rules.robustness import SwallowedExceptionRule  # noqa: F401
+from repro.lint.rules.robustness import (  # noqa: F401
+    AtomicArtifactWriteRule,
+    RuntimeFailureRecordRule,
+    SwallowedExceptionRule,
+)
 from repro.lint.rules.consistency import RegistryConsistencyRule  # noqa: F401
 from repro.lint.rules.reporting import UnmeteredRateRule  # noqa: F401
 
@@ -36,6 +42,8 @@ __all__ = [
     "VertexProgramStateRule",
     "DriverBypassRule",
     "SwallowedExceptionRule",
+    "RuntimeFailureRecordRule",
+    "AtomicArtifactWriteRule",
     "RegistryConsistencyRule",
     "UnmeteredRateRule",
 ]

@@ -1,4 +1,4 @@
-"""Harness robustness rules: EXC001, RUN001.
+"""Harness robustness rules: EXC001, RUN001, ROB001.
 
 The harness records modeled failures (OOM, crash, SLA breach) as data;
 what it must never do is *swallow* them. An over-broad ``except`` in a
@@ -9,6 +9,13 @@ sharpens the contract (RUN001): its worker and job entrypoints may
 catch broadly — that is how a crashing job becomes a ``harness-*`` row
 — but only if the handler demonstrably converts the exception into a
 structured failure record or re-raises.
+
+Crash-safety extends the same discipline to persistence (ROB001): a
+run artifact written with ``open(..., "w")`` or ``write_text`` is
+truncated before the new bytes land, so a crash mid-write destroys the
+previous good copy. Every run artifact must go through
+:func:`repro.ioutil.atomic_write` (write-to-temp, fsync, rename);
+append-mode writes — the journal's own medium — are exempt.
 """
 
 from __future__ import annotations
@@ -25,7 +32,11 @@ from repro.lint.core import (
     register_rule,
 )
 
-__all__ = ["SwallowedExceptionRule", "RuntimeFailureRecordRule"]
+__all__ = [
+    "SwallowedExceptionRule",
+    "RuntimeFailureRecordRule",
+    "AtomicArtifactWriteRule",
+]
 
 #: Exception names considered over-broad for a silent handler: the
 #: builtins plus the library's own base class (catching a *specific*
@@ -164,3 +175,86 @@ class RuntimeFailureRecordRule(Rule):
                 f"(AttemptRecord/JobFailure/failure envelope); the job "
                 f"would be silently lost",
             )
+
+
+#: Path-like methods that replace a file's contents in place.
+_WRITE_METHODS = ("write_text", "write_bytes")
+
+
+def _open_mode(call: ast.Call, *, is_method: bool) -> Optional[ast.expr]:
+    """The mode expression of an ``open``-shaped call, if present.
+
+    Builtin ``open(path, mode)`` takes the mode second; the
+    ``Path.open(mode)`` method takes it first.
+    """
+    index = 0 if is_method else 1
+    if len(call.args) > index:
+        return call.args[index]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            return keyword.value
+    return None
+
+
+def _is_truncating_mode(mode: Optional[ast.expr]) -> bool:
+    # Only constant modes are decidable; "w" and "x" truncate/replace,
+    # append and read modes do not.
+    return (
+        isinstance(mode, ast.Constant)
+        and isinstance(mode.value, str)
+        and any(flag in mode.value for flag in ("w", "x"))
+    )
+
+
+@register_rule
+class AtomicArtifactWriteRule(Rule):
+    """ROB001: run artifact written without ``atomic_write``.
+
+    ``open(path, "w")`` truncates the destination before the new bytes
+    are written, and ``Path.write_text`` is the same operation spelled
+    differently: a crash (SIGKILL, OOM) between truncate and close
+    leaves a torn or empty file where the last good artifact used to
+    be. Resumable runs depend on every results database, report,
+    baseline, and journal checkpoint surviving a crash, so run
+    artifacts must be produced via :func:`repro.ioutil.atomic_write`
+    (temp file + fsync + atomic rename). Append-mode opens are exempt:
+    appends never destroy prior records, and the write-ahead journal
+    itself is an append-only file.
+    """
+
+    rule_id = "ROB001"
+    severity = Severity.ERROR
+    description = (
+        "run artifacts must be written via repro.ioutil.atomic_write, "
+        "not in-place open('w')/write_text"
+    )
+    scope = ("harness", "runtime", "granula", "lint")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _WRITE_METHODS:
+                yield module.finding(
+                    self, node,
+                    f"`.{func.attr}()` replaces the file non-atomically; "
+                    f"a crash mid-write leaves a torn artifact — use "
+                    f"repro.ioutil.atomic_write",
+                )
+                continue
+            is_open = (
+                isinstance(func, ast.Name) and func.id == "open"
+            ) or (
+                isinstance(func, ast.Attribute) and func.attr == "open"
+            )
+            if not is_open:
+                continue
+            mode = _open_mode(node, is_method=isinstance(func, ast.Attribute))
+            if _is_truncating_mode(mode):
+                yield module.finding(
+                    self, node,
+                    f"`open(..., {mode.value!r})` truncates in place; a "
+                    f"crash mid-write leaves a torn run artifact — use "
+                    f"repro.ioutil.atomic_write (append modes are exempt)",
+                )

@@ -15,8 +15,17 @@ from repro.runtime.executor import (
     example_matrix,
     execute_matrix,
     prefetch_into_runner,
+    resume_run,
 )
 from repro.runtime.faults import FaultPlan, FaultSpec, InjectedFaultError
+from repro.runtime.journal import (
+    JournalError,
+    JournalReplay,
+    RunJournal,
+    job_key,
+    matrix_hash,
+    serial_job_key,
+)
 from repro.runtime.jobs import (
     FAILURE_STATUSES,
     AttemptRecord,
@@ -47,6 +56,9 @@ __all__ = [
     "JobKind",
     "JobNode",
     "JobSpec",
+    "JournalError",
+    "JournalReplay",
+    "RunJournal",
     "RuntimeConfig",
     "RuntimeEvent",
     "RuntimeEventLog",
@@ -58,6 +70,10 @@ __all__ = [
     "expand_matrix",
     "failure_result",
     "graph_key",
+    "job_key",
+    "matrix_hash",
     "reference_key",
     "prefetch_into_runner",
+    "resume_run",
+    "serial_job_key",
 ]

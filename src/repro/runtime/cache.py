@@ -27,13 +27,14 @@ import hashlib
 import json
 import os
 import pickle
-import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 import numpy as np
+
+from repro.ioutil import atomic_write
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
@@ -231,12 +232,10 @@ class GraphCache:
         path = self._entry_path(key)
         if path is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
         blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(blob)
-        os.replace(tmp, path)
+        # Atomic but not fsynced: entries are rebuildable, so losing one
+        # to a crash is fine — serving a torn one never is.
+        atomic_write(path, blob, durable=False)
         manifest = {
             "key": key,
             "kind": kind,
@@ -244,10 +243,11 @@ class GraphCache:
             "bytes": len(blob),
             "format": CACHE_FORMAT_VERSION,
         }
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(manifest, handle, indent=1, sort_keys=True)
-        os.replace(tmp, path.with_suffix(".json"))
+        atomic_write(
+            path.with_suffix(".json"),
+            json.dumps(manifest, indent=1, sort_keys=True),
+            durable=False,
+        )
         self._count(stores=1, bytes_written=len(blob))
 
     # -- lookup --------------------------------------------------------------
@@ -343,11 +343,10 @@ class GraphCache:
         """Persist a run's merged counters for ``graphalytics cache stats``."""
         if self.directory is None:
             return None
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self.directory / "last-run-stats.json"
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(stats.as_dict(), handle, indent=1, sort_keys=True)
-        return path
+        return atomic_write(
+            self.directory / "last-run-stats.json",
+            json.dumps(stats.as_dict(), indent=1, sort_keys=True),
+        )
 
     def read_run_stats(self) -> Optional[CacheStats]:
         if self.directory is None:

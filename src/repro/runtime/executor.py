@@ -34,6 +34,15 @@ from repro.runtime.cache import CacheStats, GraphCache
 from repro.runtime.events import RuntimeEventLog
 from repro.runtime.faults import FaultPlan
 from repro.runtime.jobs import JobFailure, JobKind, failure_result
+from repro.runtime.journal import (
+    JournalError,
+    JournalReplay,
+    RunJournal,
+    config_from_payload,
+    config_payload,
+    job_key,
+    matrix_hash,
+)
 from repro.runtime.pool import CacheBackedRunner, WorkerPool, run_job_spec
 from repro.runtime.scheduler import JobGraph, NodeState, expand_matrix
 
@@ -43,6 +52,7 @@ __all__ = [
     "execute_matrix",
     "example_matrix",
     "prefetch_into_runner",
+    "resume_run",
 ]
 
 
@@ -100,6 +110,8 @@ class RuntimeRunResult:
     elapsed_seconds: float = 0.0
     job_count: int = 0             # execute jobs in the matrix
     dag_size: int = 0              # all DAG nodes
+    restored_jobs: int = 0         # DAG jobs replayed from a run journal
+    run_dir: Optional[Path] = None
 
     @property
     def lost_jobs(self) -> int:
@@ -116,6 +128,7 @@ class RuntimeRunResult:
                 "retries": self.events.count("retry"),
                 "timeouts": self.events.count("timeout"),
                 "crashes": self.events.count("crash"),
+                "restored": self.restored_jobs,
                 "cache_hits": self.cache_stats.hits,
                 "cache_misses": self.cache_stats.misses,
             }
@@ -147,9 +160,17 @@ def example_matrix(seed: int = 0, *, repetitions: int = 2) -> BenchmarkConfig:
 
 
 @contextmanager
-def _cache_directory(runtime: RuntimeConfig):
+def _cache_directory(runtime: RuntimeConfig, run_dir: Optional[Path] = None):
     if runtime.cache_dir is not None:
         path = Path(runtime.cache_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        yield path
+        return
+    if run_dir is not None:
+        # Journaled runs keep their spill under the run directory, so a
+        # resumed run inherits every materialization the crashed run paid
+        # for instead of rebuilding them.
+        path = Path(run_dir) / "cache"
         path.mkdir(parents=True, exist_ok=True)
         yield path
         return
@@ -176,6 +197,8 @@ class _MatrixRun:
         specs = expand_matrix(config)
         if not include_execute:
             specs = [s for s in specs if s.kind != JobKind.EXECUTE]
+        self.specs = specs
+        self.keys = {spec.seq: job_key(spec) for spec in specs}
         self.graph = JobGraph(
             specs,
             max_attempts=runtime.max_attempts,
@@ -188,6 +211,92 @@ class _MatrixRun:
         self.results: Dict[int, BenchmarkResult] = {}
         self.cache_stats = CacheStats()
         self._failures_seen = 0
+        #: Write-ahead journal; attached by execute_matrix for journaled
+        #: runs, after any restore — restored state is never re-recorded.
+        self.journal: Optional[RunJournal] = None
+        self.restored_jobs = 0
+
+    # -- write-ahead journal -------------------------------------------------
+
+    def matrix_hash(self) -> str:
+        return matrix_hash(self.config, self.specs)
+
+    def journal_scheduled(self) -> None:
+        """Record the full job list (one batch, one fsync)."""
+        self.journal.append_many(
+            [
+                {
+                    "type": "job-scheduled",
+                    "seq": spec.seq,
+                    "key": self.keys[spec.seq],
+                    "job": spec.job_id,
+                }
+                for spec in self.specs
+            ]
+        )
+
+    def journal_dispatch(self, seq: int, *, attempt: int, worker: int) -> None:
+        if self.journal is not None:
+            self.journal.append(
+                {
+                    "type": "attempt-start",
+                    "seq": seq,
+                    "key": self.keys[seq],
+                    "attempt": attempt,
+                    "worker": worker,
+                }
+            )
+
+    def restore(self, replay: JournalReplay) -> int:
+        """Replay a journal into the DAG; returns the jobs marked done.
+
+        Completions and failed attempts are applied in journal order, so
+        dependents unlock exactly as they did in the crashed run; a
+        terminal failed attempt re-derives its dependency-failure cascade
+        instead of trusting (possibly torn-off) ``job-failed`` records.
+        In-flight jobs — an ``attempt-start`` with no terminal record —
+        are left READY and simply execute again.
+        """
+        expected = self.matrix_hash()
+        recorded = replay.header.get("matrix_hash")
+        if recorded != expected:
+            raise JournalError(
+                f"journal matrix hash {recorded} does not match the "
+                f"configured matrix {expected}; refusing to resume a "
+                f"different run"
+            )
+        by_key = {self.keys[spec.seq]: spec.seq for spec in self.specs}
+        for record in replay.records:
+            seq = by_key.get(str(record.get("key", "")))
+            if seq is None:
+                continue
+            node = self.graph.nodes[seq]
+            kind = record.get("type")
+            if kind == "job-done":
+                if node.state == NodeState.DONE:
+                    continue
+                self.graph.complete(seq)
+                if node.spec.kind == JobKind.EXECUTE:
+                    self.results[seq] = BenchmarkResult(**record["result"])
+                self.restored_jobs += 1
+            elif kind == "attempt-failed":
+                if node.state in (NodeState.DONE, NodeState.FAILED):
+                    continue
+                self.graph.record_attempt(
+                    seq,
+                    now=0.0,
+                    worker=int(record.get("worker", -1)),
+                    kind=str(record.get("kind", "exception")),
+                    detail=str(record.get("detail", "")),
+                    elapsed=float(record.get("elapsed", 0.0)),
+                )
+        self.sync_failures()  # journal not yet attached: no re-recording
+        self.events.emit(
+            "restore",
+            jobs=self.restored_jobs,
+            failures=len(self.graph.failures),
+        )
+        return self.restored_jobs
 
     # -- shared bookkeeping ------------------------------------------------
 
@@ -197,6 +306,18 @@ class _MatrixRun:
         self.graph.complete(seq)
         if node.spec.kind == JobKind.EXECUTE:
             self.results[seq] = BenchmarkResult(**payload["result"])
+        if self.journal is not None:
+            # The result row travels in the record, so resume rebuilds
+            # the database without re-running the job.
+            record: Dict[str, object] = {
+                "type": "job-done",
+                "seq": seq,
+                "key": self.keys[seq],
+                "kind": node.spec.kind,
+            }
+            if node.spec.kind == JobKind.EXECUTE:
+                record["result"] = payload["result"]
+            self.journal.append(record)
         self.events.emit(
             "complete", job=node.spec.job_id, worker=worker, elapsed=elapsed
         )
@@ -212,6 +333,19 @@ class _MatrixRun:
             detail=detail,
             elapsed=elapsed,
         )
+        if self.journal is not None:
+            self.journal.append(
+                {
+                    "type": "attempt-failed",
+                    "seq": seq,
+                    "key": self.keys[seq],
+                    "attempt": len(node.attempts),
+                    "worker": worker,
+                    "kind": kind,
+                    "detail": detail,
+                    "elapsed": elapsed,
+                }
+            )
         if failure is None:
             self.events.emit(
                 "retry",
@@ -229,6 +363,18 @@ class _MatrixRun:
         while self._failures_seen < len(self.graph.failures):
             failure = self.graph.failures[self._failures_seen]
             self._failures_seen += 1
+            if self.journal is not None:
+                # Accounting only: resume re-derives permanent failures
+                # (and their cascades) from the attempt-failed records.
+                self.journal.append(
+                    {
+                        "type": "job-failed",
+                        "seq": failure.spec.seq,
+                        "key": self.keys[failure.spec.seq],
+                        "kind": failure.final_kind,
+                        "attempts": len(failure.attempts),
+                    }
+                )
             self.events.emit(
                 "job-failed",
                 job=failure.job_id,
@@ -274,7 +420,12 @@ def _run_inline(run: _MatrixRun) -> None:
             progressed = True
             spec = node.spec
             attempt = node.attempt_number
+            if runtime.fault_plan is not None:
+                # Chaos hook: SIGKILL the harness *before* dispatch, so
+                # every earlier completion is already in the journal.
+                runtime.fault_plan.inject_dispatcher(spec, attempt)
             graph.mark_running(node.seq, worker=-1)
+            run.journal_dispatch(node.seq, attempt=attempt, worker=-1)
             run.events.emit(
                 "dispatch", job=spec.job_id, worker=-1, attempt=attempt
             )
@@ -326,6 +477,8 @@ def _run_pool(run: _MatrixRun) -> None:
                     break
                 worker = idle.pop(0)
                 attempt = node.attempt_number
+                if runtime.fault_plan is not None:
+                    runtime.fault_plan.inject_dispatcher(node.spec, attempt)
                 pool.submit(worker, node.spec, attempt)
                 deadline = (
                     now + runtime.job_timeout
@@ -333,6 +486,7 @@ def _run_pool(run: _MatrixRun) -> None:
                     else None
                 )
                 graph.mark_running(node.seq, worker=worker, deadline=deadline)
+                run.journal_dispatch(node.seq, attempt=attempt, worker=worker)
                 run.events.emit(
                     "dispatch",
                     job=node.spec.job_id,
@@ -427,24 +581,61 @@ def execute_matrix(
     runtime: Optional[RuntimeConfig] = None,
     *,
     include_execute: bool = True,
+    run_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> RuntimeRunResult:
-    """Run a benchmark matrix through the concurrent runtime."""
+    """Run a benchmark matrix through the concurrent runtime.
+
+    With ``run_dir`` the run is **journaled**: every job transition is
+    appended durably to ``<run_dir>/journal.jsonl`` before execution
+    proceeds, the graph cache spills under ``<run_dir>/cache``, and the
+    final database lands atomically in ``<run_dir>/results.json``. With
+    ``resume=True`` the journal is replayed first and only the remainder
+    of the DAG executes — the merged database is bit-identical (under
+    ``canonical_json``) to an uninterrupted run. Runtime knobs (workers,
+    mode, timeouts) are *not* part of the journaled identity, so a
+    resume may use a different worker count.
+    """
     runtime = runtime or RuntimeConfig()
+    if resume and run_dir is None:
+        raise ConfigurationError("resume=True requires a run_dir")
+    run_dir = Path(run_dir) if run_dir is not None else None
     started = time.monotonic()
-    with _cache_directory(runtime) as cache_dir:
+    with _cache_directory(runtime, run_dir) as cache_dir:
         run = _MatrixRun(
             config, runtime, cache_dir, include_execute=include_execute
         )
+        if run_dir is not None:
+            if resume:
+                run.restore(RunJournal.load(run_dir))
+                run.journal = RunJournal.open(run_dir)
+            else:
+                run.journal = RunJournal.create(
+                    run_dir,
+                    {
+                        "kind": "matrix",
+                        "matrix_hash": run.matrix_hash(),
+                        "config": config_payload(config),
+                        "include_execute": include_execute,
+                    },
+                )
+                run.journal_scheduled()
         mode = runtime.resolved_mode
         run.events.phase_start("execute")
-        if mode == "pool":
-            _run_pool(run)
-        else:
-            _run_inline(run)
+        if run.graph.unfinished:
+            if mode == "pool":
+                _run_pool(run)
+            else:
+                _run_inline(run)
         run.events.phase_end("execute")
         run.events.phase_start("merge")
         database = run.merged()
         run.events.phase_end("merge")
+        if run.journal is not None:
+            run.journal.append({"type": "run-complete"})
+            run.journal.close()
+        if run_dir is not None:
+            database.save(run_dir / "results.json")
         GraphCache(cache_dir).write_run_stats(run.cache_stats)
     return RuntimeRunResult(
         database=database,
@@ -456,6 +647,36 @@ def execute_matrix(
         elapsed_seconds=time.monotonic() - started,
         job_count=run.execute_count,
         dag_size=len(run.graph),
+        restored_jobs=run.restored_jobs,
+        run_dir=run_dir,
+    )
+
+
+def resume_run(
+    run_dir: Union[str, Path],
+    runtime: Optional[RuntimeConfig] = None,
+) -> RuntimeRunResult:
+    """Resume a crashed (or complete) journaled matrix run.
+
+    The benchmark configuration is rebuilt from the journal header — the
+    caller supplies only *runtime* knobs, which may differ from the
+    crashed run's. Resuming an already-complete journal re-executes
+    nothing and simply rebuilds the database (idempotent).
+    """
+    replay = RunJournal.load(run_dir)
+    kind = replay.header.get("kind")
+    if kind != "matrix":
+        raise JournalError(
+            f"{RunJournal.journal_path(run_dir)} records a {kind!r} run; "
+            f"resume it through the harness entry point that wrote it"
+        )
+    config = config_from_payload(replay.header["config"])
+    return execute_matrix(
+        config,
+        runtime,
+        include_execute=bool(replay.header.get("include_execute", True)),
+        run_dir=run_dir,
+        resume=True,
     )
 
 

@@ -16,6 +16,7 @@ job body runs.
 from __future__ import annotations
 
 import os
+import signal
 import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
@@ -37,9 +38,14 @@ class FaultSpec:
     later attempts run normally — so ``times=1`` with a retry budget of 2
     models a transient failure the retry recovers from, while a large
     ``times`` models a permanent one.
+
+    ``harness-kill`` is the chaos mode: it SIGKILLs the *harness*
+    process itself (not a worker) right before the matching job would be
+    dispatched, leaving a journal whose resume the chaos suite verifies
+    (docs/robustness.md).
     """
 
-    kind: str                      # "hang" | "crash" | "error"
+    kind: str                      # "hang" | "crash" | "error" | "harness-kill"
     job_kind: str = "execute"      # JobKind to match, or "*"
     platform: str = "*"
     dataset: str = "*"
@@ -88,7 +94,7 @@ class FaultPlan:
           worker into an ``exception`` attempt record).
         """
         fault = self.find(spec, attempt)
-        if fault is None:
+        if fault is None or fault.kind == "harness-kill":
             return
         if fault.kind == "hang":
             time.sleep(fault.hang_seconds)
@@ -98,3 +104,16 @@ class FaultPlan:
         raise InjectedFaultError(
             f"injected fault on {spec.job_id} (attempt {attempt})"
         )
+
+    def inject_dispatcher(self, spec, attempt: int) -> None:
+        """Fire ``harness-kill`` faults. Runs in the *dispatcher* process.
+
+        Called immediately before a job is dispatched, so every job
+        completed earlier is already journaled durably — exactly the
+        crash point the chaos suite needs to prove resume loses nothing.
+        SIGKILL (not ``os._exit``) guarantees no atexit/finally handler
+        gets a chance to tidy up.
+        """
+        fault = self.find(spec, attempt)
+        if fault is not None and fault.kind == "harness-kill":
+            os.kill(os.getpid(), signal.SIGKILL)

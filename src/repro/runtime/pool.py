@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
+import os
 import time
 import traceback
 from typing import Dict, List, Optional
@@ -94,7 +95,7 @@ def run_job_spec(runner: CacheBackedRunner, cache: GraphCache, spec: JobSpec) ->
 
 def _worker_main(
     worker_id: int,
-    task_queue,
+    task_conn,
     result_conn,
     config: BenchmarkConfig,
     cache_dir: Optional[str],
@@ -108,8 +109,21 @@ def _worker_main(
     """
     cache = GraphCache(cache_dir, memory_entries=memory_entries)
     runner = CacheBackedRunner(config, cache)
+    parent = os.getppid()
     while True:
-        task = task_queue.get()
+        # Orphan guard: if the dispatcher dies hard (SIGKILL chaos, OOM
+        # kill), the task pipe never reaches EOF — sibling workers
+        # forked later inherit its write end — so a blocking read would
+        # leak this process forever. Poll with a timeout and exit once
+        # reparented.
+        if not task_conn.poll(1.0):
+            if os.getppid() != parent:
+                return
+            continue
+        try:
+            task = task_conn.recv()
+        except (EOFError, OSError):
+            return
         if task is None:
             return
         spec, attempt = task
@@ -166,7 +180,7 @@ class _WorkerHandle:
     def __init__(self, worker_id: int):
         self.worker_id = worker_id
         self.process = None
-        self.task_queue = None
+        self.task_send = None
         self.result_recv = None
         self.busy_seq: Optional[int] = None
 
@@ -177,6 +191,14 @@ class _WorkerHandle:
             except OSError:
                 pass
             self.result_recv = None
+
+    def close_task_conn(self) -> None:
+        if self.task_send is not None:
+            try:
+                self.task_send.close()
+            except OSError:
+                pass
+            self.task_send = None
 
 
 class WorkerPool:
@@ -211,8 +233,10 @@ class WorkerPool:
 
     def _spawn(self, handle: _WorkerHandle) -> None:
         handle.close_result_conn()
+        handle.close_task_conn()
         recv_conn, send_conn = self._ctx.Pipe(duplex=False)
-        handle.task_queue = self._ctx.SimpleQueue()
+        task_recv, task_send = self._ctx.Pipe(duplex=False)
+        handle.task_send = task_send
         handle.result_recv = recv_conn
         handle.busy_seq = None
         handle.process = self._ctx.Process(
@@ -220,7 +244,7 @@ class WorkerPool:
             name=f"graphalytics-worker-{handle.worker_id}",
             args=(
                 handle.worker_id,
-                handle.task_queue,
+                task_recv,
                 send_conn,
                 self.config,
                 self.cache_dir,
@@ -230,9 +254,10 @@ class WorkerPool:
             daemon=True,
         )
         handle.process.start()
-        # The parent's copy of the send end must close so recv() raises
-        # EOFError once the worker is gone instead of blocking forever.
+        # The parent's copies of the worker-held ends must close so each
+        # side sees EOF (not a silent hang) when the other goes away.
         send_conn.close()
+        task_recv.close()
 
     def restart(self, worker_id: int) -> None:
         """Kill (if needed) and respawn one worker; its job (and any
@@ -252,7 +277,7 @@ class WorkerPool:
         for handle in self._handles.values():
             if handle.process is not None and handle.process.is_alive():
                 try:
-                    handle.task_queue.put(None)
+                    handle.task_send.send(None)
                 except (OSError, ValueError):
                     handle.process.terminate()
         for handle in self._handles.values():
@@ -262,6 +287,7 @@ class WorkerPool:
                     handle.process.terminate()
                     handle.process.join(timeout=5.0)
             handle.close_result_conn()
+            handle.close_task_conn()
         self._handles.clear()
 
     # -- dispatch ----------------------------------------------------------
@@ -276,7 +302,7 @@ class WorkerPool:
     def submit(self, worker_id: int, spec: JobSpec, attempt: int) -> None:
         handle = self._handles[worker_id]
         handle.busy_seq = spec.seq
-        handle.task_queue.put((spec, attempt))
+        handle.task_send.send((spec, attempt))
 
     def mark_idle(self, worker_id: int) -> None:
         self._handles[worker_id].busy_seq = None

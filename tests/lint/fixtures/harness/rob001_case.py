@@ -1,0 +1,36 @@
+"""ROB001 fixture: run-artifact writes that must go through atomic_write."""
+
+from repro.ioutil import atomic_write
+
+
+def save_report(path, text):
+    with open(path, "w", encoding="utf-8") as handle:   # line 7: ROB001
+        handle.write(text)
+
+
+def save_json(path, payload):
+    path.write_text(payload, encoding="utf-8")          # line 12: ROB001
+
+
+def save_binary(path):
+    with path.open("wb") as handle:                     # line 16: ROB001
+        handle.write(b"\x00")
+
+
+def append_journal(path, line):
+    with open(path, "ab") as handle:                    # append: clean
+        handle.write(line)
+
+
+def load_results(path):
+    with open(path, "r", encoding="utf-8") as handle:   # read: clean
+        return handle.read()
+
+
+def save_atomically(path, text):
+    atomic_write(path, text)                            # the sanctioned way
+
+
+def dynamic_mode(path, mode, text):
+    with open(path, mode) as handle:                    # undecidable: clean
+        handle.write(text)

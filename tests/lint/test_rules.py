@@ -14,10 +14,10 @@ def _triples(findings):
 
 
 class TestRuleRegistry:
-    def test_all_nine_rules_registered(self):
+    def test_all_ten_rules_registered(self):
         assert sorted(all_rules()) == [
-            "CON001", "CON002", "DET001", "DET002",
-            "DET003", "EXC001", "REG001", "REP001", "RUN001",
+            "CON001", "CON002", "DET001", "DET002", "DET003",
+            "EXC001", "REG001", "REP001", "ROB001", "RUN001",
         ]
 
     def test_rules_have_descriptions_and_severities(self):
@@ -134,6 +134,36 @@ class TestRun001RuntimeFailureRecords:
         # The same swallowing pattern outside repro.runtime is EXC001's
         # territory (different scope), not RUN001's.
         findings = lint_fixture("harness/exc001_case.py", select=["RUN001"])
+        assert findings == []
+
+
+class TestRob001AtomicArtifactWrites:
+    def test_exact_findings(self, lint_fixture):
+        findings = lint_fixture(
+            "harness/rob001_case.py", select=["ROB001"]
+        )
+        assert _triples(findings) == [
+            ("ROB001", "rob001_case.py", 7),
+            ("ROB001", "rob001_case.py", 12),
+            ("ROB001", "rob001_case.py", 16),
+        ]
+        assert all(f.severity == "error" for f in findings)
+        assert all("atomic_write" in f.message for f in findings)
+
+    def test_append_read_and_dynamic_modes_pass(self, lint_fixture):
+        findings = lint_fixture(
+            "harness/rob001_case.py", select=["ROB001"]
+        )
+        assert {f.symbol for f in findings} == {
+            "save_report", "save_json", "save_binary"
+        }
+
+    def test_out_of_scope_module_not_checked(self, lint_fixture):
+        # Graph-data exporters (repro.graph, repro.algorithms) stream
+        # large files and are not run artifacts; ROB001 leaves them be.
+        findings = lint_fixture(
+            "algorithms/clean_case.py", select=["ROB001"]
+        )
         assert findings == []
 
 

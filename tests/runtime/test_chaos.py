@@ -1,0 +1,191 @@
+"""Kill-the-harness chaos suite (ISSUE acceptance criterion).
+
+Each scenario SIGKILLs the *harness process itself* mid-run — via the
+``harness-kill`` fault kind, fired in the dispatcher immediately before
+a chosen job would start — then resumes from the write-ahead journal
+and asserts the crash-safety contract:
+
+* at least one job had completed (and been journaled) before the kill;
+* the resumed database is bit-identical (``canonical_json``) to an
+  uninterrupted run of the same matrix;
+* zero completed jobs are re-executed: no ``attempt-start`` record ever
+  follows a job's ``job-done`` record in the journal.
+
+The kill target runs in a subprocess: SIGKILL on the harness would
+otherwise take pytest down with it.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.harness.config import BenchmarkConfig
+from repro.harness.results import ResultsDatabase
+from repro.runtime import (
+    RunJournal,
+    RuntimeConfig,
+    execute_matrix,
+    resume_run,
+)
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Small matrix: 1 materialize + 2 references + 8 execute jobs.
+CHAOS_MATRIX = dict(
+    platforms=["powergraph", "graphmat"],
+    datasets=["R1"],
+    algorithms=["bfs", "pr"],
+    repetitions=2,
+)
+
+#: The job whose dispatch triggers the SIGKILL — late in the serial
+#: visit order, so completed jobs exist in the journal by then.
+KILL_AT = dict(platform="graphmat", algorithm="pr", run_index=1)
+
+
+def chaos_config() -> BenchmarkConfig:
+    return BenchmarkConfig(**CHAOS_MATRIX)
+
+
+def run_to_the_kill(run_dir: Path, *, workers: int) -> None:
+    """Run the chaos matrix in a subprocess until the injected SIGKILL."""
+    script = textwrap.dedent(
+        f"""
+        from repro.harness.config import BenchmarkConfig
+        from repro.runtime import FaultPlan, FaultSpec, RuntimeConfig
+        from repro.runtime import execute_matrix
+
+        plan = FaultPlan((FaultSpec(kind="harness-kill", **{KILL_AT!r}),))
+        execute_matrix(
+            BenchmarkConfig(**{CHAOS_MATRIX!r}),
+            RuntimeConfig(workers={workers}, fault_plan=plan),
+            run_dir={str(run_dir)!r},
+        )
+        raise SystemExit("unreachable: the harness was supposed to die")
+        """
+    )
+    env = {**os.environ, "PYTHONPATH": REPO_SRC}
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == -signal.SIGKILL, (
+        f"expected the harness to die by SIGKILL, got rc={proc.returncode}\n"
+        f"stdout: {proc.stdout}\nstderr: {proc.stderr}"
+    )
+
+
+def assert_no_reexecution(run_dir: Path) -> None:
+    """No completed job ever started again: done keys stay done."""
+    replay = RunJournal.load(run_dir)
+    done = set()
+    for record in replay.records:
+        key = record.get("key")
+        if record.get("type") == "job-done":
+            done.add(key)
+        elif record.get("type") == "attempt-start":
+            assert key not in done, (
+                f"job {record.get('seq')} re-executed after completion"
+            )
+
+
+@pytest.mark.parametrize("workers", [1, 4], ids=["inline", "pool"])
+class TestKillTheHarness:
+    def test_sigkill_then_resume_is_bit_identical(self, tmp_path, workers):
+        run_dir = tmp_path / "run"
+        run_to_the_kill(run_dir, workers=workers)
+
+        # The crash left a journal with real completed work in it.
+        replay = RunJournal.load(run_dir)
+        assert replay.completed, "no job completed before the kill"
+        assert not replay.complete, "journal claims the run finished"
+
+        uninterrupted = execute_matrix(
+            chaos_config(), RuntimeConfig(workers=1)
+        )
+        resumed = resume_run(run_dir, RuntimeConfig(workers=workers))
+        assert resumed.restored_jobs >= len(replay.completed)
+        assert resumed.lost_jobs == 0
+        assert (
+            resumed.database.canonical_json()
+            == uninterrupted.database.canonical_json()
+        )
+        assert_no_reexecution(run_dir)
+
+    def test_resume_via_cli_entry_point(self, tmp_path, capsys, workers):
+        # ISSUE acceptance: the resume path users actually run.
+        run_dir = tmp_path / "run"
+        run_to_the_kill(run_dir, workers=workers)
+        assert cli_main(["resume", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "restored" in out
+
+        uninterrupted = execute_matrix(
+            chaos_config(), RuntimeConfig(workers=1)
+        )
+        persisted = ResultsDatabase.load(run_dir / "results.json")
+        assert (
+            persisted.canonical_json()
+            == uninterrupted.database.canonical_json()
+        )
+        assert_no_reexecution(run_dir)
+        assert RunJournal.load(run_dir).complete
+
+
+class TestDoubleResume:
+    def test_second_resume_executes_nothing(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_to_the_kill(run_dir, workers=1)
+        first = resume_run(run_dir, RuntimeConfig(workers=1))
+        second = resume_run(run_dir, RuntimeConfig(workers=1))
+        assert second.restored_jobs == second.dag_size
+        assert (
+            second.database.canonical_json()
+            == first.database.canonical_json()
+        )
+        assert_no_reexecution(run_dir)
+
+    def test_kill_during_resume_still_converges(self, tmp_path):
+        # Crash the *resume* too (the fault fires on the same job's
+        # first attempt of the new run), then resume cleanly: the
+        # journal absorbs any number of crashes.
+        run_dir = tmp_path / "run"
+        run_to_the_kill(run_dir, workers=1)
+        script = textwrap.dedent(
+            f"""
+            from repro.runtime import (
+                FaultPlan, FaultSpec, RuntimeConfig, resume_run,
+            )
+
+            plan = FaultPlan((FaultSpec(kind="harness-kill", **{KILL_AT!r}),))
+            resume_run(
+                {str(run_dir)!r},
+                RuntimeConfig(workers=1, fault_plan=plan),
+            )
+            raise SystemExit("unreachable")
+            """
+        )
+        env = {**os.environ, "PYTHONPATH": REPO_SRC}
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env, capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == -signal.SIGKILL
+        final = resume_run(run_dir, RuntimeConfig(workers=1))
+        uninterrupted = execute_matrix(
+            chaos_config(), RuntimeConfig(workers=1)
+        )
+        assert (
+            final.database.canonical_json()
+            == uninterrupted.database.canonical_json()
+        )
+        assert_no_reexecution(run_dir)

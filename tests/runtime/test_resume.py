@@ -1,0 +1,160 @@
+"""Checkpoint/resume determinism — without chaos (see test_chaos.py).
+
+Crashes are simulated by cutting the journal file short (dropping the
+tail, including ``run-complete``) rather than by SIGKILL, which lets
+these tests pin the resume semantics precisely: bit-identical databases
+across worker counts, refusal of mismatched matrices, and serial-path
+(runner / experiment / full-run) replay.
+"""
+
+import os
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.harness.config import BenchmarkConfig
+from repro.harness.experiments import get_experiment
+from repro.harness.full_run import run_full_benchmark
+from repro.harness.runner import BenchmarkRunner
+from repro.runtime import (
+    JournalError,
+    RunJournal,
+    RuntimeConfig,
+    execute_matrix,
+    resume_run,
+)
+
+WORKERS = int(os.environ.get("GRAPHALYTICS_TEST_WORKERS", "4"))
+
+SMALL = dict(
+    platforms=["powergraph"],
+    datasets=["R1"],
+    algorithms=["bfs", "pr"],
+    repetitions=2,
+)
+
+
+def small_config(**overrides) -> BenchmarkConfig:
+    return BenchmarkConfig(**{**SMALL, **overrides})
+
+
+def cut_journal(run_dir, keep_lines: int) -> None:
+    """Simulate a crash: drop the journal tail and the saved database."""
+    path = RunJournal.journal_path(run_dir)
+    lines = path.read_bytes().splitlines(keepends=True)
+    assert keep_lines < len(lines), "nothing would be cut"
+    path.write_bytes(b"".join(lines[:keep_lines]))
+    results = run_dir / "results.json"
+    if results.exists():
+        results.unlink()
+
+
+@pytest.mark.parametrize("workers", [1, WORKERS], ids=["serial", "parallel"])
+class TestResumeDeterminism:
+    # The SMALL matrix expands to 7 DAG nodes (1 materialize + 2
+    # references + 4 execute): line 1 is run-start, lines 2-8 the
+    # job-scheduled batch, then two lines (attempt-start, job-done) per
+    # job. Keeping 12 lines leaves roughly two jobs completed.
+    KEEP_LINES = 12
+
+    def test_cut_journal_resumes_bit_identical(self, tmp_path, workers):
+        run_dir = tmp_path / "run"
+        execute_matrix(small_config(), RuntimeConfig(workers=1),
+                       run_dir=run_dir)
+        cut_journal(run_dir, self.KEEP_LINES)
+        assert not RunJournal.load(run_dir).complete
+
+        uninterrupted = execute_matrix(small_config(), RuntimeConfig())
+        resumed = resume_run(run_dir, RuntimeConfig(workers=workers))
+        assert resumed.restored_jobs >= 1
+        assert resumed.lost_jobs == 0
+        assert (
+            resumed.database.canonical_json()
+            == uninterrupted.database.canonical_json()
+        )
+        assert RunJournal.load(run_dir).complete
+
+    def test_torn_tail_crash_resumes_bit_identical(self, tmp_path, workers):
+        run_dir = tmp_path / "run"
+        execute_matrix(small_config(), RuntimeConfig(workers=1),
+                       run_dir=run_dir)
+        cut_journal(run_dir, self.KEEP_LINES)
+        path = RunJournal.journal_path(run_dir)
+        path.write_bytes(path.read_bytes() + b'0bad50da {"type": "job-')
+
+        uninterrupted = execute_matrix(small_config(), RuntimeConfig())
+        resumed = resume_run(run_dir, RuntimeConfig(workers=workers))
+        assert (
+            resumed.database.canonical_json()
+            == uninterrupted.database.canonical_json()
+        )
+
+
+class TestResumeRefusals:
+    def test_resume_requires_run_dir(self):
+        with pytest.raises(ConfigurationError, match="run_dir"):
+            execute_matrix(small_config(), resume=True)
+
+    def test_mismatched_matrix_refused(self, tmp_path):
+        run_dir = tmp_path / "run"
+        execute_matrix(small_config(), run_dir=run_dir)
+        with pytest.raises(JournalError, match="matrix hash"):
+            execute_matrix(
+                small_config(repetitions=3), run_dir=run_dir, resume=True
+            )
+
+    def test_resume_run_refuses_non_matrix_journal(self, tmp_path):
+        RunJournal.create(tmp_path, {"kind": "experiment"}).close()
+        with pytest.raises(JournalError, match="experiment"):
+            resume_run(tmp_path)
+
+    def test_fresh_journaled_run_refuses_existing_journal(self, tmp_path):
+        run_dir = tmp_path / "run"
+        execute_matrix(small_config(), run_dir=run_dir)
+        with pytest.raises(JournalError, match="already exists"):
+            execute_matrix(small_config(), run_dir=run_dir)
+
+
+class TestSerialRunnerResume:
+    def test_runner_auto_resumes_existing_run_dir(self, tmp_path):
+        run_dir = tmp_path / "run"
+        first = BenchmarkRunner(small_config())
+        database = first.run(run_dir=run_dir)
+
+        second = BenchmarkRunner(small_config())
+        resumed = second.run(run_dir=run_dir)
+        assert resumed.canonical_json() == database.canonical_json()
+        # Everything came from the journal; nothing re-executed.
+        assert second.last_run.restored_jobs == second.last_run.dag_size
+
+    def test_experiment_resume_replays_rows(self, tmp_path):
+        run_dir = tmp_path / "run"
+        experiment = get_experiment("algorithm-variety")
+        first = experiment.run(seed=0, run_dir=run_dir)
+        recorded = len(RunJournal.load(run_dir).records)
+
+        replayed = experiment.run(seed=0, run_dir=run_dir)
+        assert replayed.rows == first.rows
+        # The replayed run appends its own run-complete, nothing else.
+        assert len(RunJournal.load(run_dir).records) == recorded + 1
+
+    def test_experiment_resume_refuses_other_seed(self, tmp_path):
+        run_dir = tmp_path / "run"
+        experiment = get_experiment("algorithm-variety")
+        experiment.run(seed=0, run_dir=run_dir)
+        with pytest.raises(JournalError, match="seed"):
+            experiment.run(seed=1, run_dir=run_dir)
+
+    def test_full_run_resume_is_bit_identical(self, tmp_path):
+        run_dir = tmp_path / "run"
+        first = run_full_benchmark(
+            experiment_ids=["algorithm-variety"], run_dir=run_dir
+        )
+        second = run_full_benchmark(
+            experiment_ids=["algorithm-variety"], run_dir=run_dir
+        )
+        assert (
+            second.database.canonical_json()
+            == first.database.canonical_json()
+        )
+        assert any("journal" in note for note in second.notes)

@@ -16,7 +16,7 @@ class TestDocumentsExist:
         "name",
         ["README.md", "DESIGN.md", "EXPERIMENTS.md",
          "docs/architecture.md", "docs/calibration.md", "docs/extending.md",
-         "docs/lint.md"],
+         "docs/lint.md", "docs/runtime.md", "docs/robustness.md"],
     )
     def test_present_and_substantial(self, name):
         path = ROOT / name
