@@ -14,7 +14,9 @@ Graph Analysis on Parallel and Distributed Platforms* (VLDB 2016):
 * :mod:`repro.harness` — benchmark configuration, dataset catalog,
   metrics, SLA, runner, the eight experiments, and the renewal process;
 * :mod:`repro.granula` — fine-grained performance evaluation (modeler /
-  archiver / visualizer).
+  archiver / visualizer);
+* :mod:`repro.trace` — the span-based tracing core every layer measures
+  time through (injectable clocks, nested spans, JSONL export).
 
 Quickstart::
 
@@ -26,7 +28,7 @@ Quickstart::
     print(result.modeled_processing_time, result.validated)
 """
 
-from repro import algorithms, datagen, graph, granula, harness, platforms
+from repro import algorithms, datagen, graph, granula, harness, platforms, trace
 from repro.graph import Graph, GraphBuilder, read_graph, write_graph
 from repro.algorithms import (
     breadth_first_search,
@@ -54,6 +56,7 @@ __all__ = [
     "granula",
     "harness",
     "platforms",
+    "trace",
     "Graph",
     "GraphBuilder",
     "read_graph",

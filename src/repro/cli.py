@@ -14,7 +14,9 @@ Commands:
 * ``report``/``full-run`` — accept ``--workers N`` to execute on the
   concurrent runtime (docs/runtime.md);
 * ``resume`` — continue a crashed journaled run from its run directory
-  (``--run-dir`` on run/report/full-run; docs/robustness.md).
+  (``--run-dir`` on run/report/full-run; docs/robustness.md);
+* ``trace`` — render the span tree (or per-job summary) of a run
+  directory's ``trace.jsonl`` (docs/observability.md).
 """
 
 from __future__ import annotations
@@ -265,6 +267,26 @@ def build_parser() -> argparse.ArgumentParser:
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     cache_sub.add_parser("stats", help="entry inventory and last-run counters")
     cache_sub.add_parser("clear", help="remove every cached entry")
+
+    trace = sub.add_parser(
+        "trace", help="inspect the span trace of a journaled run"
+    )
+    trace.add_argument(
+        "run_dir",
+        help="run directory holding trace.jsonl (or the file itself)",
+    )
+    trace.add_argument(
+        "--summary", action="store_true",
+        help="per-job metric table instead of the full span tree",
+    )
+    trace.add_argument(
+        "--max-depth", type=int, default=None,
+        help="truncate the span tree below this depth",
+    )
+    trace.add_argument(
+        "--min-ms", type=float, default=0.0,
+        help="hide spans shorter than this many milliseconds",
+    )
 
     return parser
 
@@ -808,6 +830,62 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from pathlib import Path
+
+    from repro.trace import read_trace, render_tree, validate_tree
+
+    path = Path(args.run_dir)
+    if path.is_dir():
+        path = path / "trace.jsonl"
+    if not path.exists():
+        print(f"error: {path} does not exist (was the run started with "
+              f"--run-dir?)", file=sys.stderr)
+        return 1
+    spans, counters = read_trace(path)
+    print(f"{path}: {len(spans)} span(s), {len(counters)} counter(s)")
+    violations = validate_tree(spans)
+    for violation in violations:
+        print(f"  [invalid] {violation}")
+    if args.summary:
+        jobs = sorted(
+            (s for s in spans if s.name == "job"),
+            key=lambda s: (s.start, s.span_id),
+        )
+        if jobs:
+            def fmt(value):
+                if isinstance(value, (int, float)):
+                    return f"{float(value) * 1000.0:.3f} ms"
+                return "-"
+
+            print(f"{'platform':12s} {'dataset':8s} {'algorithm':9s} "
+                  f"{'status':10s} {'tproc':>12s} {'makespan':>12s}")
+            for job in jobs:
+                attrs = job.attributes
+                print(
+                    f"{str(attrs.get('platform', '?')):12s} "
+                    f"{str(attrs.get('dataset', '?')):8s} "
+                    f"{str(attrs.get('algorithm', '?')):9s} "
+                    f"{str(attrs.get('status', job.status)):10s} "
+                    f"{fmt(attrs.get('tproc')):>12s} "
+                    f"{fmt(attrs.get('makespan')):>12s}"
+                )
+        else:
+            print("(no job spans)")
+    else:
+        tree = render_tree(
+            spans,
+            max_depth=args.max_depth,
+            min_duration=args.min_ms / 1000.0,
+        )
+        print(tree if tree else "(no spans)")
+    if counters:
+        print("counters:")
+        for name in sorted(counters):
+            print(f"  {name:24s} {counters[name]:g}")
+    return 1 if violations else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -847,6 +925,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_resume(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
     except GraphalyticsError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

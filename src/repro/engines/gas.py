@@ -58,10 +58,16 @@ class GASProgram:
 
 
 class GASEngine:
-    """Active-set and synchronous executors for GAS programs."""
+    """Active-set and synchronous executors for GAS programs.
+
+    After a run, :attr:`round_seconds` holds the measured wall-clock of
+    each round/sweep (one entry per ``round`` span the engine emitted
+    through :mod:`repro.trace`).
+    """
 
     def __init__(self, graph: Graph):
         self.graph = graph
+        self.round_seconds: List[float] = []
 
     def _gather_edges(self, v: int, both: bool) -> List[Tuple[int, Optional[float]]]:
         """(neighbor, weight) pairs over the gather direction of v.
@@ -101,48 +107,64 @@ class GASEngine:
         Returns (values, rounds). A vertex re-applies whenever a gather
         neighbor changed; the run ends when the active set drains.
         """
+        from repro.trace import current_tracer
+
+        tracer = current_tracer()
         graph = self.graph
         n = graph.num_vertices
         values = [program.init(graph, v) for v in range(n)]
         active = set(range(n))
         rounds = 0
+        self.round_seconds = []
         while active and rounds < max_rounds:
             rounds += 1
-            next_active = set()
-            # Deterministic order keeps runs bit-reproducible.
-            for v in sorted(active):
-                gathered = program.gather_zero
-                for u, weight in self._gather_edges(v, program.both_directions):
-                    gathered = program.gather_sum(
-                        gathered, program.gather(values[u], weight)
-                    )
-                new_value = program.apply(values[v], gathered)
-                if new_value != values[v]:
-                    values[v] = new_value
-                    next_active.update(
-                        int(t)
-                        for t in self._scatter_targets(v, program.both_directions)
-                    )
-            active = next_active
+            with tracer.span(
+                "round", engine="gas", index=rounds - 1
+            ) as round_span:
+                next_active = set()
+                # Deterministic order keeps runs bit-reproducible.
+                for v in sorted(active):
+                    gathered = program.gather_zero
+                    for u, weight in self._gather_edges(v, program.both_directions):
+                        gathered = program.gather_sum(
+                            gathered, program.gather(values[u], weight)
+                        )
+                    new_value = program.apply(values[v], gathered)
+                    if new_value != values[v]:
+                        values[v] = new_value
+                        next_active.update(
+                            int(t)
+                            for t in self._scatter_targets(v, program.both_directions)
+                        )
+                active = next_active
+            self.round_seconds.append(round_span.duration)
         return values, rounds
 
     def run_synchronous(self, program: GASProgram, iterations: int):
         """Fixed synchronous sweeps: every vertex applies against the
         previous iteration's values (PageRank, CDLP)."""
+        from repro.trace import current_tracer
+
+        tracer = current_tracer()
         graph = self.graph
         n = graph.num_vertices
         values = [program.init(graph, v) for v in range(n)]
-        for _ in range(iterations):
-            snapshot = list(values)
-            new_values = []
-            for v in range(n):
-                gathered = program.gather_zero
-                for u, weight in self._gather_edges(v, program.both_directions):
-                    gathered = program.gather_sum(
-                        gathered, program.gather(snapshot[u], weight)
-                    )
-                new_values.append(program.apply(snapshot[v], gathered))
-            values = new_values
+        self.round_seconds = []
+        for iteration in range(iterations):
+            with tracer.span(
+                "round", engine="gas", index=iteration
+            ) as round_span:
+                snapshot = list(values)
+                new_values = []
+                for v in range(n):
+                    gathered = program.gather_zero
+                    for u, weight in self._gather_edges(v, program.both_directions):
+                        gathered = program.gather_sum(
+                            gathered, program.gather(snapshot[u], weight)
+                        )
+                    new_values.append(program.apply(snapshot[v], gathered))
+                values = new_values
+            self.round_seconds.append(round_span.duration)
         return values
 
 

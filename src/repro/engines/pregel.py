@@ -141,8 +141,9 @@ class PregelEngine:
 
     def run(self, program: VertexProgram, *, superstep_limit: int = 10_000):
         """Execute to global halt; returns (values array, supersteps run)."""
-        import time
+        from repro.trace import current_tracer
 
+        tracer = current_tracer()
         graph = self.graph
         n = graph.num_vertices
         values: List[object] = [
@@ -160,7 +161,9 @@ class PregelEngine:
             if not active.any() and not inbox:
                 break
             supersteps += 1
-            superstep_started = time.perf_counter()
+            superstep_span = tracer.start_span(
+                "superstep", attributes={"engine": "pregel", "index": superstep}
+            )
             outbox: Dict[int, List[object]] = defaultdict(list)
             next_active = np.zeros(n, dtype=bool)
             # Aggregator values contributed this superstep; the engine
@@ -194,9 +197,8 @@ class PregelEngine:
             inbox = outbox
             active = next_active
             aggregated = aggregating
-            self.superstep_seconds.append(
-                time.perf_counter() - superstep_started
-            )
+            tracer.end_span(superstep_span)
+            self.superstep_seconds.append(superstep_span.duration)
         return values, supersteps
 
 

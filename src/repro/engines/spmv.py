@@ -22,6 +22,7 @@ import numpy as np
 from repro.exceptions import GraphFormatError
 from repro.algorithms.common import expand_sources
 from repro.graph.graph import Graph
+from repro.trace import current_tracer
 
 __all__ = [
     "Semiring",
@@ -127,11 +128,14 @@ def run_bfs(graph: Graph, source: int) -> np.ndarray:
     frontier[root] = 1.0
     depth[root] = 0
     level = 0
+    tracer = current_tracer()
     while frontier.any():
         level += 1
-        reached = engine.spmv(frontier, OR_AND, unit_weights=True)
-        frontier = np.where(depth == _UNREACHED, reached, 0.0)
-        depth[frontier > 0] = level
+        with tracer.span("iteration", engine="spmv", algorithm="bfs",
+                         index=level - 1):
+            reached = engine.spmv(frontier, OR_AND, unit_weights=True)
+            frontier = np.where(depth == _UNREACHED, reached, 0.0)
+            depth[frontier > 0] = level
     return depth
 
 
@@ -145,9 +149,13 @@ def run_sssp(graph: Graph, source: int) -> np.ndarray:
     n = graph.num_vertices
     dist = np.full(n, np.inf)
     dist[graph.index_of(source)] = 0.0
-    for _ in range(n):
-        relaxed = np.minimum(dist, engine.spmv(dist, MIN_PLUS))
-        if np.array_equal(relaxed, dist):
+    tracer = current_tracer()
+    for iteration in range(n):
+        with tracer.span("iteration", engine="spmv", algorithm="sssp",
+                         index=iteration):
+            relaxed = np.minimum(dist, engine.spmv(dist, MIN_PLUS))
+            converged = np.array_equal(relaxed, dist)
+        if converged:
             break
         dist = relaxed
     return dist
@@ -158,12 +166,18 @@ def run_wcc(graph: Graph) -> np.ndarray:
     engine = SpMVEngine(graph)
     labels = graph.vertex_ids.astype(np.float64)
     zero_weight = Semiring("min-first", np.inf, _min_reduce, lambda x, w: x)
+    tracer = current_tracer()
+    iteration = 0
     while True:
-        candidate = np.minimum(labels, engine.spmv(labels, zero_weight))
-        candidate = np.minimum(
-            candidate, engine.spmv(labels, zero_weight, reverse=True)
-        )
-        if np.array_equal(candidate, labels):
+        with tracer.span("iteration", engine="spmv", algorithm="wcc",
+                         index=iteration):
+            candidate = np.minimum(labels, engine.spmv(labels, zero_weight))
+            candidate = np.minimum(
+                candidate, engine.spmv(labels, zero_weight, reverse=True)
+            )
+            converged = np.array_equal(candidate, labels)
+        iteration += 1
+        if converged:
             break
         labels = candidate
     return labels.astype(np.int64)
@@ -181,11 +195,14 @@ def run_pagerank(
     dangling = out_degree == 0
     rank = np.full(n, 1.0 / n)
     base = (1.0 - damping) / n
-    for _ in range(iterations):
-        contrib = np.zeros(n)
-        np.divide(rank, out_degree, out=contrib, where=~dangling)
-        incoming = engine.spmv(contrib, PLUS_TIMES, unit_weights=True)
-        rank = base + damping * (incoming + rank[dangling].sum() / n)
+    tracer = current_tracer()
+    for iteration in range(iterations):
+        with tracer.span("iteration", engine="spmv", algorithm="pr",
+                         index=iteration):
+            contrib = np.zeros(n)
+            np.divide(rank, out_degree, out=contrib, where=~dangling)
+            incoming = engine.spmv(contrib, PLUS_TIMES, unit_weights=True)
+            rank = base + damping * (incoming + rank[dangling].sum() / n)
     return rank
 
 
@@ -211,11 +228,15 @@ def run_cdlp(graph: Graph, iterations: int = 10) -> np.ndarray:
     else:
         senders, receivers = out_sources, out_targets
     labels = graph.vertex_ids.astype(np.int64).copy()
-    for _ in range(iterations):
-        heard = _most_frequent_min_label(n, receivers, labels[senders])
-        updated = labels.copy()
-        updated[heard >= 0] = heard[heard >= 0]
-        if np.array_equal(updated, labels):
+    tracer = current_tracer()
+    for iteration in range(iterations):
+        with tracer.span("iteration", engine="spmv", algorithm="cdlp",
+                         index=iteration):
+            heard = _most_frequent_min_label(n, receivers, labels[senders])
+            updated = labels.copy()
+            updated[heard >= 0] = heard[heard >= 0]
+            converged = np.array_equal(updated, labels)
+        if converged:
             break
         labels = updated
     return labels

@@ -35,7 +35,10 @@ class PhaseRecord:
     start: float
     end: float
     description: str = ""
-    source: str = "observed"  # "observed" (from the event log) | "derived"
+    #: Provenance: "observed" (from the event log), "measured" (a real
+    #: span recorded by :mod:`repro.trace`), or "derived" (a
+    #: :class:`~repro.granula.model.ChildRule` model fraction).
+    source: str = "observed"
     metadata: Dict[str, object] = field(default_factory=dict)
     children: List["PhaseRecord"] = field(default_factory=list)
 
@@ -139,7 +142,8 @@ def attach_superstep_breakdown(
     lower level is the superstep. The measured superstep durations are
     rescaled onto the archive's processing window (which may be on a
     modeled timeline), preserving their relative proportions; children
-    are marked ``observed`` because they come from real measurements.
+    are marked ``measured`` because they come from real span durations
+    recorded by :mod:`repro.trace`.
     """
     durations = [float(s) for s in superstep_seconds]
     if not durations:
@@ -158,7 +162,7 @@ def attach_superstep_breakdown(
                 start=cursor,
                 end=cursor + share,
                 description=f"Superstep {index} of the vertex program",
-                source="observed",
+                source="measured",
                 metadata={"measured_seconds": duration},
             )
         )
@@ -166,17 +170,55 @@ def attach_superstep_breakdown(
     return archive
 
 
+def _measured_children(record: PhaseRecord, children) -> None:
+    """Attach real sub-phase measurements shipped with the event.
+
+    Each entry is a span-shaped dict (``phase``/``start``/``end`` on the
+    job-relative timeline, optional ``source``, anything else becomes
+    metadata). Records default to ``source="measured"`` — they exist
+    because :mod:`repro.trace` actually timed them.
+    """
+    for child in children:
+        extra = {
+            k: v
+            for k, v in child.items()
+            if k not in ("phase", "start", "end", "source", "children")
+        }
+        child_record = PhaseRecord(
+            name=str(child["phase"]),
+            start=float(child["start"]),
+            end=float(child["end"]),
+            description=str(
+                child.get("description", "")
+            ) or f"Measured sub-phase of {record.name}",
+            source=str(child.get("source", "measured")),
+            metadata=extra,
+        )
+        grandchildren = child.get("children") or []
+        if grandchildren:
+            _measured_children(child_record, grandchildren)
+        record.children.append(child_record)
+
+
 def build_archive(
     job,
     model: Optional[PlatformPerformanceModel] = None,
 ) -> PerformanceArchive:
     """Build an archive from a driver job result (or any object with
-    ``platform``/``algorithm``/``dataset``/``events`` attributes)."""
+    ``platform``/``algorithm``/``dataset``/``events`` attributes).
+
+    An event that carries a ``children`` list of real measurements keeps
+    them (``source="measured"``); only events without measured children
+    fall back to the platform model's :class:`ChildRule` fractions
+    (``source="derived"``).
+    """
     model = model or model_for_platform(job.platform)
     phases: List[PhaseRecord] = []
     for event in job.events:
         extra = {
-            k: v for k, v in event.items() if k not in ("phase", "start", "end")
+            k: v
+            for k, v in event.items()
+            if k not in ("phase", "start", "end", "children")
         }
         record = PhaseRecord(
             name=str(event["phase"]),
@@ -185,7 +227,14 @@ def build_archive(
             source="observed",
             metadata=extra,
         )
-        _derive_children(record, model)
+        measured = event.get("children") or []
+        if measured:
+            record.description = (
+                record.description or model.spec_for(record.name).description
+            )
+            _measured_children(record, measured)
+        else:
+            _derive_children(record, model)
         phases.append(record)
     return PerformanceArchive(
         platform=job.platform,

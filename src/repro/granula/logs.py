@@ -11,21 +11,37 @@ Log format (one event per line, greppable)::
 
     GRANULA job=<id> platform=<name> algorithm=<alg> dataset=<ds> \
         phase=<phase> start=<seconds> end=<seconds> [key=value ...]
+
+Measured sub-phases (an event's ``children``, recorded by
+:mod:`repro.trace`) ride as their own lines carrying a ``parent=<phase>``
+key, so the round trip through :func:`read_job_log` rebuilds the full
+hierarchy. Raw spans have a lossless round trip of their own —
+:func:`write_span_log` / :func:`read_span_log` — one ``GRANULA-SPAN``
+line per span (canonical JSON payload, float-exact).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import GraphFormatError
 from repro.granula.archiver import PerformanceArchive, build_archive
 from repro.ioutil import atomic_write
+from repro.trace import Span
 
-__all__ = ["write_job_log", "read_job_log", "archive_from_log", "LoggedJob"]
+__all__ = [
+    "write_job_log",
+    "read_job_log",
+    "archive_from_log",
+    "LoggedJob",
+    "write_span_log",
+    "read_span_log",
+]
 
 PathLike = Union[str, os.PathLike]
 
@@ -59,7 +75,8 @@ def write_job_log(job, path: PathLike, *, job_id: str = "job-0") -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     lines = []
-    for event in job.events:
+
+    def emit(event: Dict[str, object], parent: Optional[str]) -> None:
         pairs = {
             "job": job_id,
             "platform": job.platform,
@@ -69,12 +86,19 @@ def write_job_log(job, path: PathLike, *, job_id: str = "job-0") -> Path:
             "start": repr(float(event["start"])),
             "end": repr(float(event["end"])),
         }
+        if parent is not None:
+            pairs["parent"] = parent
         for key, value in event.items():
-            if key not in ("phase", "start", "end"):
+            if key not in ("phase", "start", "end", "children"):
                 pairs[key] = value
         lines.append(
             "GRANULA " + " ".join(f"{k}={_escape(v)}" for k, v in pairs.items())
         )
+        for child in event.get("children") or []:
+            emit(child, str(event["phase"]))
+
+    for event in job.events:
+        emit(event, None)
     return atomic_write(path, "\n".join(lines) + "\n")
 
 
@@ -82,6 +106,7 @@ def read_job_log(path: PathLike) -> LoggedJob:
     """Parse a log file back into a job the archiver understands."""
     path = Path(path)
     job: LoggedJob = None  # type: ignore[assignment]
+    by_phase: Dict[str, Dict[str, object]] = {}
     with open(path, "r", encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
@@ -119,9 +144,20 @@ def read_job_log(path: PathLike) -> LoggedJob:
                 "end": float(pairs["end"]),
             }
             for key, value in pairs.items():
-                if key not in (*_REQUIRED,):
+                if key not in (*_REQUIRED, "parent"):
                     event[key] = value
-            job.events.append(event)
+            parent_name = pairs.get("parent")
+            if parent_name is not None:
+                parent = by_phase.get(parent_name)
+                if parent is None:
+                    raise GraphFormatError(
+                        f"log line {lineno}: parent phase {parent_name!r} "
+                        f"not seen yet"
+                    )
+                parent.setdefault("children", []).append(event)
+            else:
+                job.events.append(event)
+            by_phase[str(event["phase"])] = event
     if job is None:
         raise GraphFormatError(f"{path} contains no GRANULA records")
     return job
@@ -130,3 +166,65 @@ def read_job_log(path: PathLike) -> LoggedJob:
 def archive_from_log(path: PathLike) -> PerformanceArchive:
     """Build a performance archive straight from a log file."""
     return build_archive(read_job_log(path))
+
+
+# -- span round trip ----------------------------------------------------------
+
+_SPAN_PREFIX = "GRANULA-SPAN "
+_COUNTER_PREFIX = "GRANULA-COUNTER "
+
+
+def write_span_log(
+    spans,
+    path: PathLike,
+    *,
+    counters: Optional[Dict[str, float]] = None,
+) -> Path:
+    """Serialize :class:`~repro.trace.Span` records as GRANULA log lines.
+
+    One ``GRANULA-SPAN`` line per span (canonical JSON payload) plus one
+    ``GRANULA-COUNTER`` line per counter. The round trip through
+    :func:`read_span_log` is lossless: ids, parents, attributes, status,
+    and float-exact timestamps all survive.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [
+        _SPAN_PREFIX
+        + json.dumps(span.as_dict(), sort_keys=True, separators=(",", ":"))
+        for span in spans
+    ]
+    for name in sorted(counters or {}):
+        lines.append(
+            _COUNTER_PREFIX
+            + json.dumps(
+                {"name": name, "value": counters[name]},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    return atomic_write(path, "\n".join(lines) + "\n")
+
+
+def read_span_log(path: PathLike) -> Tuple[List[Span], Dict[str, float]]:
+    """Parse a span log back into spans + counters (lossless)."""
+    path = Path(path)
+    spans: List[Span] = []
+    counters: Dict[str, float] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line.startswith(_SPAN_PREFIX):
+                spans.append(
+                    Span.from_dict(json.loads(line[len(_SPAN_PREFIX):]))
+                )
+            elif line.startswith(_COUNTER_PREFIX):
+                record = json.loads(line[len(_COUNTER_PREFIX):])
+                counters[str(record["name"])] = float(record["value"])
+            else:
+                raise GraphFormatError(
+                    f"log line {lineno}: not a GRANULA-SPAN record: {line!r}"
+                )
+    return spans, counters

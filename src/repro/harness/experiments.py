@@ -84,7 +84,11 @@ class Experiment:
         *run_dir*; re-running with the same directory replays the
         recorded jobs and executes only the remainder, so a crashed
         experiment finishes where it stopped (docs/robustness.md).
+        With *run_dir* the experiment also exports its span tree to
+        ``run_dir/trace.jsonl`` (docs/observability.md).
         """
+        from repro.trace import current_tracer
+
         runner = runner or BenchmarkRunner(BenchmarkConfig(seed=seed))
         journal = None
         if run_dir is not None:
@@ -119,11 +123,32 @@ class Experiment:
                 )
                 runner.attach_journal(journal)
         report = ExperimentReport(self.experiment_id, self.title)
-        self._body(self, runner, report)
+        tracer = current_tracer()
+        trace_mark = tracer.mark()
+        counters_before = tracer.counters
+        with tracer.span(
+            "experiment", experiment=self.experiment_id, section=self.section
+        ):
+            self._body(self, runner, report)
         if journal is not None:
             journal.append({"type": "run-complete"})
             journal.close()
             runner.detach_journal()
+        if run_dir is not None and tracer.enabled:
+            from pathlib import Path
+
+            from repro.trace import write_trace
+
+            delta = {
+                name: value - counters_before.get(name, 0.0)
+                for name, value in tracer.counters.items()
+                if value != counters_before.get(name, 0.0)
+            }
+            write_trace(
+                Path(run_dir) / "trace.jsonl",
+                tracer.spans_since(trace_mark),
+                counters=delta,
+            )
         return report
 
 

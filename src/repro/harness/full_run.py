@@ -19,6 +19,7 @@ from repro.harness.report import render_report, save_report
 from repro.harness.repository import ResultsRepository, RunMetadata
 from repro.harness.results import ResultsDatabase
 from repro.harness.runner import BenchmarkRunner
+from repro.trace import current_tracer, write_trace
 
 __all__ = ["FullRunResult", "run_full_benchmark"]
 
@@ -70,6 +71,9 @@ def run_full_benchmark(
     runner = BenchmarkRunner(BenchmarkConfig(seed=seed))
     result = FullRunResult(database=runner.database)
     selected = [EXPERIMENTS[eid] for eid in experiment_ids or list(EXPERIMENTS)]
+    tracer = current_tracer()
+    trace_mark = tracer.mark()
+    counters_before = tracer.counters
     journal = None
     if run_dir is not None:
         from repro.runtime.journal import JournalError, RunJournal
@@ -127,16 +131,32 @@ def run_full_benchmark(
                 f"{workers} workers in {prefetch.elapsed_seconds:.2f} s "
                 f"({prefetch.cache_stats.describe()})"
             )
-    for experiment in selected:
-        experiment_id = experiment.experiment_id
-        report = experiment.run(runner)
-        result.reports[experiment_id] = report
-        result.notes.extend(f"[{experiment_id}] {note}" for note in report.notes)
+    with tracer.span("full-run", seed=seed):
+        # Experiment.run opens one "experiment" span per suite entry, so
+        # the exported tree reads full-run > experiment > job > ...
+        for experiment in selected:
+            experiment_id = experiment.experiment_id
+            report = experiment.run(runner)
+            result.reports[experiment_id] = report
+            result.notes.extend(
+                f"[{experiment_id}] {note}" for note in report.notes
+            )
     if journal is not None:
         journal.append({"type": "run-complete"})
         journal.close()
         runner.detach_journal()
         runner.database.save(Path(run_dir) / "results.json")
+    if run_dir is not None and tracer.enabled:
+        delta = {
+            name: value - counters_before.get(name, 0.0)
+            for name, value in tracer.counters.items()
+            if value != counters_before.get(name, 0.0)
+        }
+        write_trace(
+            Path(run_dir) / "trace.jsonl",
+            tracer.spans_since(trace_mark),
+            counters=delta,
+        )
     if report_path is not None:
         save_report(
             runner.database,

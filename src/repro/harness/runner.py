@@ -25,6 +25,7 @@ from repro.harness.sla import sla_compliant
 from repro.platforms.base import JobResult, PlatformDriver, UploadHandle
 from repro.platforms.cluster import ClusterResources
 from repro.platforms.registry import create_driver
+from repro.trace import current_tracer
 
 __all__ = ["BenchmarkRunner"]
 
@@ -124,10 +125,44 @@ class BenchmarkRunner:
         resources: Optional[ClusterResources] = None,
         run_index: int = 0,
     ) -> BenchmarkResult:
-        """Execute one job end to end and record it in the database."""
+        """Execute one job end to end and record it in the database.
+
+        The whole job runs inside a ``job`` span whose attributes carry
+        the final Tproc/makespan/EPS/EVPS — the span tree in a run's
+        ``trace.jsonl`` therefore yields the same numbers as the results
+        database (see docs/observability.md).
+        """
         dataset = get_dataset(dataset_id)
         algorithm = algorithm.lower()
         resources = resources or self.config.resources
+        with current_tracer().span(
+            "job",
+            platform=platform.lower(),
+            dataset=dataset.dataset_id,
+            algorithm=algorithm,
+            run_index=run_index,
+        ) as job_span:
+            result = self._run_job_body(
+                platform, dataset, algorithm, resources, run_index, job_span
+            )
+            job_span.attributes.update(
+                status=result.status,
+                tproc=result.modeled_processing_time,
+                makespan=result.modeled_makespan,
+                eps=result.eps,
+                evps=result.evps,
+            )
+        return result
+
+    def _run_job_body(
+        self,
+        platform: str,
+        dataset: Dataset,
+        algorithm: str,
+        resources: ClusterResources,
+        run_index: int,
+        job_span,
+    ) -> BenchmarkResult:
         serial_key = None
         if self._journal is not None or self._journal_replay is not None:
             from repro.runtime.journal import serial_job_key
@@ -145,6 +180,7 @@ class BenchmarkRunner:
             record = self._journal_replay.take_serial(serial_key)
             if record is not None:
                 result = BenchmarkResult(**record["result"])
+                job_span.attributes["replayed"] = True
                 self.database.add(result)
                 return result
         driver = self.driver(platform)
@@ -167,6 +203,7 @@ class BenchmarkRunner:
                     "type": "serial-job",
                     "key": serial_key,
                     "result": result.as_dict(),
+                    "trace": job_span.span_id,
                 }
             )
         self.database.add(result)
@@ -181,18 +218,23 @@ class BenchmarkRunner:
         """Validate, extract Tproc via Granula, derive metrics."""
         validated: Optional[bool] = None
         if job.succeeded and self.config.validate_outputs and job.output is not None:
-            reference = self._reference_output(dataset, job.algorithm, params)
-            try:
-                validate_output(job.algorithm, job.output, reference)
-                validated = True
-            except ValidationError:
-                validated = False
+            with current_tracer().span(
+                "validate", algorithm=job.algorithm, dataset=dataset.dataset_id
+            ) as validate_span:
+                reference = self._reference_output(dataset, job.algorithm, params)
+                try:
+                    validate_output(job.algorithm, job.output, reference)
+                    validated = True
+                except ValidationError:
+                    validated = False
+                validate_span.attributes["validated"] = validated
 
         tproc = job.modeled_processing_time
         if job.succeeded and job.events:
             # The harness does not trust the platform's own number: Tproc
             # is extracted from the Granula performance archive built from
-            # the job's event log (paper §2.5.2).
+            # the job's event log (paper §2.5.2) — which itself now
+            # carries measured span durations where they exist.
             archive = build_archive(job)
             tproc = archive.phase_duration("processing")
 

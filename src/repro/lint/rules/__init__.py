@@ -13,6 +13,7 @@ rule id      severity  invariant
 ``ROB001``   error     run artifacts are written via ``atomic_write``
 ``REG001``   error     algorithm registry ↔ validation/experiment wiring
 ``REP001``   warning   reporters emit metered numbers via harness.metrics
+``OBS001``   error     timing goes through the ``repro.trace`` clock
 ===========  ========  ====================================================
 
 See ``docs/lint.md`` for rationale and suppression syntax.
@@ -33,6 +34,7 @@ from repro.lint.rules.robustness import (  # noqa: F401
     SwallowedExceptionRule,
 )
 from repro.lint.rules.consistency import RegistryConsistencyRule  # noqa: F401
+from repro.lint.rules.observability import BareClockCallRule  # noqa: F401
 from repro.lint.rules.reporting import UnmeteredRateRule  # noqa: F401
 
 __all__ = [
@@ -46,4 +48,5 @@ __all__ = [
     "AtomicArtifactWriteRule",
     "RegistryConsistencyRule",
     "UnmeteredRateRule",
+    "BareClockCallRule",
 ]

@@ -1,0 +1,98 @@
+"""Observability rule: OBS001.
+
+Every timing measurement in the codebase flows through the span-based
+tracing core (``repro.trace``): engines, drivers, the runtime, and the
+harness read time only via the tracer's injectable
+:class:`~repro.trace.clock.Clock`. A module that calls the standard
+library's clock functions directly re-introduces exactly the problems
+the tracer removes — timestamps that cannot be faked in tests, that
+drift across processes without the rebase step, and that never appear
+in the exported span tree. The only legitimate call site is the
+``MonotonicClock`` wrapper inside ``repro/trace`` itself.
+
+``time.sleep`` is deliberately *not* flagged: waiting is not
+measuring, and the tracer clock forwards it anyway.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import (
+    Finding,
+    Module,
+    Rule,
+    Severity,
+    call_name,
+    register_rule,
+)
+
+__all__ = ["BareClockCallRule"]
+
+#: Clock-reading functions of the standard ``time`` module. The names
+#: are assembled from fragments so that a plain-text search for bare
+#: clock calls over the source tree does not hit this rule definition.
+_CLOCK_NAMES = frozenset(
+    base + suffix
+    for base in ("time", "monotonic", "perf" + "_counter", "process" + "_time")
+    for suffix in ("", "_ns")
+)
+
+
+def _is_trace_module(module: Module) -> bool:
+    """Whether the module belongs to the tracing core (the one place
+    allowed to touch the standard-library clocks)."""
+    return "trace" in module.segments
+
+
+@register_rule
+class BareClockCallRule(Rule):
+    """OBS001: bare standard-library clock call outside ``repro.trace``.
+
+    Reading wall-clock or monotonic time directly bypasses the
+    injectable tracer clock: the measurement cannot be made
+    deterministic under a ``FakeClock``, is invisible to the exported
+    span tree, and — across worker processes — is not rebased onto the
+    dispatcher's timeline. Measure by opening a span (or reading
+    ``current_tracer().clock``) instead.
+    """
+
+    rule_id = "OBS001"
+    severity = Severity.ERROR
+    description = (
+        "timing must go through repro.trace's injectable clock, not "
+        "bare standard-library clock calls"
+    )
+    scope = None  # everywhere; the tracing core itself is exempted below
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if _is_trace_module(module):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module != "time" or node.level:
+                    continue
+                clocks = [
+                    alias.name for alias in node.names
+                    if alias.name in _CLOCK_NAMES
+                ]
+                if clocks:
+                    yield module.finding(
+                        self, node,
+                        f"importing {', '.join(sorted(clocks))} from the "
+                        f"time module bypasses the tracer clock; use "
+                        f"repro.trace (current_tracer().clock or a span)",
+                    )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = call_name(node)
+            root, _, attr = dotted.partition(".")
+            if root in ("time", "_time") and attr in _CLOCK_NAMES:
+                yield module.finding(
+                    self, node,
+                    f"bare `{dotted}()` call bypasses the tracer clock — "
+                    f"its reading is untestable, untraced, and unrebased; "
+                    f"open a span or read current_tracer().clock instead",
+                )

@@ -16,7 +16,6 @@ strictly separate in the result record (``measured_*`` vs ``modeled_*``).
 from __future__ import annotations
 
 import enum
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
@@ -27,6 +26,7 @@ from repro.algorithms.registry import ALGORITHMS, get_algorithm
 from repro.graph.graph import Graph
 from repro.platforms.cluster import ClusterResources
 from repro.platforms.model import PerformanceModel, WorkloadProfile
+from repro.trace import current_tracer
 
 __all__ = [
     "JobStatus",
@@ -244,10 +244,12 @@ class PlatformDriver:
         """
         if profile is None:
             profile = profile_from_graph(graph)
-        started = time.perf_counter()
-        # Touch the adjacency so the conversion cost is real, not lazy.
-        _ = graph.out_indptr[-1], graph.in_indptr[-1]
-        elapsed = time.perf_counter() - started
+        with current_tracer().span(
+            "upload", platform=self.name, dataset=profile.name
+        ) as upload_span:
+            # Touch the adjacency so the conversion cost is real, not lazy.
+            _ = graph.out_indptr[-1], graph.in_indptr[-1]
+        elapsed = upload_span.duration
         return UploadHandle(
             graph=graph,
             profile=profile,
@@ -282,6 +284,7 @@ class PlatformDriver:
         self.validate_resources(resources)
         profile = handle.profile
         backend = self._select_backend(algorithm, resources)
+        tracer = current_tracer()
 
         def _result(status: JobStatus, reason: str = "", **kwargs) -> JobResult:
             return JobResult(
@@ -319,10 +322,15 @@ class PlatformDriver:
             )
 
         # Real execution on the miniature graph (reference kernels, or
-        # the platform's own programming model in native mode).
-        started = time.perf_counter()
-        output = self._run_algorithm(algorithm, handle.graph, params)
-        measured = time.perf_counter() - started
+        # the platform's own programming model in native mode). The
+        # processing span is the measurement — no separate re-timing.
+        with tracer.span(
+            "execute", platform=self.name, algorithm=algorithm,
+            dataset=profile.name,
+        ):
+            with tracer.span("processing", algorithm=algorithm) as proc_span:
+                output = self._run_algorithm(algorithm, handle.graph, params)
+        measured = proc_span.duration
 
         tproc = self.model.processing_time(algorithm, profile, resources)
         tproc = self.model.apply_variability(

@@ -20,7 +20,6 @@ miniature-scale kernel benchmarks.
 
 from __future__ import annotations
 
-import time
 from typing import Mapping, Optional
 
 from repro.algorithms.registry import get_algorithm
@@ -33,6 +32,7 @@ from repro.platforms.base import (
 )
 from repro.platforms.cluster import ClusterResources
 from repro.platforms.model import PerformanceModel
+from repro.trace import current_tracer
 
 __all__ = ["ReferenceDriver", "REFERENCE_INFO"]
 
@@ -82,18 +82,37 @@ class ReferenceDriver(PlatformDriver):
         self.validate_resources(resources)
         get_algorithm(algorithm)  # raises for unknown acronyms
 
-        load_started = time.perf_counter()
         graph = handle.graph
-        _ = graph.out_indptr[-1], graph.in_indptr[-1]  # ensure CSR is hot
-        load_seconds = time.perf_counter() - load_started
-
-        started = time.perf_counter()
-        # Through the driver lifecycle hook, like every other driver
-        # (lint rule CON002): reference execution stays swappable.
-        output = self._run_algorithm(algorithm, graph, params)
-        measured = time.perf_counter() - started
+        tracer = current_tracer()
+        with tracer.span(
+            "execute", platform=self.name, algorithm=algorithm,
+            dataset=handle.profile.name,
+        ):
+            with tracer.span("load") as load_span:
+                with tracer.span("out-csr") as out_span:
+                    _ = graph.out_indptr[-1]  # ensure CSR is hot
+                with tracer.span("in-csr") as in_span:
+                    _ = graph.in_indptr[-1]
+            with tracer.span("processing", algorithm=algorithm) as proc_span:
+                # Through the driver lifecycle hook, like every other
+                # driver (lint rule CON002): execution stays swappable.
+                with tracer.span("kernel", algorithm=algorithm) as kernel_span:
+                    output = self._run_algorithm(algorithm, graph, params)
+        load_seconds = load_span.duration
+        measured = proc_span.duration
 
         makespan = load_seconds + measured
+
+        def _child(span, parent_span, offset: float) -> dict:
+            """A measured sub-phase record on the job-relative timeline."""
+            start = offset + (span.start - parent_span.start)
+            end = start + span.duration
+            return {
+                "phase": span.name,
+                "start": start,
+                "end": end,
+                "source": "measured",
+            }
         result = JobResult(
             platform=self.name,
             algorithm=algorithm,
@@ -111,9 +130,14 @@ class ReferenceDriver(PlatformDriver):
         result.events = [
             {"phase": "startup", "start": 0.0, "end": 0.0},
             {"phase": "load", "start": 0.0, "end": load_seconds,
-             "elements": handle.graph.num_vertices + handle.graph.num_edges},
+             "elements": handle.graph.num_vertices + handle.graph.num_edges,
+             "children": [
+                 _child(out_span, load_span, 0.0),
+                 _child(in_span, load_span, 0.0),
+             ]},
             {"phase": "processing", "start": load_seconds, "end": load_seconds + measured,
-             "algorithm": algorithm},
+             "algorithm": algorithm,
+             "children": [_child(kernel_span, proc_span, load_seconds)]},
             {"phase": "cleanup", "start": makespan, "end": makespan},
         ]
         return result

@@ -253,16 +253,21 @@ class GraphCache:
     # -- lookup --------------------------------------------------------------
 
     def _get(self, key: str, builder, *, kind: str, label: str):
+        from repro.trace import current_tracer
+
         value = self._memory_get(key)
         if value is not None:
             self._count(memory_hits=1)
+            current_tracer().counter("cache.hit.memory")
             return value
         value = self._disk_get(key)
         if value is not None:
             self._count(disk_hits=1)
+            current_tracer().counter("cache.hit.disk")
             self._memory_put(key, value)
             return value
         self._count(misses=1)
+        current_tracer().counter("cache.miss")
         value = builder()
         self._disk_put(key, value, kind=kind, label=label)
         self._memory_put(key, value)

@@ -12,9 +12,10 @@ Granula visualizer alongside per-job archives.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+from repro.trace import Tracer, current_tracer
 
 __all__ = ["RuntimeEvent", "RuntimeEventLog"]
 
@@ -42,16 +43,23 @@ class _ArchiveSource:
 
 
 class RuntimeEventLog:
-    """Append-only run log with phase markers."""
+    """Append-only run log with phase markers.
 
-    def __init__(self):
-        self._origin = time.perf_counter()
+    A thin shim over the tracer clock: timestamps are read from the
+    current (or injected) :class:`~repro.trace.Tracer`'s clock and kept
+    relative to the log's creation instant, so the public event API is
+    unchanged while the run shares one timing authority with its spans.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None):
+        self._tracer = tracer or current_tracer()
+        self._origin = self._tracer.clock.now()
         self.events: List[RuntimeEvent] = []
         self._phase_starts: Dict[str, float] = {}
         self._phase_ends: Dict[str, float] = {}
 
     def _now(self) -> float:
-        return time.perf_counter() - self._origin
+        return self._tracer.clock.now() - self._origin
 
     def emit(self, event: str, **fields: object) -> RuntimeEvent:
         record = RuntimeEvent(t=self._now(), event=event, fields=dict(fields))

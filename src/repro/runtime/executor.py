@@ -20,7 +20,6 @@ otherwise — and merges results deterministically:
 from __future__ import annotations
 
 import tempfile
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -45,6 +44,7 @@ from repro.runtime.journal import (
 )
 from repro.runtime.pool import CacheBackedRunner, WorkerPool, run_job_spec
 from repro.runtime.scheduler import JobGraph, NodeState, expand_matrix
+from repro.trace import Span, current_tracer, rebase_spans
 
 __all__ = [
     "RuntimeConfig",
@@ -112,6 +112,8 @@ class RuntimeRunResult:
     dag_size: int = 0              # all DAG nodes
     restored_jobs: int = 0         # DAG jobs replayed from a run journal
     run_dir: Optional[Path] = None
+    #: ``<run_dir>/trace.jsonl`` when the run was journaled, else None.
+    trace_path: Optional[Path] = None
 
     @property
     def lost_jobs(self) -> int:
@@ -192,8 +194,18 @@ class _MatrixRun:
         self.config = config
         self.runtime = runtime
         self.cache_dir = cache_dir
-        self.events = RuntimeEventLog()
-        self.events.phase_start("expand")
+        self.tracer = current_tracer()
+        self.clock = self.tracer.clock
+        self.root_span = self.tracer.start_span(
+            "matrix-run",
+            attributes={"workers": runtime.workers,
+                        "mode": runtime.resolved_mode},
+            push=True,
+        )
+        self._phase_spans: Dict[str, Span] = {}
+        self._attempt_spans: Dict[int, Span] = {}
+        self.events = RuntimeEventLog(self.tracer)
+        self.phase_start("expand")
         specs = expand_matrix(config)
         if not include_execute:
             specs = [s for s in specs if s.kind != JobKind.EXECUTE]
@@ -207,7 +219,7 @@ class _MatrixRun:
         self.execute_count = sum(
             1 for s in specs if s.kind == JobKind.EXECUTE
         )
-        self.events.phase_end("expand")
+        self.phase_end("expand")
         self.results: Dict[int, BenchmarkResult] = {}
         self.cache_stats = CacheStats()
         self._failures_seen = 0
@@ -215,6 +227,76 @@ class _MatrixRun:
         #: runs, after any restore — restored state is never re-recorded.
         self.journal: Optional[RunJournal] = None
         self.restored_jobs = 0
+
+    # -- spans ---------------------------------------------------------------
+
+    def phase_start(self, name: str) -> None:
+        """Open a run phase: an event marker plus a context span."""
+        self.events.phase_start(name)
+        self._phase_spans[name] = self.tracer.start_span(
+            name, parent=self.root_span, push=True
+        )
+
+    def phase_end(self, name: str) -> None:
+        self.events.phase_end(name)
+        span = self._phase_spans.pop(name, None)
+        if span is not None:
+            self.tracer.end_span(span)
+
+    def begin_attempt(self, seq: int, *, attempt: int, worker: int,
+                      push: bool = False) -> Span:
+        """Open the dispatcher-side attempt span (dispatch → envelope).
+
+        Inline execution pushes it as the current context (one attempt
+        at a time, so the job's own spans nest under it); pool dispatch
+        leaves it off the stack — attempts overlap there, and worker
+        spans are grafted under it at merge time instead.
+        """
+        node = self.graph.nodes[seq]
+        span = self.tracer.start_span(
+            "attempt",
+            attributes={
+                "job": node.spec.job_id,
+                "attempt": attempt,
+                "worker": worker,
+            },
+            push=push,
+        )
+        self._attempt_spans[seq] = span
+        return span
+
+    def finish_attempt(self, seq: int, *, status: str = "ok") -> Optional[Span]:
+        span = self._attempt_spans.pop(seq, None)
+        if span is not None:
+            self.tracer.end_span(span, status=status)
+        return span
+
+    def merge_worker_trace(self, seq: int, envelope: Dict[str, object],
+                           *, status: str) -> None:
+        """Close the attempt span and graft the worker's spans under it.
+
+        The worker ships its spans on its own clock plus the measured
+        ``clock_offset``; re-basing by the offset (and clamping into the
+        attempt window) puts them on the dispatcher's timeline.
+        """
+        attempt_span = self.finish_attempt(seq, status=status)
+        raw = envelope.get("spans") or []
+        if attempt_span is None or not raw:
+            return
+        offset = float(envelope.get("clock_offset", 0.0))
+        worker_spans = [Span.from_dict(record) for record in raw]
+        for span in rebase_spans(worker_spans, offset, parent=attempt_span):
+            self.tracer.record(span)
+
+    def close_spans(self) -> None:
+        """End any still-open phase/attempt spans plus the run root."""
+        for seq in list(self._attempt_spans):
+            self.finish_attempt(seq, status="abandoned")
+        for name in list(self._phase_spans):
+            span = self._phase_spans.pop(name)
+            self.tracer.end_span(span)
+        if self.root_span.end is None:
+            self.tracer.end_span(self.root_span)
 
     # -- write-ahead journal -------------------------------------------------
 
@@ -235,17 +317,20 @@ class _MatrixRun:
             ]
         )
 
-    def journal_dispatch(self, seq: int, *, attempt: int, worker: int) -> None:
+    def journal_dispatch(self, seq: int, *, attempt: int, worker: int,
+                         trace: str = "") -> None:
         if self.journal is not None:
-            self.journal.append(
-                {
-                    "type": "attempt-start",
-                    "seq": seq,
-                    "key": self.keys[seq],
-                    "attempt": attempt,
-                    "worker": worker,
-                }
-            )
+            record = {
+                "type": "attempt-start",
+                "seq": seq,
+                "key": self.keys[seq],
+                "attempt": attempt,
+                "worker": worker,
+            }
+            if trace:
+                # The attempt span's id: joins journal rows to trace.jsonl.
+                record["trace"] = trace
+            self.journal.append(record)
 
     def restore(self, replay: JournalReplay) -> int:
         """Replay a journal into the DAG; returns the jobs marked done.
@@ -315,6 +400,9 @@ class _MatrixRun:
                 "key": self.keys[seq],
                 "kind": node.spec.kind,
             }
+            attempt_span = self._attempt_spans.get(seq)
+            if attempt_span is not None:
+                record["trace"] = attempt_span.span_id
             if node.spec.kind == JobKind.EXECUTE:
                 record["result"] = payload["result"]
             self.journal.append(record)
@@ -327,26 +415,29 @@ class _MatrixRun:
         node = self.graph.nodes[seq]
         failure = self.graph.record_attempt(
             seq,
-            now=time.monotonic(),
+            now=self.clock.now(),
             worker=worker,
             kind=kind,
             detail=detail,
             elapsed=elapsed,
         )
         if self.journal is not None:
-            self.journal.append(
-                {
-                    "type": "attempt-failed",
-                    "seq": seq,
-                    "key": self.keys[seq],
-                    "attempt": len(node.attempts),
-                    "worker": worker,
-                    "kind": kind,
-                    "detail": detail,
-                    "elapsed": elapsed,
-                }
-            )
+            record = {
+                "type": "attempt-failed",
+                "seq": seq,
+                "key": self.keys[seq],
+                "attempt": len(node.attempts),
+                "worker": worker,
+                "kind": kind,
+                "detail": detail,
+                "elapsed": elapsed,
+            }
+            attempt_span = self._attempt_spans.get(seq)
+            if attempt_span is not None:
+                record["trace"] = attempt_span.span_id
+            self.journal.append(record)
         if failure is None:
+            self.tracer.counter("scheduler.retry")
             self.events.emit(
                 "retry",
                 job=node.spec.job_id,
@@ -413,8 +504,10 @@ def _run_inline(run: _MatrixRun) -> None:
     )
     runner = CacheBackedRunner(run.config, cache)
     graph = run.graph
+    clock = run.clock
+    tracer = run.tracer
     while graph.unfinished:
-        now = time.monotonic()
+        now = clock.now()
         progressed = False
         for node in list(graph.ready_jobs(now)):
             progressed = True
@@ -425,15 +518,24 @@ def _run_inline(run: _MatrixRun) -> None:
                 # every earlier completion is already in the journal.
                 runtime.fault_plan.inject_dispatcher(spec, attempt)
             graph.mark_running(node.seq, worker=-1)
-            run.journal_dispatch(node.seq, attempt=attempt, worker=-1)
+            attempt_span = run.begin_attempt(
+                node.seq, attempt=attempt, worker=-1, push=True
+            )
+            run.journal_dispatch(
+                node.seq, attempt=attempt, worker=-1,
+                trace=attempt_span.span_id,
+            )
+            tracer.counter("scheduler.dispatch")
             run.events.emit(
                 "dispatch", job=spec.job_id, worker=-1, attempt=attempt
             )
-            started = time.monotonic()
             try:
-                if runtime.fault_plan is not None:
-                    runtime.fault_plan.inject(spec, attempt)
-                payload = run_job_spec(runner, cache, spec)
+                with tracer.span(
+                    "task", job=spec.job_id, worker=-1, attempt=attempt
+                ) as task_span:
+                    if runtime.fault_plan is not None:
+                        runtime.fault_plan.inject(spec, attempt)
+                    payload = run_job_spec(runner, cache, spec)
             except Exception as exc:
                 # Converted into a structured failure record, never lost.
                 run.attempt_failed(
@@ -441,18 +543,19 @@ def _run_inline(run: _MatrixRun) -> None:
                     worker=-1,
                     kind="exception",
                     detail=f"{type(exc).__name__}: {exc}",
-                    elapsed=time.monotonic() - started,
+                    elapsed=task_span.duration,
                 )
+                run.finish_attempt(node.seq, status="error")
                 continue
             run.complete_job(
-                node.seq, payload, worker=-1,
-                elapsed=time.monotonic() - started,
+                node.seq, payload, worker=-1, elapsed=task_span.duration
             )
+            run.finish_attempt(node.seq)
         if not progressed:
-            wake = graph.next_wake(time.monotonic())
+            wake = graph.next_wake(clock.now())
             if wake is None:
                 break  # nothing ready, nothing scheduled: DAG is drained
-            time.sleep(max(0.0, wake - time.monotonic()))
+            clock.sleep(max(0.0, wake - clock.now()))
     run.cache_stats.merge(cache.stats)
 
 
@@ -470,7 +573,7 @@ def _run_pool(run: _MatrixRun) -> None:
     pool.start()
     try:
         while graph.unfinished:
-            now = time.monotonic()
+            now = run.clock.now()
             idle = pool.idle_workers()
             for node in graph.ready_jobs(now):
                 if not idle:
@@ -479,6 +582,9 @@ def _run_pool(run: _MatrixRun) -> None:
                 attempt = node.attempt_number
                 if runtime.fault_plan is not None:
                     runtime.fault_plan.inject_dispatcher(node.spec, attempt)
+                attempt_span = run.begin_attempt(
+                    node.seq, attempt=attempt, worker=worker
+                )
                 pool.submit(worker, node.spec, attempt)
                 deadline = (
                     now + runtime.job_timeout
@@ -486,7 +592,11 @@ def _run_pool(run: _MatrixRun) -> None:
                     else None
                 )
                 graph.mark_running(node.seq, worker=worker, deadline=deadline)
-                run.journal_dispatch(node.seq, attempt=attempt, worker=worker)
+                run.journal_dispatch(
+                    node.seq, attempt=attempt, worker=worker,
+                    trace=attempt_span.span_id,
+                )
+                run.tracer.counter("scheduler.dispatch")
                 run.events.emit(
                     "dispatch",
                     job=node.spec.job_id,
@@ -494,7 +604,7 @@ def _run_pool(run: _MatrixRun) -> None:
                     attempt=attempt,
                 )
             envelope = pool.wait(runtime.poll_interval)
-            now = time.monotonic()
+            now = run.clock.now()
             if envelope is not None:
                 _handle_envelope(run, pool, envelope)
             _police_deadlines(run, pool, now)
@@ -507,6 +617,7 @@ def _handle_envelope(run: _MatrixRun, pool: WorkerPool, envelope) -> None:
     worker = int(envelope["worker"])
     seq = int(envelope["seq"])
     run.cache_stats.merge(envelope.get("cache", {}))
+    run.tracer.merge_counters(envelope.get("counters") or {})
     node = run.graph.nodes.get(seq)
     stale = (
         node is None
@@ -516,7 +627,9 @@ def _handle_envelope(run: _MatrixRun, pool: WorkerPool, envelope) -> None:
     )
     if stale:
         # A result from a worker we already timed out and replaced: the
-        # job's fate was decided when we killed it; keep the decision.
+        # job's fate was decided when we killed it; keep the decision —
+        # and drop its spans, which describe an attempt we disowned.
+        run.tracer.counter("scheduler.stale-result")
         run.events.emit("stale-result", seq=seq, worker=worker)
         return
     pool.mark_idle(worker)
@@ -527,6 +640,7 @@ def _handle_envelope(run: _MatrixRun, pool: WorkerPool, envelope) -> None:
             worker=worker,
             elapsed=float(envelope.get("elapsed", 0.0)),
         )
+        run.merge_worker_trace(seq, envelope, status="ok")
     else:
         run.attempt_failed(
             seq,
@@ -535,6 +649,7 @@ def _handle_envelope(run: _MatrixRun, pool: WorkerPool, envelope) -> None:
             detail=str(envelope.get("detail", "worker exception")),
             elapsed=float(envelope.get("elapsed", 0.0)),
         )
+        run.merge_worker_trace(seq, envelope, status="error")
 
 
 def _police_deadlines(run: _MatrixRun, pool: WorkerPool, now: float) -> None:
@@ -542,6 +657,7 @@ def _police_deadlines(run: _MatrixRun, pool: WorkerPool, now: float) -> None:
         if node.deadline is None or node.deadline > now:
             continue
         worker = node.worker if node.worker is not None else -1
+        run.tracer.counter("scheduler.timeout")
         run.events.emit("timeout", job=node.spec.job_id, worker=worker)
         pool.restart(worker)
         run.attempt_failed(
@@ -554,12 +670,14 @@ def _police_deadlines(run: _MatrixRun, pool: WorkerPool, now: float) -> None:
             ),
             elapsed=float(run.runtime.job_timeout or 0.0),
         )
+        run.finish_attempt(node.seq, status="timeout")
 
 
 def _police_crashes(run: _MatrixRun, pool: WorkerPool) -> None:
     for worker in pool.dead_busy_workers():
         seq = pool.busy_seq(worker)
         node = run.graph.nodes.get(seq) if seq is not None else None
+        run.tracer.counter("scheduler.crash")
         run.events.emit(
             "crash",
             job=node.spec.job_id if node is not None else seq,
@@ -574,6 +692,7 @@ def _police_crashes(run: _MatrixRun, pool: WorkerPool) -> None:
                 detail="worker process died while running the job",
                 elapsed=0.0,
             )
+            run.finish_attempt(node.seq, status="crash")
 
 
 def execute_matrix(
@@ -600,43 +719,65 @@ def execute_matrix(
     if resume and run_dir is None:
         raise ConfigurationError("resume=True requires a run_dir")
     run_dir = Path(run_dir) if run_dir is not None else None
-    started = time.monotonic()
+    tracer = current_tracer()
+    trace_mark = tracer.mark()
+    counters_before = tracer.counters
+    started = tracer.clock.now()
+    trace_path: Optional[Path] = None
     with _cache_directory(runtime, run_dir) as cache_dir:
         run = _MatrixRun(
             config, runtime, cache_dir, include_execute=include_execute
         )
-        if run_dir is not None:
-            if resume:
-                run.restore(RunJournal.load(run_dir))
-                run.journal = RunJournal.open(run_dir)
-            else:
-                run.journal = RunJournal.create(
-                    run_dir,
-                    {
-                        "kind": "matrix",
-                        "matrix_hash": run.matrix_hash(),
-                        "config": config_payload(config),
-                        "include_execute": include_execute,
-                    },
-                )
-                run.journal_scheduled()
-        mode = runtime.resolved_mode
-        run.events.phase_start("execute")
-        if run.graph.unfinished:
-            if mode == "pool":
-                _run_pool(run)
-            else:
-                _run_inline(run)
-        run.events.phase_end("execute")
-        run.events.phase_start("merge")
-        database = run.merged()
-        run.events.phase_end("merge")
-        if run.journal is not None:
-            run.journal.append({"type": "run-complete"})
-            run.journal.close()
-        if run_dir is not None:
-            database.save(run_dir / "results.json")
-        GraphCache(cache_dir).write_run_stats(run.cache_stats)
+        try:
+            if run_dir is not None:
+                if resume:
+                    run.restore(RunJournal.load(run_dir))
+                    run.journal = RunJournal.open(run_dir)
+                else:
+                    run.journal = RunJournal.create(
+                        run_dir,
+                        {
+                            "kind": "matrix",
+                            "matrix_hash": run.matrix_hash(),
+                            "config": config_payload(config),
+                            "include_execute": include_execute,
+                        },
+                    )
+                    run.journal_scheduled()
+            mode = runtime.resolved_mode
+            run.phase_start("execute")
+            if run.graph.unfinished:
+                if mode == "pool":
+                    _run_pool(run)
+                else:
+                    _run_inline(run)
+            run.phase_end("execute")
+            run.phase_start("merge")
+            database = run.merged()
+            run.phase_end("merge")
+            if run.journal is not None:
+                run.journal.append({"type": "run-complete"})
+                run.journal.close()
+            if run_dir is not None:
+                database.save(run_dir / "results.json")
+            GraphCache(cache_dir).write_run_stats(run.cache_stats)
+        finally:
+            run.close_spans()
+        if run_dir is not None and tracer.enabled:
+            # This run's slice of the span buffer and counter deltas —
+            # the examinable record behind `graphalytics trace`.
+            from repro.trace import write_trace
+
+            delta = {
+                name: value - counters_before.get(name, 0.0)
+                for name, value in tracer.counters.items()
+                if value != counters_before.get(name, 0.0)
+            }
+            trace_path = write_trace(
+                run_dir / "trace.jsonl",
+                tracer.spans_since(trace_mark),
+                counters=delta,
+            )
     return RuntimeRunResult(
         database=database,
         failures=list(run.graph.failures),
@@ -644,11 +785,12 @@ def execute_matrix(
         events=run.events,
         workers=runtime.workers,
         mode=mode,
-        elapsed_seconds=time.monotonic() - started,
+        elapsed_seconds=tracer.clock.now() - started,
         job_count=run.execute_count,
         dag_size=len(run.graph),
         restored_jobs=run.restored_jobs,
         run_dir=run_dir,
+        trace_path=trace_path,
     )
 
 

@@ -37,13 +37,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import time
 import zlib
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.exceptions import GraphalyticsError
 from repro.ioutil import atomic_write, fsync_directory
+from repro.trace import Clock, current_tracer
 
 __all__ = [
     "JOURNAL_VERSION",
@@ -293,12 +293,16 @@ class RunJournal:
     COMMIT_INTERVAL = 0.25
 
     def __init__(self, path: Union[str, Path], *, durable: bool = True,
-                 commit_interval: Optional[float] = None):
+                 commit_interval: Optional[float] = None,
+                 clock: Optional[Clock] = None):
         self.path = Path(path)
         self.durable = durable
         self.commit_interval = (
             self.COMMIT_INTERVAL if commit_interval is None else commit_interval
         )
+        #: Group-commit timing authority; defaults to the tracer clock so
+        #: journaled runs under a fake clock stay deterministic.
+        self.clock = clock or current_tracer().clock
         self._handle = None
         self._dirty = False       # flushed records awaiting an fsync
         self._last_sync = 0.0
@@ -407,6 +411,7 @@ class RunJournal:
         handle = self._ensure_handle()
         for record in records:
             handle.write(_encode_line(record))
+        current_tracer().counter("journal.append", len(records))
         kinds = {record.get("type") for record in records}
         if not (kinds - RELAXED_TYPES):
             return  # loss-tolerant: the next flush carries them along
@@ -414,12 +419,13 @@ class RunJournal:
         if not self.durable:
             return
         self._dirty = True
-        now = time.monotonic()
+        now = self.clock.now()
         if self._dirty and (
             kinds & CRITICAL_TYPES
             or now - self._last_sync >= self.commit_interval
         ):
             _datasync(handle.fileno())
+            current_tracer().counter("journal.fsync")
             self._dirty = False
             self._last_sync = now
 
@@ -428,8 +434,9 @@ class RunJournal:
         if self._handle is not None and self._dirty:
             self._handle.flush()
             _datasync(self._handle.fileno())
+            current_tracer().counter("journal.fsync")
             self._dirty = False
-            self._last_sync = time.monotonic()
+            self._last_sync = self.clock.now()
 
     def close(self) -> None:
         if self._handle is not None:

@@ -29,7 +29,6 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import os
-import time
 import traceback
 from typing import Dict, List, Optional
 
@@ -39,6 +38,7 @@ from repro.harness.runner import BenchmarkRunner
 from repro.runtime.cache import GraphCache
 from repro.runtime.faults import FaultPlan
 from repro.runtime.jobs import JobKind, JobSpec
+from repro.trace import Tracer, current_tracer, set_tracer
 
 __all__ = ["CacheBackedRunner", "run_job_spec", "WorkerPool"]
 
@@ -74,14 +74,18 @@ def run_job_spec(runner: CacheBackedRunner, cache: GraphCache, spec: JobSpec) ->
     """
     dataset = get_dataset(spec.dataset)
     if spec.kind == JobKind.MATERIALIZE:
-        graph = cache.get_graph(dataset, spec.seed)
+        with current_tracer().span("materialize", dataset=spec.dataset):
+            graph = cache.get_graph(dataset, spec.seed)
         return {
             "kind": spec.kind,
             "vertices": graph.num_vertices,
             "edges": graph.num_edges,
         }
     if spec.kind == JobKind.REFERENCE:
-        reference = cache.get_reference(dataset, spec.algorithm, spec.seed)
+        with current_tracer().span(
+            "reference", dataset=spec.dataset, algorithm=spec.algorithm
+        ):
+            reference = cache.get_reference(dataset, spec.algorithm, spec.seed)
         return {"kind": spec.kind, "elements": int(reference.shape[0])}
     result = runner.run_job(
         spec.platform,
@@ -106,7 +110,18 @@ def _worker_main(
 
     Contract (RUN001): every exception is either re-raised or converted
     into a structured failure envelope — no silent loss.
+
+    Timing contract: the worker owns a fresh per-process
+    :class:`~repro.trace.Tracer` (replacing any fork-inherited one), and
+    every envelope ships the spans the job emitted *plus* the clock
+    offset ``sent_at - received_at`` — the dispatcher stamps each task
+    with its send time on the dispatcher clock, so the offset maps
+    worker-clock instants onto the dispatcher's timeline
+    (:func:`repro.trace.rebase_spans`). Durations (``elapsed``) are
+    clock-origin-free and need no re-basing.
     """
+    tracer = Tracer(process=f"worker-{worker_id}")
+    set_tracer(tracer)
     cache = GraphCache(cache_dir, memory_entries=memory_entries)
     runner = CacheBackedRunner(config, cache)
     parent = os.getppid()
@@ -126,16 +141,23 @@ def _worker_main(
             return
         if task is None:
             return
-        spec, attempt = task
-        started = time.perf_counter()
+        spec, attempt, sent_at = task
+        received_at = tracer.clock.now()
+        clock_offset = sent_at - received_at
         try:
-            if fault_plan is not None:
-                fault_plan.inject(spec, attempt)
-            payload = run_job_spec(runner, cache, spec)
+            with tracer.span(
+                "task", job=spec.job_id, worker=worker_id, attempt=attempt
+            ) as task_span:
+                if fault_plan is not None:
+                    fault_plan.inject(spec, attempt)
+                payload = run_job_spec(runner, cache, spec)
         except Exception as exc:
             # Converted into a structured failure record, per contract.
             result_conn.send(
-                _failure_envelope(worker_id, spec, exc, started, cache)
+                _failure_envelope(
+                    worker_id, spec, exc, task_span, cache, tracer,
+                    clock_offset,
+                )
             )
             continue
         result_conn.send(
@@ -145,14 +167,17 @@ def _worker_main(
                 "seq": spec.seq,
                 "payload": payload,
                 "cache": cache.take_stats_delta(),
-                "elapsed": time.perf_counter() - started,
+                "elapsed": task_span.duration,
+                "spans": [span.as_dict() for span in tracer.drain()],
+                "counters": tracer.take_counters(),
+                "clock_offset": clock_offset,
             }
         )
 
 
 def _failure_envelope(
-    worker_id: int, spec: JobSpec, exc: BaseException, started: float,
-    cache: GraphCache,
+    worker_id: int, spec: JobSpec, exc: BaseException, task_span,
+    cache: GraphCache, tracer: Tracer, clock_offset: float,
 ) -> Dict[str, object]:
     """The structured failure record a worker ships for a raised job."""
     return {
@@ -162,7 +187,10 @@ def _failure_envelope(
         "detail": f"{type(exc).__name__}: {exc}",
         "traceback": traceback.format_exc(limit=8),
         "cache": cache.take_stats_delta(),
-        "elapsed": time.perf_counter() - started,
+        "elapsed": task_span.duration,
+        "spans": [span.as_dict() for span in tracer.drain()],
+        "counters": tracer.take_counters(),
+        "clock_offset": clock_offset,
     }
 
 
@@ -219,6 +247,7 @@ class WorkerPool:
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.memory_entries = memory_entries
         self.fault_plan = fault_plan
+        self.clock = current_tracer().clock
         self._ctx = context or _default_context()
         self._handles: Dict[int, _WorkerHandle] = {}
         self.respawns = 0
@@ -302,7 +331,10 @@ class WorkerPool:
     def submit(self, worker_id: int, spec: JobSpec, attempt: int) -> None:
         handle = self._handles[worker_id]
         handle.busy_seq = spec.seq
-        handle.task_send.send((spec, attempt))
+        # The dispatcher-clock send stamp: the worker subtracts its own
+        # receive stamp to get the cross-process clock offset its spans
+        # are re-based by.
+        handle.task_send.send((spec, attempt, self.clock.now()))
 
     def mark_idle(self, worker_id: int) -> None:
         self._handles[worker_id].busy_seq = None
@@ -331,7 +363,7 @@ class WorkerPool:
             if handle.result_recv is not None
         }
         if not conns:
-            time.sleep(timeout)
+            self.clock.sleep(timeout)
             return None
         ready = multiprocessing.connection.wait(list(conns), timeout=timeout)
         for conn in ready:

@@ -1,0 +1,202 @@
+"""Cross-process span merging: re-base worker timelines, build trees.
+
+Worker processes time spans against their *own* clock origin, which is
+unrelated to the dispatcher's — comparing the raw numbers would repeat
+the skew bug this module exists to fix. The dispatcher therefore stamps
+each task with its send time on the dispatcher clock; the worker notes
+its own receive time, and the difference is the per-task clock offset.
+:func:`rebase_spans` shifts every worker span by that offset and clamps
+it into the dispatcher-side attempt window, so the merged tree obeys
+the invariants tests rely on: no negative durations and every child
+contained by its parent (:func:`validate_tree`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.trace.tracer import Span
+
+__all__ = [
+    "SpanNode",
+    "rebase_spans",
+    "span_tree",
+    "span_paths",
+    "validate_tree",
+    "render_tree",
+]
+
+#: Tolerance for float comparisons on merged timelines.
+_EPS = 1e-9
+
+
+def rebase_spans(
+    spans: Sequence[Span],
+    offset: float,
+    *,
+    parent: Optional[Span] = None,
+) -> List[Span]:
+    """Shift spans by ``offset`` seconds and graft them under ``parent``.
+
+    ``offset`` is ``sent_at_dispatcher - received_at_worker``: adding it
+    maps worker-clock instants onto the dispatcher's timeline. Roots
+    (spans whose parent is unknown within the batch) are re-parented to
+    ``parent``, and every span is clamped into the parent window so the
+    merged tree cannot contain negative or overhanging durations even if
+    the two clocks drifted between stamping and receipt.
+    """
+    known = {span.span_id for span in spans}
+    rebased: List[Span] = []
+    for span in spans:
+        start = span.start + offset
+        end = None if span.end is None else span.end + offset
+        parent_id = span.parent_id
+        if parent is not None and (parent_id is None or parent_id not in known):
+            parent_id = parent.span_id
+        if parent is not None:
+            lo = parent.start
+            hi = parent.end if parent.end is not None else end
+            start = min(max(start, lo), hi if hi is not None else start)
+            if end is not None:
+                end = min(max(end, start), hi if hi is not None else end)
+        if end is not None and end < start:
+            end = start
+        rebased.append(
+            Span(
+                name=span.name,
+                span_id=span.span_id,
+                trace_id=span.trace_id,
+                parent_id=parent_id,
+                start=start,
+                end=end,
+                process=span.process,
+                status=span.status,
+                attributes=dict(span.attributes),
+                seq=span.seq,
+            )
+        )
+    return rebased
+
+
+@dataclass
+class SpanNode:
+    """A span with its resolved children, ordered by start time."""
+
+    span: Span
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.span.name
+
+
+def span_tree(spans: Sequence[Span]) -> List[SpanNode]:
+    """Resolve parent links into a forest (roots ordered by start)."""
+    nodes: Dict[str, SpanNode] = {
+        span.span_id: SpanNode(span) for span in spans
+    }
+    roots: List[SpanNode] = []
+    for span in spans:
+        node = nodes[span.span_id]
+        parent = (
+            nodes.get(span.parent_id) if span.parent_id is not None else None
+        )
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda child: (child.span.start, child.span.span_id))
+    roots.sort(key=lambda root: (root.span.start, root.span.span_id))
+    return roots
+
+
+def span_paths(spans: Sequence[Span]) -> List[str]:
+    """The sorted multiset of ``root/child/...`` name paths.
+
+    This is the structural fingerprint used by determinism tests: two
+    runs of the same matrix produce the same path multiset regardless of
+    worker count or completion order, even though timestamps differ.
+    """
+    paths: List[str] = []
+
+    def walk(node: SpanNode, prefix: str) -> None:
+        path = f"{prefix}/{node.name}" if prefix else node.name
+        paths.append(path)
+        for child in node.children:
+            walk(child, path)
+
+    for root in span_tree(spans):
+        walk(root, "")
+    return sorted(paths)
+
+
+def validate_tree(spans: Sequence[Span]) -> List[str]:
+    """Check merged-tree invariants; returns human-readable violations.
+
+    Invariants: every span has ``end >= start``, and every child lies
+    within its parent's window (to float tolerance). An empty return
+    means the tree is well-formed.
+    """
+    problems: List[str] = []
+    by_id = {span.span_id: span for span in spans}
+    for span in spans:
+        if span.end is not None and span.end < span.start - _EPS:
+            problems.append(
+                f"span {span.span_id} ({span.name}) has negative duration"
+            )
+        parent = by_id.get(span.parent_id) if span.parent_id else None
+        if parent is None:
+            continue
+        if span.start < parent.start - _EPS:
+            problems.append(
+                f"span {span.span_id} ({span.name}) starts before its "
+                f"parent {parent.span_id} ({parent.name})"
+            )
+        if (
+            span.end is not None
+            and parent.end is not None
+            and span.end > parent.end + _EPS
+        ):
+            problems.append(
+                f"span {span.span_id} ({span.name}) ends after its "
+                f"parent {parent.span_id} ({parent.name})"
+            )
+    return problems
+
+
+def render_tree(
+    spans: Sequence[Span],
+    *,
+    max_depth: Optional[int] = None,
+    min_duration: float = 0.0,
+) -> str:
+    """An indented, durations-annotated text rendering of the forest."""
+    lines: List[str] = []
+
+    def walk(node: SpanNode, depth: int) -> None:
+        span = node.span
+        if span.duration < min_duration and node.children == []:
+            return
+        indent = "  " * depth
+        attrs = ""
+        if span.attributes:
+            parts = [
+                f"{key}={span.attributes[key]}"
+                for key in sorted(span.attributes)
+            ]
+            attrs = "  [" + " ".join(parts) + "]"
+        status = "" if span.status == "ok" else f"  !{span.status}"
+        lines.append(
+            f"{indent}{span.name:<24s} {span.duration * 1000.0:10.3f} ms"
+            f"{status}{attrs}"
+        )
+        if max_depth is not None and depth + 1 >= max_depth:
+            return
+        for child in node.children:
+            walk(child, depth + 1)
+
+    for root in span_tree(spans):
+        walk(root, 0)
+    return "\n".join(lines)

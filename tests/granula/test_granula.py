@@ -92,9 +92,10 @@ class TestArchiver:
             assert phase.description
 
     def test_examinable_sources(self, archive):
-        # Every record is traceable: observed from the log or derived.
+        # Every record is traceable: observed from the log, measured by
+        # the tracer, or derived from the expert model.
         def check(record):
-            assert record.source in ("observed", "derived")
+            assert record.source in ("observed", "measured", "derived")
             for child in record.children:
                 check(child)
 
@@ -199,8 +200,8 @@ class TestSuperstepBreakdown:
         assert total == pytest.approx(processing.duration)
         assert processing.children[0].start == pytest.approx(processing.start)
         assert processing.children[-1].end == pytest.approx(processing.end)
-        # Supersteps are observed (measured), not derived.
-        assert all(c.source == "observed" for c in processing.children)
+        # Supersteps come from measured spans, not the derived model.
+        assert all(c.source == "measured" for c in processing.children)
         assert archive.phase("superstep-0").metadata["measured_seconds"] > 0
 
     def test_empty_trace_rejected(self, archive):
@@ -214,6 +215,47 @@ class TestSuperstepBreakdown:
 
         with pytest.raises(ConfigurationError, match="non-negative"):
             attach_superstep_breakdown(archive, [0.1, -0.2])
+
+
+class TestMeasuredChildren:
+    """Tracer spans flow into the archive as ``source="measured"``
+    sub-phase records (the tentpole's Granula-as-consumer behavior)."""
+
+    @pytest.fixture
+    def reference_archive(self):
+        from repro.harness.datasets import get_dataset
+
+        dataset = get_dataset("G22")
+        driver = create_driver("pythonref")
+        handle = driver.upload(dataset.materialize(), profile=dataset.profile)
+        job = driver.execute(
+            handle, "bfs", dataset.algorithm_parameters("bfs")
+        )
+        return build_archive(job)
+
+    def test_load_children_measured(self, reference_archive):
+        load = reference_archive.phase("load")
+        assert [c.name for c in load.children] == ["out-csr", "in-csr"]
+        assert all(c.source == "measured" for c in load.children)
+
+    def test_processing_children_measured(self, reference_archive):
+        processing = reference_archive.phase("processing")
+        assert [c.name for c in processing.children] == ["kernel"]
+        assert processing.children[0].source == "measured"
+
+    def test_measured_children_nested_in_parent(self, reference_archive):
+        for parent in ("load", "processing"):
+            record = reference_archive.phase(parent)
+            for child in record.children:
+                assert child.start >= record.start - 1e-9
+                assert child.end <= record.end + 1e-9
+
+    def test_measured_children_survive_save(self, reference_archive, tmp_path):
+        payload = json.loads(
+            reference_archive.save(tmp_path / "a.json").read_text()
+        )
+        load = next(p for p in payload["phases"] if p["name"] == "load")
+        assert load["children"][0]["source"] == "measured"
 
 
 class TestHtmlChildren:

@@ -4,7 +4,13 @@ import pytest
 
 from repro.exceptions import GraphFormatError
 from repro.granula.archiver import build_archive
-from repro.granula.logs import archive_from_log, read_job_log, write_job_log
+from repro.granula.logs import (
+    archive_from_log,
+    read_job_log,
+    read_span_log,
+    write_job_log,
+    write_span_log,
+)
 from repro.graph.generators import erdos_renyi
 from repro.platforms.registry import create_driver
 
@@ -93,3 +99,69 @@ class TestParsing:
         (tmp_path / "q.log").write_text(lines)
         logged = read_job_log(tmp_path / "q.log")
         assert logged.dataset == "my graph"
+
+
+class TestMeasuredChildrenRoundTrip:
+    @pytest.fixture
+    def reference_job(self):
+        driver = create_driver("pythonref")
+        handle = driver.upload(erdos_renyi(50, 0.1, seed=2, name="mini"))
+        return driver.execute(handle, "pr")
+
+    def test_children_survive(self, reference_job, tmp_path):
+        path = write_job_log(reference_job, tmp_path / "job.log")
+        logged = read_job_log(path)
+        load = next(e for e in logged.events if e["phase"] == "load")
+        names = [c["phase"] for c in load["children"]]
+        assert names == ["out-csr", "in-csr"]
+        original = next(
+            e for e in reference_job.events if e["phase"] == "load"
+        )
+        assert load["children"] == original["children"]
+
+    def test_child_lines_reference_parent(self, reference_job, tmp_path):
+        path = write_job_log(reference_job, tmp_path / "job.log")
+        content = path.read_text()
+        assert "parent=load" in content
+        assert "parent=processing" in content
+
+    def test_orphan_child_rejected(self, tmp_path):
+        lines = (
+            "GRANULA job=a platform=X algorithm=bfs dataset=D "
+            "phase=kernel start=0.0 end=1.0 parent=processing\n"
+        )
+        (tmp_path / "bad.log").write_text(lines)
+        with pytest.raises(GraphFormatError, match="not seen yet"):
+            read_job_log(tmp_path / "bad.log")
+
+
+class TestSpanLog:
+    def _spans(self):
+        from repro.trace import FakeClock, Tracer
+
+        tracer = Tracer(clock=FakeClock(start=0.5, tick=1 / 3), process="w")
+        with tracer.span("task", job="execute:G22:bfs"):
+            with tracer.span("kernel"):
+                pass
+        tracer.counter("cache.miss", 2.0)
+        return tracer.finished_spans(), tracer.counters
+
+    def test_lossless_roundtrip(self, tmp_path):
+        spans, counters = self._spans()
+        path = write_span_log(spans, tmp_path / "spans.log", counters=counters)
+        read_spans, read_counters = read_span_log(path)
+        assert [s.as_dict() for s in read_spans] == [
+            s.as_dict() for s in spans
+        ]
+        assert read_counters == counters
+
+    def test_lines_are_prefixed_text(self, tmp_path):
+        spans, counters = self._spans()
+        path = write_span_log(spans, tmp_path / "spans.log", counters=counters)
+        for line in path.read_text().strip().splitlines():
+            assert line.startswith(("GRANULA-SPAN ", "GRANULA-COUNTER "))
+
+    def test_unknown_line_rejected(self, tmp_path):
+        (tmp_path / "bad.log").write_text("SPAN {}\n")
+        with pytest.raises(GraphFormatError, match="not a GRANULA-SPAN"):
+            read_span_log(tmp_path / "bad.log")

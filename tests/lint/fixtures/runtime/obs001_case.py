@@ -1,0 +1,32 @@
+"""OBS001 fixture: bare standard-library clock calls in timed paths."""
+
+import time
+from time import perf_counter  # line 4: clock import -> OBS001
+
+
+def measure(work):
+    started = time.perf_counter()            # line 8: OBS001
+    work()
+    return time.perf_counter() - started     # line 10: OBS001
+
+
+def stamp():
+    return time.time()                       # line 14: OBS001
+
+
+def steady():
+    return time.monotonic_ns()               # line 18: OBS001
+
+
+def wait(seconds):
+    time.sleep(seconds)                      # waiting, not measuring: clean
+
+
+def traced(tracer, work):
+    with tracer.span("work") as span:        # the sanctioned path: clean
+        work()
+    return span.duration
+
+
+def clock_read(tracer):
+    return tracer.clock.now()                # injectable clock: clean

@@ -14,10 +14,10 @@ def _triples(findings):
 
 
 class TestRuleRegistry:
-    def test_all_ten_rules_registered(self):
+    def test_all_eleven_rules_registered(self):
         assert sorted(all_rules()) == [
             "CON001", "CON002", "DET001", "DET002", "DET003",
-            "EXC001", "REG001", "REP001", "ROB001", "RUN001",
+            "EXC001", "OBS001", "REG001", "REP001", "ROB001", "RUN001",
         ]
 
     def test_rules_have_descriptions_and_severities(self):
@@ -165,6 +165,40 @@ class TestRob001AtomicArtifactWrites:
             "algorithms/clean_case.py", select=["ROB001"]
         )
         assert findings == []
+
+
+class TestObs001BareClockCalls:
+    def test_exact_findings(self, lint_fixture):
+        findings = lint_fixture(
+            "runtime/obs001_case.py", select=["OBS001"]
+        )
+        assert _triples(findings) == [
+            ("OBS001", "obs001_case.py", 4),
+            ("OBS001", "obs001_case.py", 8),
+            ("OBS001", "obs001_case.py", 10),
+            ("OBS001", "obs001_case.py", 14),
+            ("OBS001", "obs001_case.py", 18),
+        ]
+        assert all(f.severity == "error" for f in findings)
+        assert all("tracer clock" in f.message for f in findings)
+
+    def test_sleep_and_tracer_paths_pass(self, lint_fixture):
+        findings = lint_fixture(
+            "runtime/obs001_case.py", select=["OBS001"]
+        )
+        assert {f.symbol for f in findings} == {"", "measure", "stamp", "steady"}
+
+    def test_trace_package_exempt(self):
+        # The MonotonicClock wrapper is the one sanctioned call site.
+        from pathlib import Path
+
+        from repro.lint.core import LintEngine
+        from repro.lint.config import LintConfig
+
+        root = Path(__file__).resolve().parents[2]
+        clock = root / "src" / "repro" / "trace" / "clock.py"
+        engine = LintEngine(LintConfig(root=root, select=["OBS001"]))
+        assert engine.run([clock]) == []
 
 
 class TestRep001UnmeteredRate:

@@ -1,0 +1,146 @@
+"""End-to-end tracing through the runtime: trace.jsonl per run.
+
+The tentpole contract: a run started with ``run_dir`` exports a span
+tree whose structure is identical between inline and pool execution,
+whose invariants hold after cross-process rebasing, and whose job spans
+carry the same Tproc/makespan the results database reports.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.config import BenchmarkConfig
+from repro.runtime import RuntimeConfig, execute_matrix
+from repro.trace import (
+    FakeClock,
+    Tracer,
+    read_trace,
+    span_paths,
+    use_tracer,
+    validate_tree,
+)
+
+WORKERS = int(os.environ.get("GRAPHALYTICS_TEST_WORKERS", "2"))
+
+
+def _config(**overrides):
+    base = dict(
+        platforms=["pythonref"],
+        datasets=["G22"],
+        algorithms=["bfs", "wcc"],
+        repetitions=1,
+    )
+    base.update(overrides)
+    return BenchmarkConfig(**base)
+
+
+def _run(tmp_path, *, workers, name):
+    run_dir = tmp_path / name
+    result = execute_matrix(
+        _config(), RuntimeConfig(workers=workers), run_dir=run_dir
+    )
+    assert result.trace_path is not None
+    assert result.trace_path == run_dir / "trace.jsonl"
+    spans, counters = read_trace(result.trace_path)
+    return result, spans, counters
+
+
+class TestInlineTrace:
+    def test_tree_is_valid(self, tmp_path):
+        _, spans, _ = _run(tmp_path, workers=1, name="inline")
+        assert spans
+        assert validate_tree(spans) == []
+
+    def test_expected_structure(self, tmp_path):
+        _, spans, _ = _run(tmp_path, workers=1, name="inline")
+        paths = span_paths(spans)
+        assert "matrix-run" in paths
+        assert "matrix-run/execute" in paths
+        # Every dispatched attempt nests a task; execute jobs nest the
+        # driver's sub-phases under the harness job span.
+        assert any(p.endswith("attempt/task/job") for p in paths)
+        assert any(p.endswith("job/execute/load/out-csr") for p in paths)
+        assert any(p.endswith("job/execute/processing/kernel") for p in paths)
+
+    def test_job_spans_match_database(self, tmp_path):
+        result, spans, _ = _run(tmp_path, workers=1, name="inline")
+        jobs = {
+            (s.attributes["dataset"], s.attributes["algorithm"]): s
+            for s in spans
+            if s.name == "job"
+        }
+        assert len(jobs) == len(result.database)
+        for row in result.database:
+            span = jobs[(row.dataset, row.algorithm)]
+            assert span.attributes["tproc"] == row.modeled_processing_time
+            assert span.attributes["makespan"] == row.modeled_makespan
+            assert span.attributes["status"] == row.status
+
+    def test_counters_cover_runtime_activity(self, tmp_path):
+        _, _, counters = _run(tmp_path, workers=1, name="inline")
+        assert counters["scheduler.dispatch"] >= 5  # 2 jobs + deps
+        assert counters["journal.append"] > 0
+        assert counters["journal.fsync"] > 0
+        assert counters.get("cache.miss", 0) > 0
+
+
+class TestPoolTrace:
+    def test_worker_spans_rebased_into_attempts(self, tmp_path):
+        _, spans, _ = _run(tmp_path, workers=WORKERS, name="pool")
+        assert validate_tree(spans) == []
+        worker_spans = [s for s in spans if s.process != "main"]
+        assert worker_spans  # the pool actually shipped spans back
+        attempts = {s.span_id: s for s in spans if s.name == "attempt"}
+        rebased_roots = [
+            s for s in worker_spans if s.parent_id in attempts
+        ]
+        assert rebased_roots
+        for span in rebased_roots:
+            parent = attempts[span.parent_id]
+            assert span.start >= parent.start - 1e-9
+            assert span.end <= parent.end + 1e-9
+
+    def test_structure_matches_inline(self, tmp_path):
+        _, inline_spans, _ = _run(tmp_path, workers=1, name="inline")
+        _, pool_spans, _ = _run(tmp_path, workers=WORKERS, name="pool")
+        inline_jobs = sorted(
+            p for p in span_paths(inline_spans) if p.endswith("/job")
+        )
+        pool_jobs = sorted(
+            p for p in span_paths(pool_spans) if p.endswith("/job")
+        )
+        assert inline_jobs == pool_jobs
+
+    def test_worker_counters_merged(self, tmp_path):
+        _, _, counters = _run(tmp_path, workers=WORKERS, name="pool")
+        assert counters.get("cache.miss", 0) > 0  # counted in workers
+
+
+class TestDeterministicTrace:
+    def test_fake_clock_runs_are_bit_identical(self, tmp_path):
+        def traced_run(name):
+            tracer = Tracer(clock=FakeClock(tick=0.001), process="main")
+            with use_tracer(tracer):
+                result = execute_matrix(
+                    _config(),
+                    RuntimeConfig(workers=1),
+                    run_dir=tmp_path / name,
+                )
+            assert result.trace_path is not None
+            return result.trace_path.read_text()
+
+        assert traced_run("one") == traced_run("two")
+
+    def test_journal_records_carry_trace_ids(self, tmp_path):
+        from repro.runtime.journal import RunJournal
+
+        result, spans, _ = _run(tmp_path, workers=1, name="inline")
+        replay = RunJournal.load(tmp_path / "inline")
+        dispatches = [
+            r for r in replay.records if r.get("type") == "attempt-start"
+        ]
+        assert dispatches
+        span_ids = {s.span_id for s in spans}
+        for record in dispatches:
+            assert record.get("trace") in span_ids

@@ -298,6 +298,46 @@ class TestAnalyzeCommand:
         assert "graphmat is" in out and "faster than" in out
 
 
+class TestTraceCommand:
+    def _run(self, tmp_path):
+        from repro.harness.config import BenchmarkConfig
+        from repro.harness.runner import BenchmarkRunner
+
+        runner = BenchmarkRunner(
+            BenchmarkConfig(
+                platforms=["pythonref"], datasets=["G22"],
+                algorithms=["bfs"], repetitions=1,
+            )
+        )
+        runner.run(run_dir=tmp_path / "run")
+        return tmp_path / "run"
+
+    def test_tree_view(self, tmp_path, capsys):
+        run_dir = self._run(tmp_path)
+        assert main(["trace", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "matrix-run" in out
+        assert "kernel" in out
+        assert "counters:" in out
+
+    def test_summary_view(self, tmp_path, capsys):
+        run_dir = self._run(tmp_path)
+        assert main(["trace", str(run_dir), "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "pythonref" in out and "bfs" in out
+        assert "tproc" in out
+
+    def test_max_depth(self, tmp_path, capsys):
+        run_dir = self._run(tmp_path)
+        assert main(["trace", str(run_dir), "--max-depth", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "matrix-run" in out and "kernel" not in out
+
+    def test_missing_trace_errors(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path)]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+
 class TestSelfcheckCommand:
     def test_healthy_installation(self, capsys):
         assert main(["selfcheck"]) == 0

@@ -16,7 +16,8 @@ class TestDocumentsExist:
         "name",
         ["README.md", "DESIGN.md", "EXPERIMENTS.md",
          "docs/architecture.md", "docs/calibration.md", "docs/extending.md",
-         "docs/lint.md", "docs/runtime.md", "docs/robustness.md"],
+         "docs/lint.md", "docs/runtime.md", "docs/robustness.md",
+         "docs/observability.md"],
     )
     def test_present_and_substantial(self, name):
         path = ROOT / name
@@ -82,6 +83,10 @@ class TestDocstrings:
             "repro.harness.runner",
             "repro.harness.renewal",
             "repro.granula",
+            "repro.trace",
+            "repro.trace.clock",
+            "repro.trace.tracer",
+            "repro.trace.merge",
             "repro.cli",
         ],
     )

@@ -1,0 +1,47 @@
+"""Tests for the injectable clocks (repro.trace.clock)."""
+
+import pytest
+
+from repro.trace import FakeClock, MonotonicClock
+
+
+class TestMonotonicClock:
+    def test_nondecreasing(self):
+        clock = MonotonicClock()
+        readings = [clock.now() for _ in range(100)]
+        assert readings == sorted(readings)
+
+    def test_sleep_advances(self):
+        clock = MonotonicClock()
+        before = clock.now()
+        clock.sleep(0.01)
+        assert clock.now() - before >= 0.009
+
+
+class TestFakeClock:
+    def test_starts_at_origin(self):
+        assert FakeClock().now() == 0.0
+        assert FakeClock(start=5.0).now() == 5.0
+
+    def test_tick_advances_per_reading(self):
+        clock = FakeClock(tick=0.5)
+        assert [clock.now() for _ in range(4)] == [0.0, 0.5, 1.0, 1.5]
+
+    def test_sleep_is_virtual(self):
+        clock = FakeClock(start=1.0)
+        clock.sleep(10.0)
+        assert clock.now() == 11.0
+
+    def test_advance(self):
+        clock = FakeClock()
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            FakeClock().advance(-1.0)
+
+    def test_deterministic_replay(self):
+        a = FakeClock(start=3.0, tick=0.25)
+        b = FakeClock(start=3.0, tick=0.25)
+        assert [a.now() for _ in range(10)] == [b.now() for _ in range(10)]

@@ -1,0 +1,109 @@
+"""Tests for cross-process rebase and span-tree analysis (repro.trace.merge)."""
+
+from repro.trace import (
+    FakeClock,
+    Span,
+    Tracer,
+    rebase_spans,
+    render_tree,
+    span_paths,
+    span_tree,
+    validate_tree,
+)
+
+
+def worker_spans():
+    """A little worker trace: task > (load, kernel), on the worker clock."""
+    tracer = Tracer(clock=FakeClock(start=100.0, tick=1.0), process="worker-0")
+    with tracer.span("task"):
+        with tracer.span("load"):
+            pass
+        with tracer.span("kernel"):
+            pass
+    return tracer.finished_spans()
+
+
+class TestRebase:
+    def test_offset_applied(self):
+        spans = worker_spans()
+        rebased = rebase_spans(spans, -100.0)
+        by_name = {s.name: s for s in rebased}
+        assert by_name["task"].start == 0.0
+        assert by_name["load"].start == 1.0
+
+    def test_originals_untouched(self):
+        spans = worker_spans()
+        starts = [s.start for s in spans]
+        rebase_spans(spans, -50.0)
+        assert [s.start for s in spans] == starts
+
+    def test_roots_reparented(self):
+        parent = Span(
+            name="attempt", span_id="main:7", trace_id="main",
+            start=0.0, end=50.0,
+        )
+        rebased = rebase_spans(worker_spans(), -100.0, parent=parent)
+        by_name = {s.name: s for s in rebased}
+        assert by_name["task"].parent_id == "main:7"
+        # Non-root spans keep their in-batch parents.
+        assert by_name["load"].parent_id == by_name["task"].span_id
+
+    def test_clamped_into_parent_window(self):
+        parent = Span(
+            name="attempt", span_id="main:7", trace_id="main",
+            start=2.0, end=4.0,
+        )
+        rebased = rebase_spans(worker_spans(), -100.0, parent=parent)
+        for span in rebased:
+            assert span.start >= 2.0
+            assert span.end <= 4.0
+            assert span.end >= span.start
+        assert validate_tree([parent, *rebased]) == []
+
+
+class TestTreeAnalysis:
+    def test_span_tree_structure(self):
+        roots = span_tree(worker_spans())
+        assert [r.name for r in roots] == ["task"]
+        assert [c.name for c in roots[0].children] == ["load", "kernel"]
+
+    def test_span_paths(self):
+        assert span_paths(worker_spans()) == [
+            "task", "task/kernel", "task/load",
+        ]
+
+    def test_validate_clean_tree(self):
+        assert validate_tree(worker_spans()) == []
+
+    def test_validate_negative_duration(self):
+        bad = Span(
+            name="x", span_id="m:0", trace_id="m", start=5.0, end=4.0
+        )
+        violations = validate_tree([bad])
+        assert len(violations) == 1
+        assert "negative" in violations[0]
+
+    def test_validate_child_outside_parent(self):
+        parent = Span(
+            name="p", span_id="m:0", trace_id="m", start=1.0, end=2.0
+        )
+        child = Span(
+            name="c", span_id="m:1", trace_id="m", parent_id="m:0",
+            start=0.5, end=3.0,
+        )
+        violations = validate_tree([parent, child])
+        assert len(violations) == 2  # starts early AND ends late
+
+    def test_render_tree(self):
+        text = render_tree(worker_spans())
+        lines = text.splitlines()
+        assert lines[0].startswith("task")
+        assert lines[1].startswith("  load")
+        assert lines[2].startswith("  kernel")
+
+    def test_render_respects_depth_and_duration(self):
+        text = render_tree(worker_spans(), max_depth=1)
+        assert "task" in text and "load" not in text
+        # Short leaves are hidden; parents with children survive.
+        text = render_tree(worker_spans(), min_duration=2.0)
+        assert "task" in text and "kernel" not in text
