@@ -22,6 +22,7 @@ import numpy as np
 from repro.exceptions import GraphFormatError, ValidationError
 from repro.algorithms.registry import get_algorithm
 from repro.graph.graph import Graph
+from repro.ioutil import atomic_write
 
 __all__ = [
     "write_output",
@@ -51,20 +52,22 @@ def write_output(
             f"output has {len(values)} values for {graph.num_vertices} vertices"
         )
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     integer = _is_integer_valued(algorithm)
-    with open(path, "w", encoding="ascii") as handle:
-        for idx in range(graph.num_vertices):
-            vid = int(graph.vertex_ids[idx])
-            value = values[idx]
-            if integer:
-                handle.write(f"{vid} {int(value)}\n")
+    # Reference outputs are archive artifacts: an in-place rewrite torn
+    # by a crash would fail every later validation against this pair.
+    lines = []
+    for idx in range(graph.num_vertices):
+        vid = int(graph.vertex_ids[idx])
+        value = values[idx]
+        if integer:
+            lines.append(f"{vid} {int(value)}\n")
+        else:
+            v = float(value)
+            if math.isinf(v):
+                lines.append(f"{vid} infinity\n")
             else:
-                v = float(value)
-                if math.isinf(v):
-                    handle.write(f"{vid} infinity\n")
-                else:
-                    handle.write(f"{vid} {v!r}\n")
+                lines.append(f"{vid} {v!r}\n")
+    atomic_write(path, "".join(lines))
     return path
 
 

@@ -218,6 +218,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule table and exit",
     )
+    lint.add_argument(
+        "--no-project", action="store_true",
+        help="skip the whole-program phase (project model, call graph, "
+             "interprocedural rules); per-file rules only",
+    )
 
     full = sub.add_parser(
         "full-run", help="run the complete experiment suite (Table 6)"
@@ -678,6 +683,7 @@ def _cmd_lint(args) -> int:
         partition_findings,
         render_json,
         render_text,
+        stale_entries,
         write_baseline,
     )
 
@@ -693,6 +699,8 @@ def _cmd_lint(args) -> int:
         config.baseline = args.baseline
     if args.select:
         config.select = list(args.select)
+    if args.no_project:
+        config.project = False
 
     if args.paths:
         paths = [Path(p) for p in args.paths]
@@ -714,11 +722,19 @@ def _cmd_lint(args) -> int:
     else:
         baseline = load_baseline(config.baseline_path)
     new, baselined = partition_findings(findings, baseline)
+    stale = stale_entries(findings, baseline)
 
     if args.format == "json":
-        print(render_json(new, baselined))
+        print(render_json(new, baselined, stale=stale))
     else:
-        print(render_text(new, baselined, verbose_baseline=args.show_baselined))
+        print(
+            render_text(
+                new,
+                baselined,
+                verbose_baseline=args.show_baselined,
+                stale=stale,
+            )
+        )
     return 1 if new else 0
 
 

@@ -17,6 +17,7 @@ import numpy as np
 from repro.exceptions import GraphFormatError
 from repro.graph.builder import GraphBuilder
 from repro.graph.graph import Graph
+from repro.ioutil import atomic_write
 
 __all__ = ["read_graph", "write_graph", "read_edge_list", "parse_edge_line"]
 
@@ -103,27 +104,33 @@ def _builder_vertices(builder: GraphBuilder) -> set:
 
 
 def write_graph(graph: Graph, prefix: PathLike) -> Tuple[Path, Path]:
-    """Write ``<prefix>.v`` and ``<prefix>.e``; returns the two paths."""
+    """Write ``<prefix>.v`` and ``<prefix>.e``; returns the two paths.
+
+    Both files go through :func:`repro.ioutil.atomic_write`: archive
+    materialization overwrites previous dataset files in place, and a
+    crash mid-write must not leave a torn edge list behind a valid
+    ``.properties`` file.
+    """
     prefix = Path(prefix)
-    prefix.parent.mkdir(parents=True, exist_ok=True)
     vertex_path = prefix.with_suffix(prefix.suffix + ".v")
     edge_path = prefix.with_suffix(prefix.suffix + ".e")
 
-    with open(vertex_path, "w", encoding="ascii") as handle:
-        for vid in graph.vertex_ids:
-            handle.write(f"{int(vid)}\n")
+    atomic_write(
+        vertex_path, "".join(f"{int(vid)}\n" for vid in graph.vertex_ids)
+    )
 
     ids = graph.vertex_ids
     weights = graph.edge_weights
-    with open(edge_path, "w", encoding="ascii") as handle:
-        if weights is not None:
-            for k in range(graph.num_edges):
-                s = int(ids[graph.edge_src[k]])
-                d = int(ids[graph.edge_dst[k]])
-                handle.write(f"{s} {d} {float(weights[k])!r}\n")
-        else:
-            for k in range(graph.num_edges):
-                s = int(ids[graph.edge_src[k]])
-                d = int(ids[graph.edge_dst[k]])
-                handle.write(f"{s} {d}\n")
+    lines: List[str] = []
+    if weights is not None:
+        for k in range(graph.num_edges):
+            s = int(ids[graph.edge_src[k]])
+            d = int(ids[graph.edge_dst[k]])
+            lines.append(f"{s} {d} {float(weights[k])!r}\n")
+    else:
+        for k in range(graph.num_edges):
+            s = int(ids[graph.edge_src[k]])
+            d = int(ids[graph.edge_dst[k]])
+            lines.append(f"{s} {d}\n")
+    atomic_write(edge_path, "".join(lines))
     return vertex_path, edge_path

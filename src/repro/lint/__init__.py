@@ -17,7 +17,12 @@ findings beyond the committed baseline) and as the ``lint`` probe of
 ``graphalytics selfcheck``. See ``docs/lint.md``.
 """
 
-from repro.lint.baseline import load_baseline, partition_findings, write_baseline
+from repro.lint.baseline import (
+    load_baseline,
+    partition_findings,
+    stale_entries,
+    write_baseline,
+)
 from repro.lint.config import LintConfig, find_project_root, load_config
 from repro.lint.core import (
     Finding,
@@ -29,6 +34,7 @@ from repro.lint.core import (
     get_rule,
     register_rule,
 )
+from repro.lint.project import ProjectModel
 from repro.lint.report import render_json, render_text
 
 __all__ = [
@@ -46,6 +52,8 @@ __all__ = [
     "load_baseline",
     "write_baseline",
     "partition_findings",
+    "stale_entries",
+    "ProjectModel",
     "render_text",
     "render_json",
 ]

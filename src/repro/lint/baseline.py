@@ -1,11 +1,20 @@
 """Baseline handling: grandfathered findings.
 
 The baseline is a committed JSON file mapping finding *fingerprints*
-(rule + path + enclosing symbol + message — line numbers excluded, so
-unrelated edits do not invalidate it) to occurrence counts. A lint run
-fails only on findings **beyond** the baselined counts; regenerating the
-baseline (``graphalytics lint --write-baseline``) is an explicit,
-reviewable act.
+(rule + path + enclosing symbol + message + occurrence index — line
+numbers excluded, so unrelated edits do not invalidate it) to allowed
+counts. A lint run fails only on findings **beyond** the baselined
+counts; regenerating the baseline (``graphalytics lint
+--write-baseline``) is an explicit, reviewable act.
+
+Format history:
+
+* **v1** keyed fingerprints *without* the occurrence index, so two
+  identical findings in one function shared a single entry with count
+  2 — and fixing one silently hid the other behind the survivor's
+  budget. :func:`load_baseline` migrates v1 files on read by expanding
+  each count into indexed fingerprints (``fp::0``, ``fp::1``, ...).
+* **v2** (current) keys each occurrence individually; every count is 1.
 """
 
 from __future__ import annotations
@@ -19,9 +28,24 @@ from repro.exceptions import ConfigurationError
 from repro.ioutil import atomic_write
 from repro.lint.core import Finding
 
-__all__ = ["load_baseline", "write_baseline", "partition_findings"]
+__all__ = [
+    "load_baseline",
+    "write_baseline",
+    "partition_findings",
+    "stale_entries",
+]
 
-_VERSION = 1
+_VERSION = 2
+
+
+def _migrate_v1(fingerprints: Dict[str, int]) -> Dict[str, int]:
+    """v1 entries lack the trailing occurrence index: expand each
+    count-N entry into N indexed fingerprints with count 1."""
+    migrated: Dict[str, int] = {}
+    for fingerprint, count in fingerprints.items():
+        for occurrence in range(max(int(count), 0)):
+            migrated[f"{fingerprint}::{occurrence}"] = 1
+    return migrated
 
 
 def load_baseline(path: Optional[Path]) -> Dict[str, int]:
@@ -32,13 +56,17 @@ def load_baseline(path: Optional[Path]) -> Dict[str, int]:
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as exc:
         raise ConfigurationError(f"unreadable lint baseline {path}: {exc}") from exc
-    if payload.get("version") != _VERSION:
+    version = payload.get("version")
+    fingerprints = payload.get("fingerprints", {})
+    entries = {str(k): int(v) for k, v in fingerprints.items()}
+    if version == 1:
+        return _migrate_v1(entries)
+    if version != _VERSION:
         raise ConfigurationError(
             f"lint baseline {path} has unsupported version "
-            f"{payload.get('version')!r} (expected {_VERSION})"
+            f"{version!r} (expected {_VERSION})"
         )
-    fingerprints = payload.get("fingerprints", {})
-    return {str(k): int(v) for k, v in fingerprints.items()}
+    return entries
 
 
 def write_baseline(path: Path, findings: Sequence[Finding]) -> Path:
@@ -70,3 +98,16 @@ def partition_findings(
         else:
             new.append(finding)
     return new, grandfathered
+
+
+def stale_entries(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> List[str]:
+    """Baseline fingerprints with unconsumed budget: findings that were
+    grandfathered but no longer occur. Stale entries are harmless in
+    the short term but hide regressions — a fixed finding that comes
+    back would be silently re-absorbed — so the CLI reports them and
+    ``--write-baseline`` drops them."""
+    remaining = Counter(baseline)
+    remaining.subtract(Counter(f.fingerprint for f in findings))
+    return sorted(k for k, v in remaining.items() if v > 0)

@@ -36,6 +36,9 @@ class LintConfig:
     ignore: List[str] = field(default_factory=list)
     exclude: List[str] = field(default_factory=list)
     scopes: Dict[str, List[str]] = field(default_factory=dict)
+    #: Whether to build the whole-program ProjectModel and run the
+    #: interprocedural (check_project) phase. Off = per-file rules only.
+    project: bool = True
 
     @property
     def baseline_path(self) -> Optional[Path]:
@@ -137,4 +140,5 @@ def load_config(start: Optional[Path] = None) -> LintConfig:
         ignore=[str(r) for r in section.get("ignore", [])],
         exclude=[str(p) for p in section.get("exclude", [])],
         scopes=scopes,
+        project=bool(section.get("project", True)),
     )

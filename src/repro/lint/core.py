@@ -16,18 +16,29 @@ Design:
   ...) the rule applies to — so kernel-only invariants do not fire on
   the CLI; scopes are overridable from ``pyproject.toml``;
 * ``# lint: disable=DET001`` comments (same line, or a standalone
-  comment on the line above) suppress findings at the source;
-* the engine parses each file once and hands the annotated tree
-  (parent links included) to every in-scope rule.
+  comment on the line above) suppress findings at the source; a
+  directive on the first line of a multi-line statement (or on a
+  decorator) covers the statement's full span;
+* the engine runs in **two phases**: phase 1 parses every file once
+  and builds a whole-program :class:`~repro.lint.project.ProjectModel`
+  (symbol tables, import graph, approximate call graph, mutable-state
+  inventory); phase 2 hands each :class:`Module` to the per-file
+  :meth:`Rule.check` pass and the assembled project to each rule's
+  :meth:`Rule.check_project` pass, so rules can be purely syntactic,
+  purely interprocedural, or both.
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from dataclasses import dataclass
+from collections import Counter
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.project import ProjectModel
 
 from repro.exceptions import ConfigurationError
 
@@ -68,11 +79,20 @@ class Finding:
     col: int
     message: str
     symbol: str = ""   # enclosing function/class, for stable fingerprints
+    #: Occurrence index among identical (rule, path, symbol, message)
+    #: findings, assigned in source order by the engine. Without it,
+    #: two identical findings in the same function would share one
+    #: baseline fingerprint — and fixing one would silently hide the
+    #: other behind the survivor's budget.
+    occurrence: int = 0
 
     @property
     def fingerprint(self) -> str:
         """Baseline identity: stable across unrelated line drift."""
-        return f"{self.rule_id}::{self.path}::{self.symbol}::{self.message}"
+        return (
+            f"{self.rule_id}::{self.path}::{self.symbol}::{self.message}"
+            f"::{self.occurrence}"
+        )
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -83,6 +103,7 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "symbol": self.symbol,
+            "occurrence": self.occurrence,
         }
 
 
@@ -146,6 +167,45 @@ class Module:
             for child in ast.iter_child_nodes(node):
                 child.parent = node  # type: ignore[attr-defined]
         self.suppressions = _parse_suppressions(source)
+        self._extend_suppressions_to_statement_spans()
+
+    def _extend_suppressions_to_statement_spans(self) -> None:
+        """A directive on a statement's first line (or on one of its
+        decorators) covers the statement's full ``lineno..end_lineno``
+        span — a multi-line call, a decorated ``def``, a ``with`` block.
+        Without this, suppressing a finding that a rule reports two
+        lines into the statement required knowing the rule's exact
+        anchor line."""
+        extensions: List[Tuple[int, int, Optional[Set[str]]]] = []
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            end = getattr(node, "end_lineno", None) or node.lineno
+            if end <= node.lineno:
+                continue
+            heads = [node.lineno]
+            heads += [
+                d.lineno for d in getattr(node, "decorator_list", []) or []
+            ]
+            specs = [
+                self.suppressions[line]
+                for line in heads
+                if line in self.suppressions
+            ]
+            if not specs:
+                continue
+            if any(spec is None for spec in specs):
+                merged: Optional[Set[str]] = None
+            else:
+                merged = set().union(*specs)
+            extensions.append((node.lineno, end, merged))
+        for start, end, rules in extensions:
+            for line in range(start, end + 1):
+                current = self.suppressions.get(line, set())
+                if rules is None or current is None:
+                    self.suppressions[line] = None
+                else:
+                    self.suppressions[line] = set(current) | rules
 
     # -- helpers for rules -------------------------------------------------
 
@@ -189,7 +249,13 @@ class Rule:
 
     Subclasses set ``rule_id``, ``severity``, ``description``, and an
     optional ``scope`` (path segments the rule fires in; ``None`` means
-    everywhere), then implement :meth:`check`.
+    everywhere), then implement :meth:`check`, :meth:`check_project`,
+    or both. ``check`` sees one file at a time (phase 2a, the original
+    API); ``check_project`` sees the assembled
+    :class:`~repro.lint.project.ProjectModel` once per run (phase 2b)
+    and is where interprocedural rules live — it runs only when the
+    engine linted more than a lone snippet with the project phase
+    enabled.
     """
 
     rule_id: str = ""
@@ -206,7 +272,19 @@ class Rule:
         return any(part in names for part in effective)
 
     def check(self, module: Module) -> Iterator[Finding]:
-        raise NotImplementedError
+        """Per-file pass; the default checks nothing."""
+        return iter(())
+
+    def check_project(self, project: "ProjectModel") -> Iterator[Finding]:
+        """Whole-program pass; the default checks nothing."""
+        return iter(())
+
+    def project_finding(
+        self, module: Module, node: ast.AST, message: str
+    ) -> Finding:
+        """A finding emitted from :meth:`check_project`, anchored to a
+        node of one of the project's modules."""
+        return module.finding(self, node, message)
 
 
 _REGISTRY: Dict[str, Rule] = {}
@@ -323,7 +401,8 @@ class LintEngine:
 
     # -- running -----------------------------------------------------------
 
-    def lint_file(self, path: Path) -> List[Finding]:
+    def _parse_module(self, path: Path):
+        """(Module, None) on success, (None, SYNTAX finding) otherwise."""
         path = Path(path)
         try:
             source = path.read_text(encoding="utf-8")
@@ -331,18 +410,19 @@ class LintEngine:
             raise ConfigurationError(f"cannot read {path}: {exc}") from exc
         rel = self._rel_path(path)
         try:
-            module = Module(path, rel, source)
+            return Module(path, rel, source), None
         except SyntaxError as exc:
-            return [
-                Finding(
-                    rule_id="SYNTAX",
-                    severity=Severity.ERROR,
-                    path=rel,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 0) + 1,
-                    message=f"file does not parse: {exc.msg}",
-                )
-            ]
+            return None, Finding(
+                rule_id="SYNTAX",
+                severity=Severity.ERROR,
+                path=rel,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+
+    def _module_findings(self, module: Module) -> List[Finding]:
+        """Phase-2a findings: every per-file rule over one module."""
         findings: List[Finding] = []
         for rule in self.rules:
             scope_override = self.config.scopes.get(rule.rule_id)
@@ -353,12 +433,57 @@ class LintEngine:
                     findings.append(finding)
         return findings
 
-    def run(self, paths: Sequence[Path]) -> List[Finding]:
-        """Lint every python file under the given paths, sorted."""
+    def _project_findings(self, modules: List[Module]) -> List[Finding]:
+        """Phase 1 + 2b: build the project model, run project rules."""
+        from repro.lint.project import ProjectModel
+
+        project = ProjectModel.build(modules, scope_overrides=self.config.scopes)
         findings: List[Finding] = []
-        for path in self.collect_files([Path(p) for p in paths]):
-            findings.extend(self.lint_file(path))
+        for rule in self.rules:
+            for finding in rule.check_project(project):
+                module = project.module_for_path(finding.path)
+                if module is None or not module.is_suppressed(finding):
+                    findings.append(finding)
+        return findings
+
+    @staticmethod
+    def _finalize(findings: List[Finding]) -> List[Finding]:
+        """Sort, then assign occurrence indices in source order so
+        identical findings get distinct baseline fingerprints."""
         findings.sort(
             key=lambda f: (f.path, f.line, f.col, f.rule_id, f.message)
         )
-        return findings
+        seen: Counter = Counter()
+        out: List[Finding] = []
+        for finding in findings:
+            key = (finding.rule_id, finding.path, finding.symbol, finding.message)
+            out.append(replace(finding, occurrence=seen[key]))
+            seen[key] += 1
+        return out
+
+    def lint_file(self, path: Path) -> List[Finding]:
+        """Per-file rules over one file (no whole-program phase)."""
+        module, syntax_finding = self._parse_module(path)
+        if module is None:
+            return [syntax_finding]
+        return self._finalize(self._module_findings(module))
+
+    def run(self, paths: Sequence[Path]) -> List[Finding]:
+        """Lint every python file under the given paths, sorted.
+
+        Phase 1 parses every file and (unless ``config.project`` is
+        off) assembles the whole-program model; phase 2 runs per-file
+        rules on each module and project rules on the model.
+        """
+        findings: List[Finding] = []
+        modules: List[Module] = []
+        for path in self.collect_files([Path(p) for p in paths]):
+            module, syntax_finding = self._parse_module(path)
+            if module is None:
+                findings.append(syntax_finding)
+                continue
+            modules.append(module)
+            findings.extend(self._module_findings(module))
+        if modules and getattr(self.config, "project", True):
+            findings.extend(self._project_findings(modules))
+        return self._finalize(findings)

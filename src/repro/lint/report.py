@@ -22,6 +22,7 @@ def render_text(
     baselined: Sequence[Finding] = (),
     *,
     verbose_baseline: bool = False,
+    stale: Sequence[str] = (),
 ) -> str:
     """One line per new finding + summary; '' when everything is clean."""
     lines: List[str] = []
@@ -37,8 +38,17 @@ def render_text(
                 f"{finding.path}:{finding.line}:{finding.col}: "
                 f"{finding.rule_id} (baselined) {finding.message}"
             )
+    if stale:
+        for fingerprint in stale:
+            lines.append(f"stale baseline entry (finding fixed): {fingerprint}")
+        lines.append(
+            f"note: {len(stale)} stale baseline "
+            f"entr{'ies' if len(stale) != 1 else 'y'} — regenerate with "
+            f"--write-baseline to drop them"
+        )
     if not new and not baselined:
-        return "lint: clean (0 findings)"
+        lines.append("lint: clean (0 findings)")
+        return "\n".join(lines)
     counts = Counter(f.rule_id for f in new)
     summary = ", ".join(f"{rule}: {n}" for rule, n in sorted(counts.items()))
     lines.append(
@@ -52,6 +62,8 @@ def render_text(
 def render_json(
     new: Sequence[Finding],
     baselined: Sequence[Finding] = (),
+    *,
+    stale: Sequence[str] = (),
 ) -> str:
     """Stable JSON document covering both new and baselined findings."""
     def rows(findings: Sequence[Finding], is_baselined: bool):
@@ -64,6 +76,7 @@ def render_json(
         "version": 1,
         "new": len(new),
         "baselined": len(baselined),
+        "stale": list(stale),
         "counts": {k: counts[k] for k in sorted(counts)},
         "findings": rows(new, False) + rows(baselined, True),
     }

@@ -14,6 +14,9 @@ rule id      severity  invariant
 ``REG001``   error     algorithm registry ↔ validation/experiment wiring
 ``REP001``   warning   reporters emit metered numbers via harness.metrics
 ``OBS001``   error     timing goes through the ``repro.trace`` clock
+``RACE001``  error     worker-reachable code never mutates module globals
+``RACE002``  error     job payloads / Pipe sends carry plain picklable data
+``RACE003``  warning   no import-time fork-unsafe resources used in workers
 ===========  ========  ====================================================
 
 See ``docs/lint.md`` for rationale and suppression syntax.
@@ -36,6 +39,11 @@ from repro.lint.rules.robustness import (  # noqa: F401
 from repro.lint.rules.consistency import RegistryConsistencyRule  # noqa: F401
 from repro.lint.rules.observability import BareClockCallRule  # noqa: F401
 from repro.lint.rules.reporting import UnmeteredRateRule  # noqa: F401
+from repro.lint.rules.concurrency import (  # noqa: F401
+    ForkUnsafeImportResourceRule,
+    UnpicklablePayloadRule,
+    WorkerGlobalMutationRule,
+)
 
 __all__ = [
     "UnorderedIterationRule",
@@ -49,4 +57,7 @@ __all__ = [
     "RegistryConsistencyRule",
     "UnmeteredRateRule",
     "BareClockCallRule",
+    "WorkerGlobalMutationRule",
+    "UnpicklablePayloadRule",
+    "ForkUnsafeImportResourceRule",
 ]

@@ -17,7 +17,7 @@ measuring, and the tracer clock forwards it anyway.
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Dict, Iterator, Optional, Set
 
 from repro.lint.core import (
     Finding,
@@ -96,3 +96,107 @@ class BareClockCallRule(Rule):
                     f"its reading is untestable, untraced, and unrebased; "
                     f"open a span or read current_tracer().clock instead",
                 )
+
+    # -- interprocedural pass ----------------------------------------------
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Catch clock calls the syntactic pass cannot see: the ``time``
+        module renamed by an import alias (``import time as _clk``),
+        and module-level rebinds (``_now = time.monotonic``) called
+        locally or from another module. The alias and the rebound name
+        defeat the per-file pass's ``time.``/``_time.`` root check, but
+        the reading is just as untraced.
+        """
+        aliases: Dict[str, Set[str]] = {}
+        rebinds: Dict[str, Dict[str, str]] = {}
+        for name, info in project.modules.items():
+            if info.is_trace_module:
+                continue  # the tracing core may touch the stdlib clocks
+            mod_aliases = {
+                local
+                for local, binding in info.imports.items()
+                if binding.symbol is None
+                and binding.module == "time"
+                and local not in ("time", "_time")
+            }
+            aliases[name] = mod_aliases
+            binds: Dict[str, str] = {}
+            for stmt in info.module.tree.body:
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                source = self._clock_source(info, mod_aliases, stmt.value)
+                if source is None:
+                    continue
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        binds[target.id] = source
+            rebinds[name] = binds
+        for name, info in project.modules.items():
+            if info.is_trace_module:
+                continue
+            for node in ast.walk(info.module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in aliases[name]
+                    and func.attr in _CLOCK_NAMES
+                ):
+                    yield info.module.finding(
+                        self, node,
+                        f"`{func.value.id}.{func.attr}()` reads the "
+                        f"standard clock through import alias "
+                        f"`{func.value.id}`, bypassing the tracer clock; "
+                        f"open a span or read current_tracer().clock",
+                    )
+                elif isinstance(func, ast.Name):
+                    source = self._resolve_clock_name(
+                        project, info, rebinds, func.id
+                    )
+                    if source is not None:
+                        yield info.module.finding(
+                            self, node,
+                            f"`{func.id}()` is `{source}` rebound at "
+                            f"module level — a standard clock in "
+                            f"disguise; open a span or read "
+                            f"current_tracer().clock instead",
+                        )
+
+    @staticmethod
+    def _clock_source(info, mod_aliases: Set[str], value: ast.AST) -> Optional[str]:
+        """Canonical ``time.<fn>`` if ``value`` denotes a stdlib clock."""
+        if isinstance(value, ast.Attribute) and isinstance(
+            value.value, ast.Name
+        ):
+            base = value.value.id
+            if value.attr in _CLOCK_NAMES and (
+                base in ("time", "_time") or base in mod_aliases
+            ):
+                return f"time.{value.attr}"
+        elif isinstance(value, ast.Name):
+            binding = info.imports.get(value.id)
+            if (
+                binding is not None
+                and binding.module == "time"
+                and binding.symbol in _CLOCK_NAMES
+            ):
+                return f"time.{binding.symbol}"
+        return None
+
+    @staticmethod
+    def _resolve_clock_name(
+        project, info, rebinds: Dict[str, Dict[str, str]], name: str
+    ) -> Optional[str]:
+        """``name`` in ``info``'s namespace as a module-level clock
+        rebind — defined locally or imported from another module."""
+        source = rebinds.get(info.name, {}).get(name)
+        if source is not None:
+            return source
+        binding = info.imports.get(name)
+        if binding is not None and binding.symbol is not None:
+            target = project.resolve_module(binding.module)
+            if target is not None:
+                return rebinds.get(target.name, {}).get(binding.symbol)
+        return None

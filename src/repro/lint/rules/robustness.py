@@ -21,7 +21,8 @@ append-mode writes — the journal's own medium — are exempt.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Optional
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.lint.core import (
     Finding,
@@ -206,6 +207,29 @@ def _is_truncating_mode(mode: Optional[ast.expr]) -> bool:
     )
 
 
+def _truncating_writes(tree: ast.AST) -> Iterator[Tuple[ast.Call, str]]:
+    """Every in-place truncating write under ``tree``, with a short
+    description of the offending call — shared by the per-file pass and
+    the interprocedural taint pass."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _WRITE_METHODS:
+            yield node, f".{func.attr}()"
+            continue
+        is_open = (
+            isinstance(func, ast.Name) and func.id == "open"
+        ) or (
+            isinstance(func, ast.Attribute) and func.attr == "open"
+        )
+        if not is_open:
+            continue
+        mode = _open_mode(node, is_method=isinstance(func, ast.Attribute))
+        if _is_truncating_mode(mode):
+            yield node, f"open(..., {mode.value!r})"  # type: ignore[union-attr]
+
+
 @register_rule
 class AtomicArtifactWriteRule(Rule):
     """ROB001: run artifact written without ``atomic_write``.
@@ -231,30 +255,71 @@ class AtomicArtifactWriteRule(Rule):
     scope = ("harness", "runtime", "granula", "lint")
 
     def check(self, module: Module) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            func = node.func
-            if isinstance(func, ast.Attribute) and func.attr in _WRITE_METHODS:
+        for node, desc in _truncating_writes(module.tree):
+            if desc.startswith("."):
                 yield module.finding(
                     self, node,
-                    f"`.{func.attr}()` replaces the file non-atomically; "
+                    f"`{desc}` replaces the file non-atomically; "
                     f"a crash mid-write leaves a torn artifact — use "
                     f"repro.ioutil.atomic_write",
                 )
-                continue
-            is_open = (
-                isinstance(func, ast.Name) and func.id == "open"
-            ) or (
-                isinstance(func, ast.Attribute) and func.attr == "open"
-            )
-            if not is_open:
-                continue
-            mode = _open_mode(node, is_method=isinstance(func, ast.Attribute))
-            if _is_truncating_mode(mode):
+            else:
                 yield module.finding(
                     self, node,
-                    f"`open(..., {mode.value!r})` truncates in place; a "
+                    f"`{desc}` truncates in place; a "
                     f"crash mid-write leaves a torn run artifact — use "
                     f"repro.ioutil.atomic_write (append modes are exempt)",
                 )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Interprocedural pass: an in-scope module that routes its
+        write through a helper in an *out-of-scope* module (``from
+        repro.util import dump_json``) still tears the artifact on
+        crash — the per-file pass never sees the helper's ``open``.
+        Taint every out-of-scope function containing a truncating
+        write, close over reverse call edges, and flag the in-scope
+        call sites that cross into the tainted region.
+        """
+        scope = project.scope_overrides.get(self.rule_id)
+        tainted: Dict[str, str] = {}
+        for info in project.modules.values():
+            if self.applies_to(info.module, scope):
+                continue  # in-scope writes are the per-file pass's job
+            for node, desc in _truncating_writes(info.module.tree):
+                fn = info.function_at(node)
+                if fn is not None:
+                    tainted.setdefault(fn.key, desc)
+        if not tainted:
+            return
+        sink = self._sink_origins(project.call_graph, tainted)
+        for site in project.call_graph.call_sites:
+            callee = project.call_graph.nodes.get(site.callee)
+            caller = project.call_graph.nodes.get(site.caller)
+            if callee is None or caller is None or site.callee not in sink:
+                continue
+            if self.applies_to(callee.module.module, scope):
+                continue  # the callee's own write is flagged directly
+            if not self.applies_to(caller.module.module, scope):
+                continue  # only flag where the taint enters scoped code
+            root = sink[site.callee]
+            yield caller.module.module.finding(
+                self, site.node,
+                f"call to `{site.callee}` ends in a non-atomic "
+                f"`{tainted[root]}` (inside `{root}`); the artifact is "
+                f"torn on crash exactly as if written here — route the "
+                f"write through repro.ioutil.atomic_write",
+            )
+
+    @staticmethod
+    def _sink_origins(graph, tainted: Dict[str, str]) -> Dict[str, str]:
+        """Every function from which a tainted writer is reachable,
+        mapped to the tainted function it first reaches."""
+        origin = {key: key for key in tainted}
+        queue = deque(sorted(tainted))
+        while queue:
+            current = queue.popleft()
+            for prev in sorted(graph.reverse.get(current, ())):
+                if prev not in origin:
+                    origin[prev] = origin[current]
+                    queue.append(prev)
+        return origin

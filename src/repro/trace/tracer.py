@@ -318,7 +318,11 @@ def read_trace(
 
 # -- the current tracer ------------------------------------------------------
 
-_CURRENT = Tracer()
+# The tracer registry is deliberately per-process: each pool worker
+# installs its own Tracer after the fork (spans are rebased onto the
+# dispatcher's timeline when results come back over the pipe), so the
+# divergence RACE001/RACE003 guard against is the design here.
+_CURRENT = Tracer()  # lint: disable=RACE003
 
 
 def current_tracer() -> Tracer:
@@ -330,7 +334,7 @@ def set_tracer(tracer: Tracer) -> Tracer:
     """Replace the current tracer; returns the previous one."""
     global _CURRENT
     previous = _CURRENT
-    _CURRENT = tracer
+    _CURRENT = tracer  # lint: disable=RACE001
     return previous
 
 

@@ -1,0 +1,22 @@
+"""Clock access hidden from the per-file OBS001 pass.
+
+Every pattern here defeats the syntactic ``time.``/``_time.`` root
+check: the module alias renames the root, and the module-level rebind
+erases the dotted call entirely.
+"""
+
+import time as _clk
+
+_now = _clk.perf_counter          # module-level clock rebind
+
+
+def elapsed(start):
+    return _clk.monotonic() - start   # aliased module: project pass only
+
+
+def stamp():
+    return _now()                     # rebound clock: project pass only
+
+
+def wait(seconds):
+    _clk.sleep(seconds)               # sleep is never a measurement

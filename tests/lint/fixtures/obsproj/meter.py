@@ -1,0 +1,9 @@
+"""Cross-module use of a rebound clock: the helper-indirected case."""
+
+from obsproj.clockmod import _now
+
+
+def measure(fn):
+    start = _now()                    # imported rebind: project pass only
+    fn()
+    return _now() - start

@@ -1,0 +1,22 @@
+"""Job functions dispatched into workers: the mutation sites."""
+
+from raceproj.resources import LOG_HANDLE
+from raceproj.state import CACHE, RESULTS
+
+
+def run_job(payload):
+    CACHE[payload["key"]] = payload["value"]   # RACE001: item assignment
+    record(payload)
+    return helper_total(payload)
+
+
+def record(payload):
+    RESULTS.append(payload)                    # RACE001: mutating method
+    LOG_HANDLE.write(str(payload))             # RACE003: fork-shared handle
+
+
+def helper_total(payload):
+    # Locals are process-private: never flagged.
+    totals = {}
+    totals["sum"] = sum(payload.get("values", ()))
+    return totals

@@ -1,0 +1,6 @@
+"""Import-time resources for the RACE fixture project."""
+
+import threading
+
+LOG_HANDLE = open("/tmp/raceproj.log", "a")   # fork-unsafe: shared offset
+STATE_LOCK = threading.Lock()                  # fork-unsafe: inherited held

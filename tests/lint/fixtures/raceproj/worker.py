@@ -1,0 +1,28 @@
+"""The fork boundary: Process(target=...) marks the entrypoint."""
+
+import multiprocessing as mp
+
+from raceproj.jobs import run_job
+
+
+def _worker_main(conn):
+    while True:
+        payload = conn.recv()
+        if payload is None:
+            return
+        conn.send(run_job(payload))
+
+
+def spawn_worker(conn):
+    ctx = mp.get_context("fork")
+    process = ctx.Process(target=_worker_main, args=(conn,), daemon=True)
+    process.start()
+    return process
+
+
+def dispatcher_side_mutation(payload):
+    # NOT worker-reachable (nothing dispatches this): the same mutation
+    # shape must stay unflagged on the dispatcher side of the fork.
+    from raceproj.state import CACHE
+
+    CACHE[payload["key"]] = payload["value"]

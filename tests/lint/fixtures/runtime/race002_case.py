@@ -1,0 +1,30 @@
+"""RACE002 fixture: payloads that cannot (or must not) cross the pipe."""
+
+
+def dispatch(task_conn, payload):
+    task_conn.send(lambda: payload)          # line 5: lambda payload
+    task_conn.send(open("data.txt"))         # line 6: open handle payload
+    task_conn.send({"plain": payload})       # clean: plain data
+
+
+def submit_all(pool, items):
+    def helper(item):
+        return item
+
+    pool.submit(helper, items)               # line 14: nested-function payload
+    return helper(items[0])                  # clean: called locally, not shipped
+
+
+def stream_results(result_conn, items):
+    result_conn.send(x * 2 for x in items)   # line 19: generator payload
+    result_conn.send([x * 2 for x in items])  # clean: materialized list
+
+
+def spawn(ctx, worker, queue):
+    proc = ctx.Process(target=worker, args=(queue, lambda x: x))  # line 24
+    return proc
+
+
+def unrelated_send(socketless, payload):
+    # Receiver name has no channel token: not a pipe, not checked.
+    socketless.deliver(lambda: payload)

@@ -1,15 +1,23 @@
-"""Baseline persistence and new/grandfathered partitioning."""
+"""Baseline persistence, v1 migration, and new/grandfathered partitioning."""
 
 import json
 
 import pytest
 
 from repro.exceptions import ConfigurationError
-from repro.lint import Finding, load_baseline, partition_findings, write_baseline
+from repro.lint import (
+    Finding,
+    load_baseline,
+    partition_findings,
+    stale_entries,
+    write_baseline,
+)
 
 
-def _finding(message="msg", line=1):
-    return Finding("DET001", "error", "a/b.py", line, 1, message, "fn")
+def _finding(message="msg", line=1, occurrence=0):
+    return Finding(
+        "DET001", "error", "a/b.py", line, 1, message, "fn", occurrence
+    )
 
 
 class TestPersistence:
@@ -42,8 +50,28 @@ class TestPersistence:
         path = tmp_path / "baseline.json"
         write_baseline(path, [_finding("b"), _finding("a")])
         payload = json.loads(path.read_text(encoding="utf-8"))
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert list(payload["fingerprints"]) == sorted(payload["fingerprints"])
+
+    def test_v1_baseline_migrates_counts_to_occurrences(self, tmp_path):
+        # A v1 entry without the occurrence index and count 2 becomes
+        # two indexed entries — matching the fingerprints the engine
+        # now assigns to the first and second identical finding.
+        path = tmp_path / "baseline.json"
+        v1_fp = "DET001::a/b.py::fn::msg"
+        path.write_text(
+            json.dumps({"version": 1, "fingerprints": {v1_fp: 2, "x::y::z::m": 1}}),
+            encoding="utf-8",
+        )
+        baseline = load_baseline(path)
+        assert baseline == {
+            f"{v1_fp}::0": 1,
+            f"{v1_fp}::1": 1,
+            "x::y::z::m::0": 1,
+        }
+        first, second = _finding(), _finding(occurrence=1)
+        new, old = partition_findings([first, second], baseline)
+        assert new == [] and len(old) == 2
 
 
 class TestPartitioning:
@@ -60,3 +88,32 @@ class TestPartitioning:
     def test_unknown_fingerprints_are_new(self):
         new, old = partition_findings([_finding()], {})
         assert len(new) == 1 and old == []
+
+    def test_occurrence_index_separates_identical_findings(self):
+        # Fixing the first of two identical findings must NOT let the
+        # survivor hide behind the other's budget: the remaining
+        # finding keeps occurrence 0 and only the ::1 entry goes stale.
+        baseline = {
+            _finding().fingerprint: 1,
+            _finding(occurrence=1).fingerprint: 1,
+        }
+        new, old = partition_findings([_finding()], baseline)
+        assert new == [] and len(old) == 1
+        assert stale_entries([_finding()], baseline) == [
+            _finding(occurrence=1).fingerprint
+        ]
+
+
+class TestStaleEntries:
+    def test_no_stale_when_all_budget_consumed(self):
+        baseline = {_finding().fingerprint: 1}
+        assert stale_entries([_finding()], baseline) == []
+
+    def test_fixed_finding_reported_stale(self):
+        baseline = {_finding().fingerprint: 1, _finding("gone").fingerprint: 1}
+        assert stale_entries([_finding()], baseline) == [
+            _finding("gone").fingerprint
+        ]
+
+    def test_empty_baseline_never_stale(self):
+        assert stale_entries([_finding()], {}) == []

@@ -1,0 +1,166 @@
+"""The RACE rule family and the interprocedural ROB001/OBS001 passes."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, LintEngine
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _run(paths, select, root=REPO_ROOT, scopes=None):
+    config = LintConfig(root=root, select=list(select))
+    if scopes:
+        config.scopes = scopes
+    return LintEngine(config).run([Path(p) for p in paths])
+
+
+def _triples(findings):
+    return [(f.rule_id, f.path.rsplit("/", 1)[-1], f.line) for f in findings]
+
+
+class TestRace001WorkerGlobalMutation:
+    def test_worker_reachable_mutations_flagged(self):
+        findings = _run([FIXTURES / "raceproj"], ["RACE001"])
+        assert _triples(findings) == [
+            ("RACE001", "jobs.py", 8),
+            ("RACE001", "jobs.py", 14),
+        ]
+        assert all(f.severity == "error" for f in findings)
+
+    def test_messages_name_state_owner_and_entrypoint(self):
+        by_line = {f.line: f.message for f in _run([FIXTURES / "raceproj"], ["RACE001"])}
+        assert "`CACHE`" in by_line[8] and "raceproj.state" in by_line[8]
+        assert "_worker_main" in by_line[8]
+        assert "`.append()`" in by_line[14] and "`RESULTS`" in by_line[14]
+
+    def test_dispatcher_side_mutation_not_flagged(self):
+        findings = _run([FIXTURES / "raceproj"], ["RACE001"])
+        assert all(f.symbol != "dispatcher_side_mutation" for f in findings)
+
+    def test_local_state_never_flagged(self):
+        findings = _run([FIXTURES / "raceproj"], ["RACE001"])
+        assert all(f.symbol != "helper_total" for f in findings)
+
+    def test_no_findings_without_project_phase(self):
+        config = LintConfig(root=REPO_ROOT, select=["RACE001"], project=False)
+        assert LintEngine(config).run([FIXTURES / "raceproj"]) == []
+
+
+class TestRace002UnpicklablePayloads:
+    def test_exact_findings(self):
+        findings = _run(
+            [FIXTURES / "runtime" / "race002_case.py"], ["RACE002"]
+        )
+        assert _triples(findings) == [
+            ("RACE002", "race002_case.py", 5),
+            ("RACE002", "race002_case.py", 6),
+            ("RACE002", "race002_case.py", 14),
+            ("RACE002", "race002_case.py", 19),
+            ("RACE002", "race002_case.py", 24),
+        ]
+        assert all(f.severity == "error" for f in findings)
+
+    def test_clean_payload_shapes_pass(self):
+        findings = _run(
+            [FIXTURES / "runtime" / "race002_case.py"], ["RACE002"]
+        )
+        # Plain dicts, materialized lists, locally-called helpers and
+        # non-channel receivers all stay silent.
+        assert {f.symbol for f in findings} == {
+            "dispatch", "submit_all", "stream_results", "spawn"
+        }
+        assert all(f.symbol != "unrelated_send" for f in findings)
+
+    def test_out_of_scope_module_not_checked(self):
+        findings = _run([FIXTURES / "raceproj" / "jobs.py"], ["RACE002"])
+        assert findings == []
+
+
+class TestRace003ForkUnsafeImportResources:
+    def test_import_time_handle_flagged_at_creation_site(self):
+        findings = _run([FIXTURES / "raceproj"], ["RACE003"])
+        assert _triples(findings) == [
+            ("RACE003", "resources.py", 5),
+        ]
+        finding = findings[0]
+        assert finding.severity == "warning"
+        assert "`LOG_HANDLE`" in finding.message
+        assert "jobs.record" in finding.message
+
+    def test_unused_lock_not_flagged(self):
+        # STATE_LOCK exists at import time but no worker-reachable code
+        # touches it: creation alone is not the violation.
+        findings = _run([FIXTURES / "raceproj"], ["RACE003"])
+        assert all("STATE_LOCK" not in f.message for f in findings)
+
+
+class TestRob001Interprocedural:
+    @pytest.fixture
+    def miniproject(self, tmp_path):
+        # ROB001's scope includes the "lint" path segment, so every
+        # fixture under tests/lint/ would be in scope; the helper must
+        # live in a genuinely out-of-scope module, hence tmp_path.
+        (tmp_path / "harness").mkdir()
+        (tmp_path / "util").mkdir()
+        (tmp_path / "util" / "disk.py").write_text(
+            "def dump(path, data):\n"
+            "    with open(path, 'w', encoding='utf-8') as handle:\n"
+            "        handle.write(data)\n",
+            encoding="utf-8",
+        )
+        (tmp_path / "harness" / "writer.py").write_text(
+            "from util.disk import dump\n"
+            "\n"
+            "\n"
+            "def save_report(path, data):\n"
+            "    dump(path, data)\n",
+            encoding="utf-8",
+        )
+        return tmp_path
+
+    def test_helper_indirected_write_flagged_at_call_site(self, miniproject):
+        findings = _run([miniproject], ["ROB001"], root=miniproject)
+        assert _triples(findings) == [
+            ("ROB001", "writer.py", 5),
+        ]
+        message = findings[0].message
+        assert "util.disk.dump" in message
+        assert "atomic_write" in message
+
+    def test_old_syntactic_pass_misses_it(self, miniproject):
+        config = LintConfig(root=miniproject, select=["ROB001"], project=False)
+        assert LintEngine(config).run([miniproject]) == []
+
+
+class TestObs001Interprocedural:
+    def test_aliased_and_rebound_clocks_flagged(self):
+        findings = _run([FIXTURES / "obsproj"], ["OBS001"])
+        assert _triples(findings) == [
+            ("OBS001", "clockmod.py", 14),
+            ("OBS001", "clockmod.py", 18),
+            ("OBS001", "meter.py", 7),
+            ("OBS001", "meter.py", 9),
+        ]
+        by_line = {(f.path.rsplit("/", 1)[-1], f.line): f.message for f in findings}
+        assert "import alias `_clk`" in by_line[("clockmod.py", 14)]
+        assert "time.perf_counter" in by_line[("meter.py", 7)]
+
+    def test_sleep_through_alias_not_flagged(self):
+        findings = _run([FIXTURES / "obsproj"], ["OBS001"])
+        assert all(f.symbol != "wait" for f in findings)
+
+    def test_old_syntactic_pass_misses_all_of_it(self):
+        config = LintConfig(root=REPO_ROOT, select=["OBS001"], project=False)
+        assert LintEngine(config).run([FIXTURES / "obsproj"]) == []
+
+
+class TestLiveTreeIsClean:
+    def test_src_repro_has_no_unbaselined_race_findings(self):
+        findings = _run(
+            [REPO_ROOT / "src" / "repro"],
+            ["RACE001", "RACE002", "RACE003"],
+        )
+        assert findings == []

@@ -27,6 +27,86 @@ class TestSuppressions:
         assert _parse_suppressions("x = 1  # noqa: BLE001\n") == {}
 
 
+class TestSuppressionSpans:
+    """A directive on a statement's first line (or a decorator) covers
+    the statement's full ``end_lineno`` span."""
+
+    def _module(self, tmp_path, source):
+        from repro.lint.core import Module
+
+        path = tmp_path / "m.py"
+        path.write_text(source, encoding="utf-8")
+        return Module(path, "m.py", source)
+
+    def test_multiline_statement_covered_from_first_line(self, tmp_path):
+        module = self._module(
+            tmp_path,
+            "value = make(  # lint: disable=DET002\n"
+            "    1,\n"
+            "    2,\n"
+            ")\n",
+        )
+        for line in (1, 2, 3, 4):
+            assert module.suppressions.get(line) == {"DET002"}
+
+    def test_decorator_directive_covers_the_whole_def(self, tmp_path):
+        module = self._module(
+            tmp_path,
+            "@wrap  # lint: disable=DET001\n"
+            "def fn():\n"
+            "    x = 1\n"
+            "    return x\n",
+        )
+        for line in (1, 2, 3, 4):
+            assert module.suppressions.get(line) == {"DET001"}
+
+    def test_bare_disable_wins_over_rule_list(self, tmp_path):
+        module = self._module(
+            tmp_path,
+            "with ctx(  # lint: disable\n"
+            "    arg,  # lint: disable=DET001\n"
+            "):\n"
+            "    pass\n",
+        )
+        assert module.suppressions.get(1) is None
+        assert module.suppressions.get(4) is None
+
+    def test_unrelated_statements_not_covered(self, tmp_path):
+        module = self._module(
+            tmp_path,
+            "x = 1  # lint: disable=DET002\n"
+            "y = 2\n",
+        )
+        assert module.suppressions.get(1) == {"DET002"}
+        assert 2 not in module.suppressions
+
+    def test_suppression_inside_span_silences_rule(self, tmp_path):
+        # End-to-end: the DET002 finding anchors on the *second*
+        # physical line of the statement; a directive on the first
+        # line must now cover it.
+        from repro.lint import LintConfig, LintEngine
+
+        source = (
+            "import random\n"
+            "\n"
+            "value = list(\n"
+            "    random.random()\n"
+            "    for _ in range(3)\n"
+            ")\n"
+        )
+        target = tmp_path / "case.py"
+        target.write_text(source, encoding="utf-8")
+        config = LintConfig(root=tmp_path, select=["DET002"])
+        findings = LintEngine(config).run([target])
+        assert [f.line for f in findings] == [4]
+        suppressed = source.replace(
+            "value = list(",
+            "value = list(  # lint: disable=DET002",
+        )
+        target.write_text(suppressed, encoding="utf-8")
+        assert LintEngine(config).run([target]) == []
+
+
 class TestFinding:
     def test_fingerprint_excludes_line_numbers(self):
         a = Finding("DET001", "error", "a/b.py", 10, 5, "msg", "fn")
@@ -50,6 +130,33 @@ class TestFinding:
         assert d["path"] == "a/b.py"
         assert d["line"] == 10 and d["col"] == 5
         assert d["symbol"] == "fn"
+        assert d["occurrence"] == 0
+
+    def test_fingerprint_distinguishes_occurrences(self):
+        first = Finding("DET001", "error", "a/b.py", 1, 1, "msg", "fn")
+        second = Finding(
+            "DET001", "error", "a/b.py", 2, 1, "msg", "fn", occurrence=1
+        )
+        assert first.fingerprint != second.fingerprint
+
+    def test_engine_assigns_occurrences_in_source_order(self, tmp_path):
+        # Two identical violations in one function: distinct
+        # fingerprints, so the baseline can track them independently.
+        source = (
+            "import random\n"
+            "\n"
+            "\n"
+            "def jitter():\n"
+            "    a = random.random()\n"
+            "    b = random.random()\n"
+            "    return a + b\n"
+        )
+        target = tmp_path / "case.py"
+        target.write_text(source, encoding="utf-8")
+        config = LintConfig(root=tmp_path, select=["DET002"])
+        findings = LintEngine(config).run([target])
+        assert [(f.line, f.occurrence) for f in findings] == [(5, 0), (6, 1)]
+        assert len({f.fingerprint for f in findings}) == 2
 
 
 class TestEngineSetup:
