@@ -3,7 +3,7 @@
 
 The two-phase engine parses every module, builds the project model
 (symbol tables, import graph, call graph, worker-reachability closure)
-and then runs all fourteen rules — per-file and interprocedural — over
+and then runs all fifteen rules — per-file and interprocedural — over
 the full tree. The gate asserts the end-to-end run stays under
 ``TIME_BUDGET_SECONDS`` so the CI lint leg (and a pre-commit habit)
 remains cheap as the tree grows; a separate ``--no-project`` arm is

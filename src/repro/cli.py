@@ -16,7 +16,15 @@ Commands:
 * ``resume`` — continue a crashed journaled run from its run directory
   (``--run-dir`` on run/report/full-run; docs/robustness.md);
 * ``trace`` — render the span tree (or per-job summary) of a run
-  directory's ``trace.jsonl`` (docs/observability.md).
+  directory's ``trace.jsonl`` (docs/observability.md);
+* ``serve``/``submit``/``watch``/``fetch`` — the benchmark service:
+  run the multi-tenant HTTP server, submit a matrix to it, stream a
+  run's journal + trace as SSE, and download finished artifacts
+  (docs/service.md).
+
+Every ``--workers`` flag accepts an integer or ``auto``; ``auto`` (and
+any request above the host's CPU count) resolves to the number of CPUs
+(:func:`repro.runtime.executor.resolve_workers`).
 """
 
 from __future__ import annotations
@@ -28,6 +36,18 @@ from typing import List, Optional
 from repro.exceptions import GraphalyticsError
 
 __all__ = ["main", "build_parser"]
+
+
+def _workers_type(value: str):
+    """``--workers`` argument: a positive integer or the word ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,9 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="render an ASCII log-scale figure instead of raw rows",
     )
     run.add_argument(
-        "--workers", type=int, default=1,
+        "--workers", type=_workers_type, default=1,
         help="prefetch the experiment's graphs and validation references "
-             "on this many worker processes before the (sequential) body runs",
+             "on this many worker processes before the (sequential) body "
+             "runs ('auto' = the host CPU count)",
     )
     run.add_argument(
         "--run-dir", default=None,
@@ -101,9 +122,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=0)
     report.add_argument("--output", help="write the report to this path")
     report.add_argument(
-        "--workers", type=int, default=1,
+        "--workers", type=_workers_type, default=1,
         help="execute the matrix on this many worker processes "
-             "(deterministic merge; see docs/runtime.md)",
+             "('auto' = the host CPU count; deterministic merge, "
+             "see docs/runtime.md)",
     )
     report.add_argument(
         "--cache-dir", default=None,
@@ -237,8 +259,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="subset of experiment ids (default: all eight)",
     )
     full.add_argument(
-        "--workers", type=int, default=1,
-        help="prefetch all experiment inputs on this many worker processes",
+        "--workers", type=_workers_type, default=1,
+        help="prefetch all experiment inputs on this many worker "
+             "processes ('auto' = the host CPU count)",
     )
     full.add_argument(
         "--run-dir", default=None,
@@ -252,9 +275,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resume.add_argument("run_dir", help="directory holding journal.jsonl")
     resume.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes for the remaining jobs (matrix runs only; "
-             "may differ from the crashed run)",
+        "--workers", type=_workers_type, default=1,
+        help="worker processes for the remaining jobs ('auto' = the host "
+             "CPU count; matrix runs only; may differ from the crashed run)",
     )
     resume.add_argument(
         "--job-timeout", type=float, default=None,
@@ -292,6 +315,84 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-ms", type=float, default=0.0,
         help="hide spans shorter than this many milliseconds",
     )
+
+    serve = sub.add_parser(
+        "serve", help="run the benchmark service (HTTP submissions + SSE)"
+    )
+    serve.add_argument(
+        "--spool", default="service-spool",
+        help="directory holding every submitted run (survives restarts)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8735,
+        help="listen port (0 picks a free port; the bound address is "
+             "printed on boot)",
+    )
+    serve.add_argument(
+        "--workers", type=_workers_type, default="auto",
+        help="default worker count per run ('auto' = the host CPU count)",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="default per-job wall-clock budget forwarded to runs",
+    )
+    serve.add_argument(
+        "--max-running", type=int, default=2,
+        help="global cap on concurrently executing runs",
+    )
+    serve.add_argument(
+        "--tenant-depth", type=int, default=4,
+        help="per-tenant queued-run quota (429 over it)",
+    )
+    serve.add_argument(
+        "--tenant-running", type=int, default=1,
+        help="per-tenant concurrently-running quota",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit a benchmark matrix to the service"
+    )
+    submit.add_argument(
+        "matrix",
+        help="path to a JSON matrix file, or the word 'example' for the "
+             "standard example matrix",
+    )
+    submit.add_argument("--tenant", default="cli",
+                        help="tenant name for fair-share scheduling")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8735)
+    submit.add_argument(
+        "--workers", type=_workers_type, default=None,
+        help="per-run worker override (integer or 'auto')",
+    )
+    submit.add_argument("--job-timeout", type=float, default=None)
+    submit.add_argument(
+        "--watch", action="store_true",
+        help="stay attached and stream the run's events after submitting",
+    )
+
+    watch = sub.add_parser(
+        "watch", help="stream a service run's journal + trace as it executes"
+    )
+    watch.add_argument("run_id")
+    watch.add_argument("--host", default="127.0.0.1")
+    watch.add_argument("--port", type=int, default=8735)
+
+    fetch = sub.add_parser(
+        "fetch", help="download a finished service run's artifacts"
+    )
+    fetch.add_argument("run_id")
+    fetch.add_argument(
+        "--artifact", choices=("results", "archive", "trace"),
+        default="results",
+    )
+    fetch.add_argument(
+        "--output", default=None,
+        help="write to this path (default: print to stdout)",
+    )
+    fetch.add_argument("--host", default="127.0.0.1")
+    fetch.add_argument("--port", type=int, default=8735)
 
     return parser
 
@@ -349,11 +450,14 @@ def _cmd_experiments() -> int:
 def _cmd_run(args) -> int:
     from repro.harness.experiments import get_experiment
 
+    from repro.runtime.executor import resolve_workers
+
     experiment = get_experiment(args.experiment)
     print(f"running experiment {experiment.experiment_id} "
           f"({experiment.title}, paper §{experiment.section}) ...")
     runner = None
-    if args.workers > 1:
+    workers = resolve_workers(args.workers)
+    if workers > 1:
         from repro.harness.config import BenchmarkConfig
         from repro.harness.runner import BenchmarkRunner
         from repro.runtime.executor import RuntimeConfig, prefetch_into_runner
@@ -363,11 +467,11 @@ def _cmd_run(args) -> int:
             runner,
             datasets=list(experiment.datasets),
             algorithms=list(experiment.algorithms),
-            runtime=RuntimeConfig(workers=args.workers),
+            runtime=RuntimeConfig(workers=workers),
         )
         if prefetch is not None:
             print(f"# prefetched {prefetch.dag_size} artifacts on "
-                  f"{args.workers} workers in "
+                  f"{workers} workers in "
                   f"{prefetch.elapsed_seconds:.2f} s")
     report = experiment.run(runner, seed=args.seed, run_dir=args.run_dir)
     if args.figure:
@@ -488,13 +592,16 @@ def _cmd_report(args) -> int:
         overrides["datasets"] = args.datasets
     if args.algorithms:
         overrides["algorithms"] = args.algorithms
+    from repro.runtime.executor import resolve_workers
+
     config = BenchmarkConfig(seed=args.seed, **overrides)
     runner = BenchmarkRunner(config)
-    if args.workers > 1 or args.cache_dir or args.job_timeout or args.run_dir:
+    workers = resolve_workers(args.workers)
+    if workers > 1 or args.cache_dir or args.job_timeout or args.run_dir:
         from repro.runtime.executor import RuntimeConfig
 
         runtime = RuntimeConfig(
-            workers=max(1, args.workers),
+            workers=workers,
             cache_dir=args.cache_dir,
             job_timeout=args.job_timeout,
         )
@@ -741,6 +848,7 @@ def _cmd_lint(args) -> int:
 def _cmd_full_run(args) -> int:
     from repro.harness.full_run import run_full_benchmark
     from repro.harness.repository import ResultsRepository
+    from repro.runtime.executor import resolve_workers
 
     repository = ResultsRepository(args.repository) if args.repository else None
     result = run_full_benchmark(
@@ -748,7 +856,7 @@ def _cmd_full_run(args) -> int:
         experiment_ids=args.experiments,
         report_path=args.report,
         repository=repository,
-        workers=args.workers,
+        workers=resolve_workers(args.workers),
         run_dir=args.run_dir,
     )
     print(
@@ -774,10 +882,14 @@ def _cmd_resume(args) -> int:
         print(f"# journal: dropped a torn tail of "
               f"{replay.truncated_bytes} byte(s)")
     if kind == "matrix":
-        from repro.runtime.executor import RuntimeConfig, resume_run
+        from repro.runtime.executor import (
+            RuntimeConfig,
+            resolve_workers,
+            resume_run,
+        )
 
         runtime = RuntimeConfig(
-            workers=max(1, args.workers), job_timeout=args.job_timeout
+            workers=resolve_workers(args.workers), job_timeout=args.job_timeout
         )
         outcome = resume_run(args.run_dir, runtime)
         print(f"# journal: restored {outcome.restored_jobs} of "
@@ -788,12 +900,13 @@ def _cmd_resume(args) -> int:
         return 0
     if kind == "full-run":
         from repro.harness.full_run import run_full_benchmark
+        from repro.runtime.executor import resolve_workers
 
         result = run_full_benchmark(
             seed=int(replay.header.get("seed", 0)),
             experiment_ids=replay.header.get("experiments"),
             report_path=replay.header.get("report"),
-            workers=max(1, args.workers),
+            workers=resolve_workers(args.workers),
             run_dir=args.run_dir,
         )
         print(f"ran {len(result.reports)} experiments, "
@@ -902,6 +1015,134 @@ def _cmd_trace(args) -> int:
     return 1 if violations else 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import BenchmarkService, ServiceConfig
+
+    config = ServiceConfig(
+        spool=args.spool,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        job_timeout=args.job_timeout,
+        max_running=args.max_running,
+        per_tenant_depth=args.tenant_depth,
+        per_tenant_running=args.tenant_running,
+    )
+
+    async def serve() -> None:
+        service = BenchmarkService(config)
+        host, port = await service.start()
+        # The bound address line is machine-readable on purpose: tests
+        # and the bench harness parse it when --port 0 picks a port.
+        print(f"graphalytics service listening on http://{host}:{port}",
+              flush=True)
+        print(f"# spool: {service.registry.spool}", flush=True)
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("service stopped")
+    return 0
+
+
+def _load_matrix_argument(text: str):
+    import json
+
+    if text == "example":
+        from repro.runtime.executor import example_matrix
+        from repro.runtime.journal import config_payload
+
+        return config_payload(example_matrix())
+    with open(text, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.host, args.port)
+    matrix = _load_matrix_argument(args.matrix)
+    try:
+        accepted = client.submit(
+            args.tenant,
+            matrix,
+            workers=args.workers,
+            job_timeout=args.job_timeout,
+        )
+    except ServiceError as exc:
+        if exc.status == 429 and exc.retry_after is not None:
+            print(f"error: {exc} (retry after {exc.retry_after:g} s)",
+                  file=sys.stderr)
+            return 1
+        raise
+    run_id = accepted["run_id"]
+    print(f"accepted run {run_id} ({accepted['state']}); "
+          f"watch with: graphalytics watch {run_id} "
+          f"--host {args.host} --port {args.port}")
+    if args.watch:
+        return _watch_run(client, str(run_id))
+    return 0
+
+
+def _watch_run(client, run_id: str) -> int:
+    """Render a run's SSE stream: journal lines, then the span tree."""
+    from repro.trace import Span, render_tree
+
+    spans: List = []
+    final_state: dict = {}
+    for event, payload in client.events(run_id):
+        if event == "run":
+            print(f"# run {payload.get('run_id')} [{payload.get('state')}] "
+                  f"tenant={payload.get('tenant')}")
+        elif event == "journal":
+            kind = payload.get("type", "?")
+            detail = {
+                k: v for k, v in payload.items()
+                if k in ("job", "key", "attempt", "worker", "kind", "seq")
+            }
+            text = " ".join(f"{k}={v}" for k, v in detail.items())
+            print(f"  [{kind}] {text}")
+        elif event == "span":
+            spans.append(Span.from_dict(payload))
+        elif event == "end":
+            final_state = payload
+    if spans:
+        print(render_tree(spans))
+    state = final_state.get("state", "unknown")
+    print(f"# run {run_id} finished: {state}")
+    for key in ("jobs", "failures", "sla_breaches", "elapsed_seconds"):
+        if key in final_state:
+            print(f"#   {key}: {_fmt(final_state[key])}")
+    return 0 if state == "done" else 1
+
+
+def _cmd_watch(args) -> int:
+    from repro.service import ServiceClient
+
+    return _watch_run(ServiceClient(args.host, args.port), args.run_id)
+
+
+def _cmd_fetch(args) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.host, args.port)
+    data = client.fetch(args.run_id, args.artifact)
+    if args.output:
+        with open(args.output, "wb") as handle:
+            handle.write(data)
+        print(f"{args.artifact} of {args.run_id} written to {args.output} "
+              f"({len(data)} bytes)")
+    else:
+        sys.stdout.write(data.decode("utf-8"))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -943,6 +1184,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_cache(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "watch":
+            return _cmd_watch(args)
+        if args.command == "fetch":
+            return _cmd_fetch(args)
     except GraphalyticsError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -10,10 +10,17 @@ detection between two runs of the same platform.
 from __future__ import annotations
 
 import json
+import os
 import re
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Union
+
+try:  # POSIX advisory locking; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from repro.exceptions import ConfigurationError, ValidationError
 from repro.ioutil import atomic_write
@@ -22,6 +29,11 @@ from repro.harness.results import BenchmarkResult, ResultsDatabase
 __all__ = ["RunMetadata", "ResultsRepository", "Regression"]
 
 _RUN_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+#: Shared-index file name. Dot-prefixed so :meth:`ResultsRepository.run_ids`
+#: can tell it apart from run archives (run ids never start with a dot).
+_INDEX_NAME = ".index.json"
+_LOCK_NAME = ".lock"
 
 
 @dataclass(frozen=True)
@@ -67,6 +79,32 @@ class ResultsRepository:
     def _run_path(self, run_id: str) -> Path:
         return self.root / f"{run_id}.json"
 
+    # -- mutual exclusion ---------------------------------------------------
+
+    @contextmanager
+    def _lock(self):
+        """Exclusive advisory lock over repository mutations.
+
+        The benchmark service submits runs from overlapping requests;
+        without the lock two submitters can interleave the
+        exists-check/read-index/write-index sequence and one update
+        silently vanishes (or a duplicate run id slips through the
+        duplicate check). ``flock`` on a sidecar file serializes
+        writers across processes; readers stay lock-free because every
+        artifact is written via :func:`atomic_write` (they see the old
+        or the new file, never a torn one).
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        fd = os.open(str(self.root / _LOCK_NAME), os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
     # -- submission ---------------------------------------------------------
 
     def submit(
@@ -81,10 +119,13 @@ class ResultsRepository:
         ``require_validation`` enforces the paper's rule that only
         validated results enter the public repository: every *successful*
         job must have passed output validation.
+
+        Submission is safe under concurrent writers: the duplicate
+        check, the run write, and the shared-index update all happen
+        under an exclusive advisory lock (see :meth:`_lock`), so two
+        overlapping service requests cannot both claim one run id or
+        lose each other's index entry.
         """
-        path = self._run_path(metadata.run_id)
-        if path.exists():
-            raise ConfigurationError(f"run {metadata.run_id!r} already exists")
         if len(database) == 0:
             raise ConfigurationError("refusing to store an empty run")
         if require_validation:
@@ -106,12 +147,47 @@ class ResultsRepository:
             },
             "results": [r.as_dict() for r in database],
         }
-        return atomic_write(path, json.dumps(payload, indent=1))
+        path = self._run_path(metadata.run_id)
+        with self._lock():
+            if path.exists():
+                raise ConfigurationError(
+                    f"run {metadata.run_id!r} already exists"
+                )
+            atomic_write(path, json.dumps(payload, indent=1))
+            index = self._read_index()
+            index[metadata.run_id] = {
+                "system_under_test": metadata.system_under_test,
+                "jobs": len(database),
+            }
+            atomic_write(
+                self.root / _INDEX_NAME,
+                json.dumps(index, indent=1, sort_keys=True),
+            )
+        return path
+
+    def _read_index(self) -> Dict[str, Dict[str, object]]:
+        """The shared run index; tolerates a missing or foreign file."""
+        path = self.root / _INDEX_NAME
+        if not path.exists():
+            return {}
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return loaded if isinstance(loaded, dict) else {}
+
+    def index(self) -> Dict[str, Dict[str, object]]:
+        """Run id -> summary, as maintained by locked submissions."""
+        return self._read_index()
 
     # -- retrieval --------------------------------------------------------------
 
     def run_ids(self) -> List[str]:
-        return sorted(p.stem for p in self.root.glob("*.json"))
+        return sorted(
+            p.stem for p in self.root.glob("*.json")
+            if not p.name.startswith(".")
+        )
 
     def metadata(self, run_id: str) -> RunMetadata:
         payload = self._load(run_id)

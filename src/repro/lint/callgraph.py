@@ -17,6 +17,13 @@ RACE rules reason about: any function passed as ``target=`` to a
 ``*.Process(...)`` call, and any function shipped through a
 ``*.send(...)`` pipe payload (a callable dispatched to the other side).
 
+It separately records **handler entrypoints** — async request handlers
+registered through a ``*_add_route(...)``/``add_route(...)`` call (the
+service's route table). Handlers are reachability roots of a different
+kind than fork entrypoints: they run *inside* the server's event loop,
+so the SRV001 rule polices them for blocking calls rather than for
+fork-divergent state.
+
 What the resolver deliberately does *not* see: calls through
 containers or arbitrary object attributes, ``getattr``-style dynamic
 dispatch, decorators that swap the function object, and methods called
@@ -58,6 +65,8 @@ class CallGraph:
         #: entrypoint key -> how it was detected ("Process target" /
         #: "pipe-dispatched callable").
         self.entrypoints: Dict[str, str] = {}
+        #: async request handlers registered via *add_route: key -> how.
+        self.handler_entrypoints: Dict[str, str] = {}
 
     # -- construction --------------------------------------------------------
 
@@ -182,6 +191,25 @@ class CallGraph:
     ) -> None:
         dotted = call_name(call)
         last = dotted.rsplit(".", 1)[-1]
+        if last in ("_add_route", "add_route"):
+            # Route registration: the handler is the last positional
+            # argument (or an explicit handler= keyword). Registered
+            # handlers are the async-entrypoint family SRV001 roots on.
+            candidates: List[ast.AST] = []
+            if call.args:
+                candidates.append(call.args[-1])
+            for keyword in call.keywords:
+                if keyword.arg == "handler":
+                    candidates.append(keyword.value)
+            for candidate in candidates:
+                fn = self._resolve_function_ref(
+                    project, info, caller, candidate
+                )
+                if fn is not None:
+                    self.handler_entrypoints.setdefault(
+                        fn.key, "registered request handler"
+                    )
+            return
         if last == "Process":
             for keyword in call.keywords:
                 if keyword.arg != "target":
@@ -209,6 +237,33 @@ class CallGraph:
                         self.entrypoints.setdefault(
                             fn.key, "pipe-dispatched callable"
                         )
+
+    def _resolve_function_ref(
+        self,
+        project: ProjectModel,
+        info: ModuleInfo,
+        caller: Optional[FunctionInfo],
+        expr: ast.AST,
+    ) -> Optional[FunctionInfo]:
+        """A *reference* (not a call) to a project function: a bare
+        name, or ``self.method``/``cls.method`` of the enclosing class."""
+        if isinstance(expr, ast.Name):
+            return self.resolve_name(project, info, caller, expr.id)
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id in ("self", "cls")
+            and caller is not None
+        ):
+            prefix = caller.qualname.rsplit(".", 1)[0]
+            if prefix and prefix != caller.qualname:
+                cls = info.classes.get(prefix)
+                if cls is not None:
+                    method = project.find_method(cls, expr.attr)
+                    if method is not None:
+                        return method
+                return info.functions.get(f"{prefix}.{expr.attr}")
+        return None
 
     # -- traversal ---------------------------------------------------------
 

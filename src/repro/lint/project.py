@@ -13,7 +13,9 @@ The project model gives phase-2 rules that visibility:
   trees alike;
 * an approximate **call graph** (see :mod:`repro.lint.callgraph`)
   resolved over those symbol tables, including fork/worker entrypoints
-  (``Process(target=...)`` and callables shipped through ``.send``);
+  (``Process(target=...)`` and callables shipped through ``.send``)
+  and the async request handlers registered through ``*add_route``
+  (the event-loop entrypoint family SRV001 polices);
 * a **module-level mutable-state inventory** — names bound at import
   time to dicts/lists/sets/instances — plus a fork-unsafety
   classification (open file handles, locks/queues, ``Tracer``
@@ -323,6 +325,10 @@ class ProjectModel:
         self.call_graph = None                      # set by build()
         self.worker_entrypoints: Dict[str, str] = {}
         self.worker_reachable: Dict[str, str] = {}  # key -> entrypoint key
+        #: Registered async request handlers (the service route table)
+        #: and their call-graph closure — the SRV001 root set.
+        self.handler_entrypoints: Dict[str, str] = {}
+        self.handler_reachable: Dict[str, str] = {}  # key -> handler key
 
     # -- construction ------------------------------------------------------
 
@@ -344,6 +350,12 @@ class ProjectModel:
         project.worker_entrypoints = dict(project.call_graph.entrypoints)
         project.worker_reachable = project.call_graph.reachable(
             set(project.worker_entrypoints)
+        )
+        project.handler_entrypoints = dict(
+            project.call_graph.handler_entrypoints
+        )
+        project.handler_reachable = project.call_graph.reachable(
+            set(project.handler_entrypoints)
         )
         return project
 

@@ -17,6 +17,7 @@ rule id      severity  invariant
 ``RACE001``  error     worker-reachable code never mutates module globals
 ``RACE002``  error     job payloads / Pipe sends carry plain picklable data
 ``RACE003``  warning   no import-time fork-unsafe resources used in workers
+``SRV001``   error     async request handlers never block the event loop
 ===========  ========  ====================================================
 
 See ``docs/lint.md`` for rationale and suppression syntax.
@@ -44,6 +45,7 @@ from repro.lint.rules.concurrency import (  # noqa: F401
     UnpicklablePayloadRule,
     WorkerGlobalMutationRule,
 )
+from repro.lint.rules.service import AsyncHandlerBlockingCallRule  # noqa: F401
 
 __all__ = [
     "UnorderedIterationRule",
@@ -60,4 +62,5 @@ __all__ = [
     "WorkerGlobalMutationRule",
     "UnpicklablePayloadRule",
     "ForkUnsafeImportResourceRule",
+    "AsyncHandlerBlockingCallRule",
 ]

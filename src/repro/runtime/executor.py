@@ -19,7 +19,9 @@ otherwise — and merges results deterministically:
 
 from __future__ import annotations
 
+import os
 import tempfile
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -52,8 +54,51 @@ __all__ = [
     "execute_matrix",
     "example_matrix",
     "prefetch_into_runner",
+    "resolve_workers",
     "resume_run",
 ]
+
+
+def resolve_workers(
+    requested: Union[int, str, None], *, available: Optional[int] = None
+) -> int:
+    """Effective worker-pool size for a run: ``min(requested, CPUs)``.
+
+    ``"auto"`` (or ``None``) sizes the pool to the host —
+    ``os.cpu_count()`` — which is what an unattended server must do per
+    run. An explicit request larger than the host is capped with a
+    warning rather than honored: BENCH_runtime.json shows
+    oversubscribed pools *losing* to smaller ones (4 workers slower
+    than 2 on a 1-CPU host), so a silent oversubscription is a perf
+    bug, not a preference.
+    """
+    if available is None:
+        available = os.cpu_count() or 1
+    available = max(1, available)
+    if requested is None or requested == "auto":
+        return available
+    if isinstance(requested, float) and not requested.is_integer():
+        raise ConfigurationError(
+            f"workers must be a positive integer or 'auto', got {requested!r}"
+        )
+    try:
+        count = int(requested)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"workers must be a positive integer or 'auto', got {requested!r}"
+        )
+    if count < 1:
+        raise ConfigurationError("workers must be >= 1")
+    if count > available:
+        warnings.warn(
+            f"requested {count} workers but only {available} CPU(s) are "
+            f"available; capping the pool at {available} (oversubscribed "
+            f"pools measure slower, see BENCH_runtime.json)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return available
+    return count
 
 
 @dataclass

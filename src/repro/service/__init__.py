@@ -1,0 +1,51 @@
+"""``repro.service`` — benchmark-as-a-service over the crash-safe runtime.
+
+The Graphalytics vision is a benchmark run *for* a community, not just
+by one operator: platform teams submit benchmark matrices, a shared
+harness executes them fairly, and everyone can watch progress and fetch
+validated artifacts. This package is that deployment mode
+(docs/service.md):
+
+* :mod:`repro.service.server` — the asyncio HTTP server: submission,
+  fair-share multi-tenant scheduling, SSE progress streams, artifact
+  serving, spool recovery on restart;
+* :mod:`repro.service.queue` — round-robin tenant queue with admission
+  quotas (``429 Retry-After`` over quota);
+* :mod:`repro.service.runs` — spool-directory run registry; run state
+  is always derivable from disk;
+* :mod:`repro.service.worker` — the per-run child process (journal
+  resume, orphan watchdog);
+* :mod:`repro.service.tail` — torn-tail-safe live tailing of the
+  run journal for the SSE stream;
+* :mod:`repro.service.http` — minimal hand-rolled HTTP/1.1 + SSE over
+  asyncio streams (no dependencies);
+* :mod:`repro.service.client` — the blocking client used by the
+  ``graphalytics serve/submit/watch/fetch`` CLI.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import EventStream, ProtocolError, Request, Response
+from repro.service.queue import FairShareQueue, QuotaExceeded
+from repro.service.runs import RunRecord, RunRegistry, normalize_matrix
+from repro.service.server import BenchmarkService, ServiceConfig
+from repro.service.tail import JournalTailer, decode_journal_line
+from repro.service.worker import execute_service_run
+
+__all__ = [
+    "BenchmarkService",
+    "EventStream",
+    "FairShareQueue",
+    "JournalTailer",
+    "ProtocolError",
+    "QuotaExceeded",
+    "Request",
+    "Response",
+    "RunRecord",
+    "RunRegistry",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "decode_journal_line",
+    "execute_service_run",
+    "normalize_matrix",
+]

@@ -1,0 +1,163 @@
+"""Blocking client for the benchmark service (stdlib ``http.client``).
+
+The CLI's ``submit``/``watch``/``fetch`` subcommands, the tests, and
+the service benchmark all talk to the server through this one wrapper.
+It deliberately mirrors the service's connection model — one request
+per connection, ``Connection: close`` — so a client never has to
+reason about keep-alive state, and :meth:`ServiceClient.events`
+exposes the SSE stream as a plain generator of ``(event, payload)``
+pairs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.exceptions import GraphalyticsError
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(GraphalyticsError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str, *, retry_after: Optional[float] = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Talks to one service instance at ``host:port``."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            return (
+                response.status,
+                {k.lower(): v for k, v in response.getheaders()},
+                data,
+            )
+        finally:
+            conn.close()
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        status, headers, data = self._request(method, path, payload)
+        try:
+            decoded = json.loads(data.decode("utf-8")) if data else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            decoded = {}
+        if status >= 400:
+            retry_after = headers.get("retry-after")
+            raise ServiceError(
+                status,
+                str(decoded.get("error", data[:200])),
+                retry_after=float(retry_after) if retry_after else None,
+            )
+        return decoded
+
+    # -- API ---------------------------------------------------------------
+
+    def submit(
+        self,
+        tenant: str,
+        matrix: Dict[str, object],
+        *,
+        workers: Optional[object] = None,
+        job_timeout: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """``POST /v1/runs``; raises :class:`ServiceError` on 4xx/5xx."""
+        payload: Dict[str, object] = {"tenant": tenant, "matrix": matrix}
+        if workers is not None:
+            payload["workers"] = workers
+        if job_timeout is not None:
+            payload["job_timeout"] = job_timeout
+        return self._json("POST", "/v1/runs", payload)
+
+    def run(self, run_id: str) -> Dict[str, object]:
+        return self._json("GET", f"/v1/runs/{run_id}")
+
+    def runs(self, tenant: Optional[str] = None) -> Dict[str, object]:
+        suffix = f"?tenant={tenant}" if tenant else ""
+        return self._json("GET", f"/v1/runs{suffix}")
+
+    def status(self) -> Dict[str, object]:
+        return self._json("GET", "/v1/status")
+
+    def fetch(self, run_id: str, artifact: str) -> bytes:
+        """Download one artifact (``results``/``archive``/``trace``)."""
+        status, _headers, data = self._request(
+            "GET", f"/v1/runs/{run_id}/{artifact}"
+        )
+        if status >= 400:
+            try:
+                message = str(json.loads(data.decode("utf-8"))["error"])
+            except Exception:
+                message = data[:200].decode("utf-8", "replace")
+            raise ServiceError(status, message)
+        return data
+
+    def events(self, run_id: str) -> Iterator[Tuple[str, Dict[str, object]]]:
+        """The run's SSE stream as ``(event, payload)`` pairs.
+
+        Yields until the server sends its terminal ``end`` event (which
+        is included) or closes the connection.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", f"/v1/runs/{run_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                data = response.read()
+                try:
+                    message = str(json.loads(data.decode("utf-8"))["error"])
+                except Exception:
+                    message = data[:200].decode("utf-8", "replace")
+                raise ServiceError(response.status, message)
+            event: Optional[str] = None
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\n")
+                if line.startswith(":"):
+                    continue  # keep-alive comment frame
+                if line.startswith("event:"):
+                    event = line[len("event:"):].strip()
+                    continue
+                if line.startswith("data:") and event is not None:
+                    payload = json.loads(line[len("data:"):].strip())
+                    yield event, payload
+                    if event == "end":
+                        return
+                    event = None
+        finally:
+            conn.close()

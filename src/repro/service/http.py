@@ -1,0 +1,217 @@
+"""A hand-rolled asyncio HTTP/1.1 + SSE layer (no dependencies).
+
+The benchmark service needs exactly four HTTP shapes: small JSON
+requests, small JSON responses, large file responses, and long-lived
+``text/event-stream`` responses. A full web framework buys nothing the
+stdlib does not already provide for that surface, and the container
+rule is "no new dependencies" — so this module implements the minimal
+subset directly over :mod:`asyncio` streams:
+
+* :func:`read_request` parses one request (request line, headers, a
+  ``Content-Length``-delimited body) with hard caps on header and body
+  size;
+* :class:`Response` + :func:`write_response` render one
+  ``Connection: close`` response — the service speaks strictly
+  one-request-per-connection, which keeps connection state trivial and
+  makes every client retry-safe;
+* :class:`EventStream` writes server-sent events (the ``event:`` /
+  ``data:`` framing browsers and ``graphalytics watch`` both
+  understand) over a response that never ends until the producer says
+  so.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.exceptions import GraphalyticsError
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "EventStream",
+    "read_request",
+    "write_response",
+    "json_response",
+    "error_response",
+]
+
+#: Upper bound on a request body; a benchmark matrix is a few KB.
+MAX_BODY_BYTES = 4 * 2**20
+#: Upper bound on the request head (request line + headers).
+MAX_HEAD_BYTES = 32 * 2**10
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(GraphalyticsError):
+    """The peer sent something that is not parseable HTTP/1.1."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+
+    def json(self) -> object:
+        """The request body as JSON; raises :class:`ProtocolError`."""
+        if not self.body:
+            raise ProtocolError("request body is empty, expected JSON")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}")
+
+
+@dataclass
+class Response:
+    """One response, rendered with ``Connection: close`` semantics."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def render(self) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            "Connection: close",
+        ]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        return head.encode("utf-8") + self.body
+
+
+def json_response(payload: object, status: int = 200, **headers: str) -> Response:
+    body = (json.dumps(payload, indent=1, sort_keys=True) + "\n").encode("utf-8")
+    return Response(status=status, body=body, headers=dict(headers))
+
+
+def error_response(status: int, message: str, **headers: str) -> Response:
+    return json_response({"error": message}, status=status, **headers)
+
+
+async def read_request(
+    reader: asyncio.StreamReader, *, max_body: int = MAX_BODY_BYTES
+) -> Optional[Request]:
+    """Parse one request from the stream; ``None`` on clean EOF.
+
+    Raises :class:`ProtocolError` on malformed input; the connection
+    handler turns that into a 400 and closes.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # peer closed without sending a request
+        raise ProtocolError("connection closed mid-request-head")
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(f"request head exceeds {MAX_HEAD_BYTES} bytes")
+    if len(head) > MAX_HEAD_BYTES:
+        raise ProtocolError(f"request head exceeds {MAX_HEAD_BYTES} bytes")
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 never fails
+        raise ProtocolError("request head is not decodable")
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    query = {key: value for key, value in parse_qsl(split.query)}
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        if ":" not in line:
+            raise ProtocolError(f"malformed header line {line!r}")
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ProtocolError(f"malformed Content-Length {length_text!r}")
+    if length < 0 or length > max_body:
+        raise ProtocolError(f"request body of {length} bytes exceeds the cap")
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError("connection closed mid-body")
+    return Request(
+        method=method, path=split.path, query=query, headers=headers, body=body
+    )
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: Response
+) -> None:
+    writer.write(response.render())
+    await writer.drain()
+
+
+class EventStream:
+    """A server-sent-events response held open by the handler.
+
+    Call :meth:`open` once (writes the response head), then
+    :meth:`send` per event. The SSE framing is the standard one — an
+    ``event:`` line naming the record type, a ``data:`` line carrying
+    one JSON document, and a blank separator line.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self._writer = writer
+        self.events_sent = 0
+
+    async def open(self) -> None:
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/event-stream\r\n"
+            "Cache-Control: no-store\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        self._writer.write(head.encode("utf-8"))
+        await self._writer.drain()
+
+    async def send(self, event: str, data: object) -> None:
+        payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+        frame = f"event: {event}\ndata: {payload}\n\n"
+        self._writer.write(frame.encode("utf-8"))
+        await self._writer.drain()
+        self.events_sent += 1
+
+    async def ping(self) -> None:
+        """A comment frame: keeps idle proxies from timing the stream out."""
+        self._writer.write(b": ping\n\n")
+        await self._writer.drain()

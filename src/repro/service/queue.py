@@ -1,0 +1,145 @@
+"""Fair-share multi-tenant admission queue for the benchmark service.
+
+LDBC frames Graphalytics as a community service: many platform teams
+drive one harness concurrently. That only works if no tenant can
+monopolize it — a tenant flooding the queue must not starve another
+tenant's single run, and a tenant over its quota must be pushed back
+*at submission time* with a standard retry signal rather than silently
+buffered forever.
+
+:class:`FairShareQueue` implements both properties with two mechanisms:
+
+* **round-robin dispatch across tenants** — :meth:`acquire` scans
+  tenants in rotation order starting *after* the tenant served last, so
+  a newly arrived tenant is reached within one job-slot turnover no
+  matter how deep another tenant's backlog is;
+* **per-tenant admission limits** — at most ``per_tenant_depth`` queued
+  runs and ``per_tenant_running`` concurrently executing runs per
+  tenant; an over-depth submission raises :class:`QuotaExceeded`, which
+  the HTTP layer maps to ``429 Too Many Requests`` with a
+  ``Retry-After`` header.
+
+The queue is plain single-threaded state: the asyncio server calls it
+only from the event loop, so no locking is needed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.exceptions import GraphalyticsError
+
+__all__ = ["QuotaExceeded", "FairShareQueue"]
+
+
+class QuotaExceeded(GraphalyticsError):
+    """A tenant hit its queue-depth quota; retry after a backoff."""
+
+    def __init__(self, message: str, *, retry_after: float):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class FairShareQueue:
+    """Round-robin, quota-bounded run queue over named tenants."""
+
+    def __init__(
+        self,
+        *,
+        per_tenant_depth: int = 4,
+        per_tenant_running: int = 1,
+        retry_after: float = 2.0,
+    ):
+        if per_tenant_depth < 1 or per_tenant_running < 1:
+            raise GraphalyticsError(
+                "per-tenant depth and running quotas must be >= 1"
+            )
+        self.per_tenant_depth = per_tenant_depth
+        self.per_tenant_running = per_tenant_running
+        self.retry_after = retry_after
+        self._pending: Dict[str, Deque[str]] = {}
+        self._running: Dict[str, int] = {}
+        #: Tenants in first-appearance order; the round-robin rotation.
+        self._order: List[str] = []
+        self._cursor = 0
+        self.accepted = 0
+        self.rejected = 0
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, tenant: str, run_id: str, *, force: bool = False) -> None:
+        """Admit one run, or raise :class:`QuotaExceeded` at the cap.
+
+        ``force`` bypasses the depth quota; the server uses it on boot
+        to re-enqueue interrupted runs it already admitted once —
+        restart recovery must never drop previously accepted work.
+        """
+        queue = self._pending.setdefault(tenant, deque())
+        if tenant not in self._order:
+            self._order.append(tenant)
+        if not force and len(queue) >= self.per_tenant_depth:
+            self.rejected += 1
+            raise QuotaExceeded(
+                f"tenant {tenant!r} already has {len(queue)} queued run(s) "
+                f"(quota {self.per_tenant_depth}); retry after "
+                f"{self.retry_after:g} s",
+                retry_after=self.retry_after,
+            )
+        queue.append(run_id)
+        self.accepted += 1
+
+    # -- dispatch ----------------------------------------------------------
+
+    def acquire(self) -> Optional[Tuple[str, str]]:
+        """The next ``(tenant, run_id)`` to execute, fairly chosen.
+
+        Scans the tenant rotation starting after the previously served
+        tenant and returns the first tenant with pending work below its
+        running quota; advances the rotation so repeated calls
+        interleave tenants. ``None`` when nothing is dispatchable.
+        """
+        if not self._order:
+            return None
+        count = len(self._order)
+        for step in range(count):
+            idx = (self._cursor + step) % count
+            tenant = self._order[idx]
+            queue = self._pending.get(tenant)
+            if not queue:
+                continue
+            if self._running.get(tenant, 0) >= self.per_tenant_running:
+                continue
+            run_id = queue.popleft()
+            self._running[tenant] = self._running.get(tenant, 0) + 1
+            self._cursor = (idx + 1) % count
+            return tenant, run_id
+        return None
+
+    def release(self, tenant: str) -> None:
+        """A run of ``tenant`` finished; frees one running slot."""
+        current = self._running.get(tenant, 0)
+        self._running[tenant] = max(0, current - 1)
+
+    # -- introspection -----------------------------------------------------
+
+    def pending(self, tenant: Optional[str] = None) -> int:
+        if tenant is not None:
+            return len(self._pending.get(tenant, ()))
+        return sum(len(queue) for queue in self._pending.values())
+
+    def running(self, tenant: Optional[str] = None) -> int:
+        if tenant is not None:
+            return self._running.get(tenant, 0)
+        return sum(self._running.values())
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "tenants": len(self._order),
+            "pending": self.pending(),
+            "running": self.running(),
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "per_tenant_depth": self.per_tenant_depth,
+            "per_tenant_running": self.per_tenant_running,
+        }

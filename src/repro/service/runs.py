@@ -1,0 +1,280 @@
+"""The service's run registry: spool-directory-backed run state.
+
+Every submitted run owns one directory under the service **spool**:
+
+.. code-block:: text
+
+    <spool>/<run_id>/
+        request.json    # immutable: tenant, normalized matrix, knobs
+        journal.jsonl   # write-ahead journal (the run process writes it)
+        trace.jsonl     # span trace, exported at run completion
+        results.json    # the results database
+        archive.json    # Granula archive of the run's own schedule
+        outcome.json    # terminal summary written by the run process
+        cache/          # materialized-graph spill
+
+``request.json`` is written atomically *before* the run is queued and
+never modified, so the submission survives any crash; everything else
+is produced by the crash-safe runtime. Run state is therefore fully
+**derivable from disk**: a directory with an ``outcome.json`` is
+terminal, anything else is resumable work — which is exactly what
+:meth:`RunRegistry.scan` exploits to re-enqueue interrupted runs after
+a server restart (docs/service.md, restart semantics).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.exceptions import ConfigurationError
+from repro.ioutil import atomic_write
+from repro.runtime.journal import config_payload
+
+__all__ = [
+    "REQUEST_NAME",
+    "OUTCOME_NAME",
+    "RunRecord",
+    "RunRegistry",
+    "normalize_matrix",
+]
+
+REQUEST_NAME = "request.json"
+OUTCOME_NAME = "outcome.json"
+
+#: States a run moves through: queued -> running -> done | failed.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+TERMINAL_STATES = frozenset({DONE, FAILED})
+
+_RUN_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def normalize_matrix(payload: object) -> Dict[str, object]:
+    """Validate a submitted matrix against the registries; normalize it.
+
+    The submission may be partial (missing keys take the
+    :class:`~repro.harness.config.BenchmarkConfig` defaults); building
+    the config validates every platform, dataset, and algorithm name
+    against the live registries and every numeric knob against its
+    bounds, so a bad submission fails here — as a 400 — rather than
+    inside a queued run. The result is the *complete* canonical payload
+    the journal header uses, making the stored request self-contained.
+    """
+    from repro.harness.config import BenchmarkConfig
+    from repro.platforms.cluster import ClusterResources
+
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError("matrix must be a JSON object")
+    kwargs: Dict[str, object] = {}
+    for key in ("platforms", "datasets", "algorithms"):
+        if key in payload:
+            value = payload[key]
+            if not isinstance(value, (list, tuple)):
+                raise ConfigurationError(f"matrix key {key!r} must be a list")
+            kwargs[key] = list(value)
+    for key, convert in (
+        ("repetitions", int),
+        ("seed", int),
+        ("validate_outputs", bool),
+        ("sla_seconds", float),
+        ("skip_impossible", bool),
+    ):
+        if key in payload:
+            kwargs[key] = convert(payload[key])
+    resources = payload.get("resources")
+    if resources is not None:
+        if not isinstance(resources, Mapping):
+            raise ConfigurationError("matrix key 'resources' must be an object")
+        threads = resources.get("threads")
+        kwargs["resources"] = ClusterResources(
+            machines=int(resources.get("machines", 1)),
+            threads=int(threads) if threads is not None else None,
+        )
+    unknown = set(payload) - {
+        "platforms", "datasets", "algorithms", "repetitions", "seed",
+        "validate_outputs", "sla_seconds", "skip_impossible", "resources",
+    }
+    if unknown:
+        raise ConfigurationError(
+            f"unknown matrix key(s): {sorted(unknown)}"
+        )
+    return config_payload(BenchmarkConfig(**kwargs))
+
+
+@dataclass
+class RunRecord:
+    """In-memory view of one submitted run."""
+
+    run_id: str
+    tenant: str
+    config: Dict[str, object]
+    #: Worker request forwarded to the run child: an int or ``"auto"``.
+    workers: Union[int, str, None] = "auto"
+    job_timeout: Optional[float] = None
+    state: str = QUEUED
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: str = ""
+    #: Terminal summary loaded from outcome.json, if the run finished.
+    outcome: Optional[Dict[str, object]] = field(default=None, repr=False)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def status_payload(self) -> Dict[str, object]:
+        """The ``GET /v1/runs/<id>`` body."""
+        payload: Dict[str, object] = {
+            "run_id": self.run_id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "workers": self.workers,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.error:
+            payload["error"] = self.error
+        if self.outcome is not None:
+            for key in ("jobs", "failures", "sla_breaches",
+                        "elapsed_seconds", "restored_jobs"):
+                if key in self.outcome:
+                    payload[key] = self.outcome[key]
+        return payload
+
+
+class RunRegistry:
+    """Assigns run ids, owns the spool layout, restores state on boot."""
+
+    def __init__(self, spool: Union[str, Path]):
+        self.spool = Path(spool)
+        self.spool.mkdir(parents=True, exist_ok=True)
+        self.records: Dict[str, RunRecord] = {}
+        self._sequence = 0
+
+    def run_dir(self, run_id: str) -> Path:
+        if not _RUN_ID_RE.match(run_id):
+            raise ConfigurationError(f"malformed run id {run_id!r}")
+        return self.spool / run_id
+
+    # -- submission --------------------------------------------------------
+
+    def create(
+        self,
+        tenant: str,
+        matrix: object,
+        *,
+        workers: Union[int, str, None] = "auto",
+        job_timeout: Optional[float] = None,
+        submitted_at: float = 0.0,
+    ) -> RunRecord:
+        """Validate, assign a run id, persist ``request.json``, register.
+
+        The request file lands atomically before the caller enqueues
+        the run, so a crash between the two leaves a resumable (never a
+        half-known) submission.
+        """
+        if not _TENANT_RE.match(tenant or ""):
+            raise ConfigurationError(
+                f"tenant {tenant!r} must be alphanumeric with ._-"
+            )
+        config = normalize_matrix(matrix)
+        self._sequence += 1
+        run_id = f"r{self._sequence:06d}-{tenant}"
+        record = RunRecord(
+            run_id=run_id,
+            tenant=tenant,
+            config=config,
+            workers=workers,
+            job_timeout=job_timeout,
+            submitted_at=submitted_at,
+        )
+        run_dir = self.run_dir(run_id)
+        run_dir.mkdir(parents=True, exist_ok=False)
+        atomic_write(
+            run_dir / REQUEST_NAME,
+            json.dumps(
+                {
+                    "run_id": run_id,
+                    "tenant": tenant,
+                    "config": config,
+                    "workers": workers,
+                    "job_timeout": job_timeout,
+                    "submitted_at": submitted_at,
+                },
+                indent=1,
+                sort_keys=True,
+            ),
+        )
+        self.records[run_id] = record
+        return record
+
+    # -- restart recovery --------------------------------------------------
+
+    def scan(self) -> List[RunRecord]:
+        """Rebuild the registry from the spool; returns resumable runs.
+
+        Every directory holding a ``request.json`` becomes a record;
+        runs with an ``outcome.json`` are terminal, everything else is
+        returned (in submission order) for re-enqueueing — the journal,
+        if present, makes the re-run a resume rather than a restart.
+        """
+        resumable: List[RunRecord] = []
+        for request_path in sorted(self.spool.glob(f"*/{REQUEST_NAME}")):
+            try:
+                with open(request_path, "r", encoding="utf-8") as handle:
+                    request = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue  # torn request: submission never completed
+            run_id = str(request.get("run_id", request_path.parent.name))
+            record = RunRecord(
+                run_id=run_id,
+                tenant=str(request.get("tenant", "unknown")),
+                config=dict(request.get("config") or {}),
+                workers=request.get("workers", "auto"),
+                job_timeout=request.get("job_timeout"),
+                submitted_at=float(request.get("submitted_at", 0.0)),
+            )
+            match = re.match(r"^r(\d+)-", run_id)
+            if match:
+                self._sequence = max(self._sequence, int(match.group(1)))
+            outcome = self.load_outcome(run_id)
+            if outcome is not None:
+                record.outcome = outcome
+                record.state = DONE if outcome.get("ok") else FAILED
+                record.error = str(outcome.get("error", ""))
+            else:
+                record.state = QUEUED
+                resumable.append(record)
+            self.records[run_id] = record
+        return resumable
+
+    # -- artifacts ---------------------------------------------------------
+
+    def load_outcome(self, run_id: str) -> Optional[Dict[str, object]]:
+        path = self.run_dir(run_id) / OUTCOME_NAME
+        if not path.exists():
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return loaded if isinstance(loaded, dict) else None
+
+    def artifact_path(self, run_id: str, artifact: str) -> Path:
+        """Path of a servable run artifact (results/archive/trace)."""
+        names = {
+            "results": "results.json",
+            "archive": "archive.json",
+            "trace": "trace.jsonl",
+            "outcome": OUTCOME_NAME,
+        }
+        if artifact not in names:
+            raise ConfigurationError(f"unknown artifact {artifact!r}")
+        return self.run_dir(run_id) / names[artifact]

@@ -1,0 +1,451 @@
+"""Benchmark-as-a-service: the asyncio HTTP server.
+
+The paper positions Graphalytics as a *community* benchmark — many
+platform teams submitting runs against one harness. This server is that
+deployment shape: a long-lived process that accepts benchmark matrices
+over HTTP, executes them through the crash-safe runtime, and streams
+progress back live.
+
+Surface (see docs/service.md for the full API):
+
+* ``POST /v1/runs`` — submit a matrix; validated against the dataset
+  and platform registries, admitted through the fair-share tenant
+  queue (``429`` + ``Retry-After`` over quota), spooled durably, and
+  executed in a child process;
+* ``GET /v1/runs`` / ``GET /v1/runs/<id>`` — run listing and per-run
+  state with the SLA-breach summary;
+* ``GET /v1/runs/<id>/events`` — the run's journal records and trace
+  spans as server-sent events, live-tailed from the files the runtime
+  writes;
+* ``GET /v1/runs/<id>/results|archive|trace`` — finished artifacts;
+* ``GET /v1/status`` — queue and scheduler statistics.
+
+Every handler is ``async`` and every blocking filesystem touch goes
+through :func:`asyncio.to_thread` — the event loop never waits on disk
+(lint rule SRV001 enforces this shape for all handlers under
+``repro.service``). On boot the server rescans its spool and re-enqueues
+every run without an ``outcome.json``; the child re-executes it with
+journal resume, so a SIGKILLed server finishes its work after restart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import ConfigurationError, GraphalyticsError
+from repro.service.http import (
+    EventStream,
+    ProtocolError,
+    Request,
+    Response,
+    error_response,
+    json_response,
+    read_request,
+    write_response,
+)
+from repro.service.queue import FairShareQueue, QuotaExceeded
+from repro.service.runs import RUNNING, RunRecord, RunRegistry
+from repro.service.tail import JournalTailer
+from repro.service.worker import execute_service_run
+from repro.trace import current_tracer
+
+__all__ = ["ServiceConfig", "BenchmarkService"]
+
+_Handler = Callable[..., Awaitable[Optional[Response]]]
+
+
+@dataclass
+class ServiceConfig:
+    """Deployment knobs of one service instance."""
+
+    spool: Union[str, Path] = "service-spool"
+    host: str = "127.0.0.1"
+    port: int = 8735
+    #: Worker request forwarded to each run child ("auto" = host CPUs).
+    workers: Union[int, str] = "auto"
+    #: Per-job wall-clock budget forwarded to each run child.
+    job_timeout: Optional[float] = None
+    #: Global cap on concurrently executing runs.
+    max_running: int = 2
+    #: Per-tenant admission quotas (see FairShareQueue).
+    per_tenant_depth: int = 4
+    per_tenant_running: int = 1
+    retry_after: float = 2.0
+    #: SSE tail poll interval (seconds).
+    poll_interval: float = 0.05
+
+    def __post_init__(self):
+        if self.max_running < 1:
+            raise ConfigurationError("max_running must be >= 1")
+        if self.poll_interval <= 0:
+            raise ConfigurationError("poll_interval must be positive")
+
+
+class BenchmarkService:
+    """One service instance: registry + queue + scheduler + HTTP front."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.registry = RunRegistry(self.config.spool)
+        self.queue = FairShareQueue(
+            per_tenant_depth=self.config.per_tenant_depth,
+            per_tenant_running=self.config.per_tenant_running,
+            retry_after=self.config.retry_after,
+        )
+        self._routes: List[Tuple[str, "re.Pattern[str]", _Handler]] = []
+        self._children: Dict[str, multiprocessing.process.BaseProcess] = {}
+        self._monitors: List[asyncio.Task] = []
+        self._wake: Optional[asyncio.Event] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stopping = False
+        self.address: Optional[Tuple[str, int]] = None
+        self._add_route("POST", "/v1/runs", self._handle_submit)
+        self._add_route("GET", "/v1/runs", self._handle_list)
+        self._add_route("GET", "/v1/status", self._handle_status)
+        self._add_route("GET", r"/v1/runs/(?P<run_id>[^/]+)", self._handle_run)
+        self._add_route(
+            "GET", r"/v1/runs/(?P<run_id>[^/]+)/events", self._handle_events
+        )
+        self._add_route(
+            "GET",
+            r"/v1/runs/(?P<run_id>[^/]+)/(?P<artifact>results|archive|trace)",
+            self._handle_artifact,
+        )
+
+    def _add_route(self, method: str, pattern: str, handler: _Handler) -> None:
+        """Register one route; the lint project model treats every
+        handler registered here as an async-entrypoint root (SRV001)."""
+        self._routes.append((method, re.compile(f"^{pattern}$"), handler))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Boot: recover the spool, start the scheduler and the listener."""
+        self._wake = asyncio.Event()
+        resumable = self.registry.scan()
+        for record in resumable:
+            # Previously admitted work is re-enqueued unconditionally:
+            # restart recovery must not re-apply admission quotas.
+            self.queue.submit(record.tenant, record.run_id, force=True)
+        self._scheduler = asyncio.ensure_future(self._dispatch_loop())
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop listening, terminate run children."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._wake is not None:
+            self._wake.set()
+        self._scheduler.cancel()
+        try:
+            await self._scheduler
+        except asyncio.CancelledError:
+            pass
+        for proc in list(self._children.values()):
+            if proc.is_alive():
+                proc.terminate()
+        for task in self._monitors:
+            task.cancel()
+        await asyncio.gather(*self._monitors, return_exceptions=True)
+
+    # -- scheduler ---------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        """Fair-share dispatch: fill run slots, then wait for a change."""
+        assert self._wake is not None
+        while not self._stopping:
+            while len(self._children) < self.config.max_running:
+                item = self.queue.acquire()
+                if item is None:
+                    break
+                tenant, run_id = item
+                self._launch(tenant, run_id)
+            self._wake.clear()
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout=1.0)
+            except asyncio.TimeoutError:
+                pass
+
+    def _launch(self, tenant: str, run_id: str) -> None:
+        record = self.registry.records[run_id]
+        record.state = RUNNING
+        record.started_at = current_tracer().clock.now()
+        proc = multiprocessing.Process(
+            target=execute_service_run,
+            args=(str(self.registry.run_dir(run_id)),),
+            kwargs={
+                "workers": record.workers or self.config.workers,
+                "job_timeout": record.job_timeout or self.config.job_timeout,
+            },
+            name=f"service-run-{run_id}",
+        )
+        proc.start()
+        self._children[run_id] = proc
+        self._monitors.append(
+            asyncio.ensure_future(self._monitor(tenant, run_id, proc))
+        )
+
+    async def _monitor(
+        self, tenant: str, run_id: str, proc: multiprocessing.process.BaseProcess
+    ) -> None:
+        """Wait (off-loop) for one run child; settle its record."""
+        await asyncio.to_thread(proc.join)
+        record = self.registry.records[run_id]
+        outcome = await asyncio.to_thread(self.registry.load_outcome, run_id)
+        record.outcome = outcome
+        record.finished_at = current_tracer().clock.now()
+        if outcome is not None and outcome.get("ok"):
+            record.state = "done"
+        else:
+            record.state = "failed"
+            record.error = (
+                str(outcome.get("error", "")) if outcome
+                else f"run child exited with code {proc.exitcode} "
+                     f"and no outcome"
+            )
+        self._children.pop(run_id, None)
+        self.queue.release(tenant)
+        if self._wake is not None:
+            self._wake.set()
+
+    # -- HTTP front --------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+            except ProtocolError as exc:
+                await write_response(writer, error_response(400, str(exc)))
+                return
+            if request is None:
+                return
+            response = await self._dispatch(request, writer)
+            if response is not None:
+                await write_response(writer, response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # peer went away; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> Optional[Response]:
+        path_exists = False
+        for method, pattern, handler in self._routes:
+            match = pattern.match(request.path)
+            if match is None:
+                continue
+            path_exists = True
+            if method != request.method:
+                continue
+            try:
+                return await handler(request, writer, **match.groupdict())
+            except QuotaExceeded as exc:
+                return error_response(
+                    429, str(exc),
+                    **{"Retry-After": f"{exc.retry_after:g}"},
+                )
+            except ProtocolError as exc:
+                return error_response(400, str(exc))
+            except ConfigurationError as exc:
+                return error_response(400, str(exc))
+            except GraphalyticsError as exc:
+                return error_response(500, str(exc))
+        if path_exists:
+            return error_response(405, f"method {request.method} not allowed")
+        return error_response(404, f"no route for {request.path}")
+
+    # -- handlers ----------------------------------------------------------
+
+    async def _handle_submit(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> Response:
+        body = request.json()
+        if not isinstance(body, dict):
+            raise ProtocolError("submission must be a JSON object")
+        tenant = str(
+            body.get("tenant") or request.headers.get("x-tenant") or ""
+        )
+        matrix = body.get("matrix")
+        if matrix is None:
+            raise ProtocolError("submission lacks a 'matrix' object")
+        workers = body.get("workers", self.config.workers)
+        job_timeout = body.get("job_timeout", self.config.job_timeout)
+        record = await asyncio.to_thread(
+            self.registry.create,
+            tenant,
+            matrix,
+            workers=workers,
+            job_timeout=job_timeout,
+            submitted_at=current_tracer().clock.now(),
+        )
+        try:
+            self.queue.submit(tenant, record.run_id)
+        except QuotaExceeded:
+            # Rejected after spooling: mark the directory terminal so a
+            # restart does not resurrect a run the client was told to
+            # retry.
+            record.state = "failed"
+            record.error = "rejected: tenant queue-depth quota"
+            await asyncio.to_thread(
+                self._write_rejection, record.run_id, record.error
+            )
+            raise
+        if self._wake is not None:
+            self._wake.set()
+        return json_response(
+            {
+                "run_id": record.run_id,
+                "state": record.state,
+                "pending": self.queue.pending(tenant),
+                "events": f"/v1/runs/{record.run_id}/events",
+            },
+            status=202,
+        )
+
+    def _write_rejection(self, run_id: str, reason: str) -> None:
+        from repro.ioutil import atomic_write
+        from repro.service.runs import OUTCOME_NAME
+
+        atomic_write(
+            self.registry.run_dir(run_id) / OUTCOME_NAME,
+            json.dumps({"ok": False, "error": reason}, indent=1),
+        )
+
+    async def _handle_list(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> Response:
+        tenant = request.query.get("tenant")
+        runs = [
+            record.status_payload()
+            for record in self.registry.records.values()
+            if tenant is None or record.tenant == tenant
+        ]
+        runs.sort(key=lambda payload: str(payload["run_id"]))
+        return json_response({"runs": runs})
+
+    async def _handle_status(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> Response:
+        return json_response(
+            {
+                "queue": self.queue.stats(),
+                "children": len(self._children),
+                "max_running": self.config.max_running,
+                "spool": str(self.registry.spool),
+            }
+        )
+
+    def _record_or_none(self, run_id: str) -> Optional[RunRecord]:
+        try:
+            return self.registry.records.get(run_id)
+        except KeyError:  # pragma: no cover - dict.get never raises
+            return None
+
+    async def _handle_run(
+        self, request: Request, writer: asyncio.StreamWriter, run_id: str
+    ) -> Response:
+        record = self._record_or_none(run_id)
+        if record is None:
+            return error_response(404, f"unknown run {run_id!r}")
+        return json_response(record.status_payload())
+
+    async def _handle_artifact(
+        self,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        run_id: str,
+        artifact: str,
+    ) -> Response:
+        record = self._record_or_none(run_id)
+        if record is None:
+            return error_response(404, f"unknown run {run_id!r}")
+        path = self.registry.artifact_path(run_id, artifact)
+        body = await asyncio.to_thread(_read_artifact, path)
+        if body is None:
+            return error_response(
+                404, f"run {run_id!r} has no {artifact} artifact (yet)"
+            )
+        content_type = (
+            "application/json" if path.suffix == ".json"
+            else "application/x-ndjson"
+        )
+        return Response(status=200, body=body, content_type=content_type)
+
+    async def _handle_events(
+        self, request: Request, writer: asyncio.StreamWriter, run_id: str
+    ) -> Optional[Response]:
+        """Stream the run's journal, then its trace spans, as SSE."""
+        record = self._record_or_none(run_id)
+        if record is None:
+            return error_response(404, f"unknown run {run_id!r}")
+        stream = EventStream(writer)
+        await stream.open()
+        await stream.send("run", record.status_payload())
+        tailer = JournalTailer(
+            self.registry.run_dir(run_id) / "journal.jsonl"
+        )
+        idle_polls = 0
+        while True:
+            records = await asyncio.to_thread(tailer.poll)
+            for journal_record in records:
+                await stream.send("journal", journal_record)
+            if records:
+                idle_polls = 0
+                continue
+            if record.terminal:
+                break
+            idle_polls += 1
+            if idle_polls % 200 == 0:
+                await stream.ping()
+            await asyncio.sleep(self.config.poll_interval)
+        trace_path = self.registry.artifact_path(run_id, "trace")
+        spans = await asyncio.to_thread(_load_trace_spans, trace_path)
+        for span in spans:
+            await stream.send("span", span)
+        await stream.send("end", record.status_payload())
+        return None  # the stream was the response
+
+
+def _read_artifact(path: Path) -> Optional[bytes]:
+    """Read one servable artifact; ``None`` when absent."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read()
+    except FileNotFoundError:
+        return None
+
+
+def _load_trace_spans(path: Path) -> List[Dict[str, object]]:
+    """The run's exported spans as plain dicts (empty when untraced)."""
+    from repro.trace import read_trace
+
+    try:
+        spans, _counters = read_trace(path)
+    except (FileNotFoundError, json.JSONDecodeError):
+        return []
+    return [span.as_dict() for span in spans]

@@ -1,0 +1,105 @@
+"""Live tailing of a run's write-ahead journal for SSE streaming.
+
+The service streams a run's progress by following the very file the
+crash-safety layer already writes: ``<run_dir>/journal.jsonl``. That
+file has two properties a naive ``tail -f`` would trip over:
+
+* the final line may be **torn** at any instant — the run process was
+  SIGKILLed mid-append, or the reader raced the writer's flush. Every
+  line carries the journal's CRC-32, so the tailer reuses the journal's
+  own line decoder (:func:`repro.runtime.journal._decode_line` via
+  :data:`decode_journal_line`) and simply refuses to advance past a
+  line that fails its check — the next poll re-reads it once the
+  writer completes (or a recovery truncates) it;
+* on resume, torn-tail recovery **atomically rewrites** the file
+  (new inode, possibly shorter) before appending continues. The tailer
+  detects the replacement by inode change / size shrink, re-reads from
+  the start, and skips as many valid records as it already emitted —
+  the recovery rewrite preserves the good prefix verbatim, so the skip
+  count realigns the stream with no duplicates and no drops.
+
+``tests/service/test_tail.py`` proves both properties record by record.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.runtime.journal import _decode_line
+
+__all__ = ["decode_journal_line", "JournalTailer"]
+
+#: The CRC-checked journal line decoder: bytes (with newline) -> record
+#: dict, or ``None`` for a torn/corrupt line.
+decode_journal_line = _decode_line
+
+
+class JournalTailer:
+    """Incremental, torn-tail-safe reader of an append-only JSONL log.
+
+    Call :meth:`poll` repeatedly; each call returns the records that
+    became readable since the last call, in order, each exactly once —
+    across writer crashes, torn tails, and the atomic recovery rewrite.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        decode: Optional[Callable[[bytes], Optional[Dict[str, object]]]] = None,
+    ):
+        self.path = Path(path)
+        self._decode = decode or decode_journal_line
+        self._offset = 0          # bytes of the file already consumed
+        self._emitted = 0         # records handed out so far
+        self._inode: Optional[int] = None
+
+    @property
+    def emitted(self) -> int:
+        return self._emitted
+
+    def poll(self) -> List[Dict[str, object]]:
+        """Every new complete, CRC-valid record since the last poll."""
+        try:
+            stat = os.stat(self.path)
+        except FileNotFoundError:
+            return []
+        replay = 0
+        if self._inode is not None and (
+            stat.st_ino != self._inode or stat.st_size < self._offset
+        ):
+            # Atomic rewrite (torn-tail recovery) replaced the file.
+            # The good prefix is preserved byte-for-byte, so re-read
+            # from the start and swallow the records already emitted.
+            self._offset = 0
+            replay = self._emitted
+        self._inode = stat.st_ino
+        if stat.st_size <= self._offset:
+            return []
+        with open(self.path, "rb") as handle:
+            handle.seek(self._offset)
+            raw = handle.read()
+        out: List[Dict[str, object]] = []
+        cursor = 0
+        while cursor < len(raw):
+            newline = raw.find(b"\n", cursor)
+            if newline < 0:
+                break  # incomplete final line: re-read next poll
+            chunk = raw[cursor: newline + 1]
+            record = self._decode(chunk)
+            if record is None:
+                # Torn or corrupt line: never emit, never advance past
+                # it. If recovery truncates it, the rewrite detection
+                # above realigns us; if the writer completes it, the
+                # re-read decodes it whole.
+                break
+            cursor = newline + 1
+            self._offset += len(chunk)
+            if replay > 0:
+                replay -= 1
+                continue
+            out.append(record)
+            self._emitted += 1
+        return out

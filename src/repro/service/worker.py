@@ -1,0 +1,144 @@
+"""The per-run child process: executes one spooled run to completion.
+
+Each dispatched run executes in its **own process** rather than inside
+the server. That buys three properties the service contract needs:
+
+* isolation — a run that exhausts memory or dies on a platform bug
+  takes out one child, not the server and every other tenant's stream;
+* honest crash semantics — the e2e suite SIGKILLs the *server* mid-run
+  and expects the restarted server to resume from the journal; the
+  parent-death watchdog below makes the children die with the server,
+  so the journal really is torn where the crash happened;
+* a tailable journal — the child writes ``journal.jsonl`` in the run
+  directory through the ordinary crash-safe runtime, and the server
+  process streams it to SSE clients with :class:`~repro.service.tail.JournalTailer`
+  without sharing any in-process state.
+
+:func:`execute_service_run` is the ``multiprocessing.Process`` target.
+It is a lint-recognized worker entrypoint (the RACE rules police it),
+so it mutates no module globals — everything it touches lives in the
+run directory it is handed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.ioutil import atomic_write
+from repro.runtime.executor import (
+    RuntimeConfig,
+    execute_matrix,
+    resolve_workers,
+)
+from repro.runtime.journal import RunJournal, config_from_payload
+from repro.service.runs import OUTCOME_NAME, REQUEST_NAME
+from repro.trace import Tracer, use_tracer
+
+__all__ = ["execute_service_run", "run_outcome_payload"]
+
+#: How often the orphan watchdog re-checks the parent (seconds).
+_WATCHDOG_INTERVAL = 0.2
+
+
+def _start_parent_watchdog(parent_pid: int) -> threading.Thread:
+    """Kill this process the moment its parent disappears.
+
+    When the server is SIGKILLed it cannot reap or signal its children,
+    so each child polls its parent pid from a daemon thread and
+    ``os._exit``\\ s on orphaning — the same guard the worker pool uses.
+    A hard exit is deliberate: it tears the journal exactly where the
+    crash landed, which is the case resume is built for.
+    """
+
+    def watch() -> None:
+        while True:
+            if os.getppid() != parent_pid:
+                os._exit(1)
+            time.sleep(_WATCHDOG_INTERVAL)
+
+    thread = threading.Thread(
+        target=watch, name="service-parent-watchdog", daemon=True
+    )
+    thread.start()
+    return thread
+
+
+def run_outcome_payload(result, *, elapsed: float) -> Dict[str, object]:
+    """The terminal ``outcome.json`` body for a finished run."""
+    database = result.database
+    sla_breaches = sum(1 for row in database if not row.sla_compliant)
+    return {
+        "ok": True,
+        "jobs": result.job_count,
+        "rows": len(database),
+        "failures": len(result.failures),
+        "sla_breaches": sla_breaches,
+        "restored_jobs": result.restored_jobs,
+        "lost_jobs": result.lost_jobs,
+        "workers": result.workers,
+        "mode": result.mode,
+        "elapsed_seconds": elapsed,
+    }
+
+
+def execute_service_run(
+    run_dir: Union[str, Path],
+    *,
+    workers: Union[int, str, None] = "auto",
+    job_timeout: Optional[float] = None,
+    watchdog: bool = True,
+) -> int:
+    """Execute (or resume) the run spooled at ``run_dir``; returns 0/1.
+
+    Reads ``request.json``, runs the matrix through the journaled
+    runtime — resuming from ``journal.jsonl`` when one exists, so a
+    rerun after a crash completes the remainder instead of starting
+    over — then writes ``archive.json`` (the run's Granula performance
+    archive) and finally ``outcome.json``. The outcome write is the
+    commit point: the server treats a run directory without one as
+    unfinished work to re-enqueue.
+    """
+    run_dir = Path(run_dir)
+    if watchdog:
+        _start_parent_watchdog(os.getppid())
+    # A fresh tracer per child: span buffers and counters must not be
+    # shared (or forked mid-write) from the server process.
+    tracer = Tracer()
+    with use_tracer(tracer):
+        started = tracer.clock.now()
+        try:
+            with open(run_dir / REQUEST_NAME, "r", encoding="utf-8") as handle:
+                request = json.load(handle)
+            config = config_from_payload(request["config"])
+            runtime = RuntimeConfig(
+                workers=resolve_workers(workers),
+                job_timeout=job_timeout,
+                cache_dir=run_dir / "cache",
+            )
+            resume = RunJournal.journal_path(run_dir).exists()
+            result = execute_matrix(
+                config, runtime, run_dir=run_dir, resume=resume
+            )
+            atomic_write(
+                run_dir / "archive.json",
+                json.dumps(result.archive().as_dict(), indent=1, sort_keys=True),
+            )
+            outcome = run_outcome_payload(
+                result, elapsed=tracer.clock.now() - started
+            )
+        except Exception as exc:
+            outcome = {
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "elapsed_seconds": tracer.clock.now() - started,
+            }
+        atomic_write(
+            run_dir / OUTCOME_NAME,
+            json.dumps(outcome, indent=1, sort_keys=True),
+        )
+    return 0 if outcome.get("ok") else 1

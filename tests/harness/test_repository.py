@@ -1,5 +1,8 @@
 """Tests for the public results repository."""
 
+import json
+import multiprocessing
+
 import pytest
 
 from repro.exceptions import ConfigurationError, ValidationError
@@ -88,6 +91,69 @@ class TestSubmission:
     def test_unknown_run(self, repo):
         with pytest.raises(ConfigurationError, match="unknown run"):
             repo.load("nope")
+
+
+def _submit_burst(root, prefix, count, barrier):
+    """Child-process writer: submit ``count`` runs as fast as possible."""
+    repo = ResultsRepository(root)
+    database = ResultsDatabase([make_result()])
+    barrier.wait(timeout=30)
+    for index in range(count):
+        repo.submit(RunMetadata(f"{prefix}-{index}", "sut"), database)
+
+
+class TestConcurrentSubmission:
+    """Two processes submitting at once must not lose index entries.
+
+    The index file is read-modify-written on every submission; without
+    the repository's ``flock``-guarded critical section, two concurrent
+    writers interleave and one writer's entries vanish from the index
+    (the classic lost-update). The submission lock makes the whole
+    read-modify-write atomic; this is the regression test for it.
+    """
+
+    def test_two_writers_lose_no_index_entries(self, tmp_path):
+        root = tmp_path / "repo"
+        count = 20
+        barrier = multiprocessing.Barrier(3)
+        writers = [
+            multiprocessing.Process(
+                target=_submit_burst, args=(str(root), prefix, count, barrier)
+            )
+            for prefix in ("left", "right")
+        ]
+        for proc in writers:
+            proc.start()
+        barrier.wait(timeout=30)  # release both writers together
+        for proc in writers:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        repo = ResultsRepository(root)
+        expected = {f"{prefix}-{index}"
+                    for prefix in ("left", "right") for index in range(count)}
+        assert set(repo.run_ids()) == expected
+        # Every indexed run is also loadable: no torn run files either.
+        for run_id in expected:
+            assert len(repo.load(run_id)) == 1
+
+    def test_index_file_is_valid_json_after_the_race(self, tmp_path):
+        root = tmp_path / "repo"
+        barrier = multiprocessing.Barrier(3)
+        writers = [
+            multiprocessing.Process(
+                target=_submit_burst, args=(str(root), prefix, 5, barrier)
+            )
+            for prefix in ("a", "b")
+        ]
+        for proc in writers:
+            proc.start()
+        barrier.wait(timeout=30)
+        for proc in writers:
+            proc.join(timeout=60)
+        index_path = root / ".index.json"
+        assert index_path.exists()
+        index = json.loads(index_path.read_text())
+        assert len(index) == 10
 
 
 class TestCrossRunAnalysis:

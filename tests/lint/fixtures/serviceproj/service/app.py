@@ -1,0 +1,62 @@
+"""SRV001 fixture: a miniature async service with route registration."""
+
+import asyncio
+import time
+
+
+class MiniService:
+    def __init__(self):
+        self.routes = []
+        self._add_route("GET", "/status", self._handle_status)
+        self._add_route("GET", "/report", self._handle_report)
+        self.add_route("POST", "/submit", handler=self._handle_submit)
+
+    def _add_route(self, method, pattern, handler):
+        self.routes.append((method, pattern, handler))
+
+    def add_route(self, method, pattern, handler=None):
+        self.routes.append((method, pattern, handler))
+
+    async def _handle_status(self, request):
+        time.sleep(0.5)  # SRV001: blocks the loop
+        await asyncio.sleep(0.1)  # fine: the async form
+        return {"ok": True}
+
+    async def _handle_report(self, request):
+        handle = open("report.json")  # SRV001: sync open on the loop
+        data = handle.read()  # SRV001: un-awaited sync read
+        return data
+
+    async def _handle_submit(self, request):
+        def load():
+            with open("spool.json") as handle:  # fine: off-loop thunk
+                return handle.read()
+
+        payload = await asyncio.to_thread(load)
+        body = await request.reader.read()  # fine: awaited stream API
+        await self._settle(payload)
+        return body
+
+    async def _settle(self, payload):
+        # Reachable from a registered handler: still on the loop.
+        worker = make_worker(payload)
+        worker.join()  # SRV001: parks the loop on a process exit
+        parts = ",".join(["a", "b"])  # fine: str.join takes an argument
+        return parts
+
+
+def make_worker(payload):
+    return payload
+
+
+def sync_report():
+    # Not async: SRV001 does not apply off the event loop.
+    time.sleep(0.1)
+    with open("report.json") as handle:
+        return handle.read()
+
+
+async def unregistered_helper():
+    # Async but never registered as (or reached from) a handler.
+    time.sleep(0.2)
+    return None

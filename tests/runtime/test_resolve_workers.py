@@ -1,0 +1,52 @@
+"""``workers="auto"`` resolution and the oversubscription cap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.executor import resolve_workers
+
+
+class TestAuto:
+    def test_auto_resolves_to_available_cpus(self):
+        assert resolve_workers("auto", available=8) == 8
+
+    def test_none_is_auto(self):
+        assert resolve_workers(None, available=8) == 8
+
+    def test_auto_without_available_uses_host_cpu_count(self):
+        # The host always has >= 1 CPU; the exact count varies.
+        assert resolve_workers("auto") >= 1
+
+    def test_available_floor_is_one(self):
+        assert resolve_workers("auto", available=0) == 1
+
+
+class TestExplicit:
+    def test_within_budget_is_honored(self):
+        assert resolve_workers(2, available=8) == 2
+        assert resolve_workers(8, available=8) == 8
+
+    def test_numeric_string_is_accepted(self):
+        assert resolve_workers("3", available=8) == 3
+
+    def test_oversubscription_is_capped_with_a_warning(self):
+        with pytest.warns(RuntimeWarning, match="capping the pool at 2"):
+            assert resolve_workers(16, available=2) == 2
+
+    def test_within_budget_emits_no_warning(self, recwarn):
+        resolve_workers(2, available=4)
+        assert not [w for w in recwarn if w.category is RuntimeWarning]
+
+
+class TestRejection:
+    @pytest.mark.parametrize("bad", ["many", "", 1.5, object()])
+    def test_non_integer_requests_are_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(bad, available=4)
+
+    @pytest.mark.parametrize("bad", [0, -1, "-3"])
+    def test_non_positive_requests_are_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(bad, available=4)

@@ -1,0 +1,171 @@
+"""The hand-rolled HTTP/1.1 + SSE layer, parsed and rendered in memory."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.http import (
+    MAX_BODY_BYTES,
+    EventStream,
+    ProtocolError,
+    Request,
+    Response,
+    error_response,
+    json_response,
+    read_request,
+)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def _parse(data: bytes):
+    """Run read_request over an in-memory stream fed with ``data``."""
+
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return _run(scenario())
+
+
+class _CollectingWriter:
+    """A StreamWriter stand-in capturing written bytes."""
+
+    def __init__(self):
+        self.chunks = []
+
+    def write(self, data):
+        self.chunks.append(data)
+
+    async def drain(self):
+        pass
+
+    @property
+    def data(self):
+        return b"".join(self.chunks)
+
+
+class TestReadRequest:
+    def test_parses_request_line_headers_and_body(self):
+        raw = (
+            b"POST /v1/runs?tenant=alice HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: 13\r\n"
+            b"\r\n"
+            b'{"a": "b c"}\n'
+        )
+        request = _parse(raw)
+        assert request.method == "POST"
+        assert request.path == "/v1/runs"
+        assert request.query == {"tenant": "alice"}
+        assert request.headers["content-type"] == "application/json"
+        assert request.json() == {"a": "b c"}
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_partial_head_raises(self):
+        with pytest.raises(ProtocolError):
+            _parse(b"GET /v1/status HT")
+
+    def test_malformed_request_line_raises(self):
+        with pytest.raises(ProtocolError):
+            _parse(b"NONSENSE\r\n\r\n")
+
+    def test_non_http_version_raises(self):
+        with pytest.raises(ProtocolError):
+            _parse(b"GET / SPDY/3\r\n\r\n")
+
+    def test_malformed_header_raises(self):
+        raw = b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"
+        with pytest.raises(ProtocolError):
+            _parse(raw)
+
+    def test_header_names_are_case_insensitive(self):
+        raw = b"GET / HTTP/1.1\r\nX-Tenant: bob\r\n\r\n"
+        request = _parse(raw)
+        assert request.headers["x-tenant"] == "bob"
+
+    def test_body_over_cap_raises(self):
+        raw = (
+            b"POST / HTTP/1.1\r\n"
+            + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+        )
+        with pytest.raises(ProtocolError):
+            _parse(raw)
+
+    def test_truncated_body_raises(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+        with pytest.raises(ProtocolError):
+            _parse(raw)
+
+    def test_bad_content_length_raises(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"
+        with pytest.raises(ProtocolError):
+            _parse(raw)
+
+    def test_json_on_empty_body_raises(self):
+        request = Request(method="POST", path="/", query={}, headers={})
+        with pytest.raises(ProtocolError):
+            request.json()
+
+    def test_json_on_invalid_body_raises(self):
+        request = Request(
+            method="POST", path="/", query={}, headers={}, body=b"{nope"
+        )
+        with pytest.raises(ProtocolError):
+            request.json()
+
+
+class TestResponseRender:
+    def test_render_has_length_close_and_custom_headers(self):
+        response = Response(
+            status=429, body=b'{"error": "slow down"}',
+            headers={"Retry-After": "2"},
+        )
+        raw = response.render()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 429 Too Many Requests\r\n")
+        assert b"Content-Length: 22" in head
+        assert b"Connection: close" in head
+        assert b"Retry-After: 2" in head
+        assert body == b'{"error": "slow down"}'
+
+    def test_json_response_round_trips(self):
+        response = json_response({"state": "queued"}, status=202)
+        assert response.status == 202
+        assert json.loads(response.body) == {"state": "queued"}
+
+    def test_error_response_shape(self):
+        response = error_response(404, "no such run")
+        assert response.status == 404
+        assert json.loads(response.body) == {"error": "no such run"}
+
+
+class TestEventStream:
+    def test_sse_framing(self):
+        async def scenario():
+            writer = _CollectingWriter()
+            stream = EventStream(writer)
+            await stream.open()
+            await stream.send("journal", {"type": "job-done", "seq": 1})
+            await stream.ping()
+            await stream.send("end", {"state": "done"})
+            return writer.data, stream.events_sent
+
+        data, sent = _run(scenario())
+        head, _, frames = data.partition(b"\r\n\r\n")
+        assert b"Content-Type: text/event-stream" in head
+        assert b"Connection: close" in head
+        lines = frames.decode("utf-8").split("\n\n")
+        assert lines[0] == 'event: journal\ndata: {"seq":1,"type":"job-done"}'
+        assert lines[1] == ": ping"
+        assert lines[2] == 'event: end\ndata: {"state":"done"}'
+        assert sent == 2  # pings are comments, not events

@@ -1,0 +1,126 @@
+"""Fairness and quota semantics of the multi-tenant admission queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphalyticsError
+from repro.service.queue import FairShareQueue, QuotaExceeded
+
+
+def _drain(queue):
+    """Acquire until empty, releasing each slot immediately."""
+    order = []
+    while True:
+        item = queue.acquire()
+        if item is None:
+            break
+        order.append(item)
+        queue.release(item[0])
+    return order
+
+
+class TestAdmission:
+    def test_submissions_within_quota_are_accepted(self):
+        queue = FairShareQueue(per_tenant_depth=2)
+        queue.submit("a", "r1")
+        queue.submit("a", "r2")
+        assert queue.pending("a") == 2
+        assert queue.accepted == 2
+
+    def test_over_depth_submission_raises_with_retry_after(self):
+        queue = FairShareQueue(per_tenant_depth=1, retry_after=3.5)
+        queue.submit("a", "r1")
+        with pytest.raises(QuotaExceeded) as excinfo:
+            queue.submit("a", "r2")
+        assert excinfo.value.retry_after == 3.5
+        assert queue.rejected == 1
+        assert queue.pending("a") == 1  # rejected run was not buffered
+
+    def test_quota_is_per_tenant_not_global(self):
+        queue = FairShareQueue(per_tenant_depth=1)
+        queue.submit("a", "r1")
+        queue.submit("b", "r2")  # different tenant: own quota
+        assert queue.pending() == 2
+
+    def test_force_bypasses_depth_quota_for_boot_reenqueue(self):
+        queue = FairShareQueue(per_tenant_depth=1)
+        queue.submit("a", "r1")
+        queue.submit("a", "r2", force=True)
+        assert queue.pending("a") == 2
+
+    def test_invalid_quotas_rejected(self):
+        with pytest.raises(GraphalyticsError):
+            FairShareQueue(per_tenant_depth=0)
+        with pytest.raises(GraphalyticsError):
+            FairShareQueue(per_tenant_running=0)
+
+
+class TestFairness:
+    def test_flooding_tenant_does_not_starve_another(self):
+        queue = FairShareQueue(per_tenant_depth=16)
+        for i in range(10):
+            queue.submit("flood", f"f{i}")
+        queue.submit("small", "s0")
+        served = _drain(queue)
+        # The small tenant is reached within one slot turnover, not
+        # after the flood's whole backlog.
+        position = [tenant for tenant, _ in served].index("small")
+        assert position <= 1
+
+    def test_round_robin_interleaves_tenants(self):
+        queue = FairShareQueue(per_tenant_depth=8)
+        for i in range(3):
+            queue.submit("a", f"a{i}")
+            queue.submit("b", f"b{i}")
+        tenants = [tenant for tenant, _ in _drain(queue)]
+        assert tenants == ["a", "b", "a", "b", "a", "b"]
+
+    def test_per_tenant_running_cap_holds_back_second_run(self):
+        queue = FairShareQueue(per_tenant_running=1)
+        queue.submit("a", "r1")
+        queue.submit("a", "r2")
+        assert queue.acquire() == ("a", "r1")
+        # a is at its running cap; r2 must wait even with a free slot.
+        assert queue.acquire() is None
+        queue.release("a")
+        assert queue.acquire() == ("a", "r2")
+
+    def test_capped_tenant_does_not_block_others(self):
+        queue = FairShareQueue(per_tenant_running=1)
+        queue.submit("a", "a1")
+        queue.submit("a", "a2")
+        queue.submit("b", "b1")
+        assert queue.acquire() == ("a", "a1")
+        assert queue.acquire() == ("b", "b1")  # skips capped a
+        assert queue.acquire() is None
+
+    def test_acquire_on_empty_queue(self):
+        queue = FairShareQueue()
+        assert queue.acquire() is None
+        queue.submit("a", "r1")
+        assert queue.acquire() == ("a", "r1")
+        assert queue.acquire() is None  # drained
+
+
+class TestStats:
+    def test_stats_reflect_admission_and_dispatch(self):
+        queue = FairShareQueue(per_tenant_depth=1, per_tenant_running=2)
+        queue.submit("a", "r1")
+        queue.submit("b", "r2")
+        with pytest.raises(QuotaExceeded):
+            queue.submit("a", "r3")
+        queue.acquire()
+        stats = queue.stats()
+        assert stats["tenants"] == 2
+        assert stats["pending"] == 1
+        assert stats["running"] == 1
+        assert stats["accepted"] == 2
+        assert stats["rejected"] == 1
+        assert stats["per_tenant_depth"] == 1
+        assert stats["per_tenant_running"] == 2
+
+    def test_release_never_goes_negative(self):
+        queue = FairShareQueue()
+        queue.release("ghost")
+        assert queue.running("ghost") == 0
