@@ -1,0 +1,206 @@
+"""Chaos recovery characteristics, recorded to ``BENCH_chaos.json``.
+
+Two fault scenarios from the robustness plane, each with a number the
+repo gates on:
+
+* **Containment** — a poison run (its chaos plan SIGKILLs the run
+  child after a few journal appends, on every attempt) submitted to a
+  live in-process service.  The bench records launches-to-quarantine
+  and time-to-quarantine.  The gate: the supervisor relaunches the run
+  exactly its configured budget and never again — unbounded relaunch
+  of a poison run is the classic way one bad submission eats a shared
+  deployment.
+
+* **Recovery** — a torn ``write`` tears the journal mid-run (the run
+  crashes), then ``resume_run`` recovers from the truncated log.  The
+  bench records the crashed run's journal replay/resume wall time and
+  how many finished jobs were restored instead of re-executed.  The
+  gate: at least one job is restored (a resume that redoes everything
+  is a restart with extra steps) and recovery stays under an absolute
+  ceiling.
+
+Wall-clock gates are asserted unless ``GRAPHALYTICS_SKIP_OVERHEAD_CHECK``
+is set (shared CI hardware can stall arbitrarily); the structural
+gates (attempt budget, restored jobs) always hold.
+"""
+
+import asyncio
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.faults import IoFault, IoFaultPlan, install_io_plan, io_faults
+from repro.harness.config import BenchmarkConfig
+from repro.runtime import RuntimeConfig, execute_matrix, resume_run
+from repro.service import BenchmarkService, ServiceClient, ServiceConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT = REPO_ROOT / "BENCH_chaos.json"
+
+ATTEMPT_BUDGET = 3
+CONTAINMENT_BUDGET_SECONDS = 60.0
+RECOVERY_BUDGET_SECONDS = 30.0
+
+MATRIX = {
+    "platforms": ["powergraph"],
+    "datasets": ["R1"],
+    "algorithms": ["bfs", "pr"],
+    "repetitions": 2,
+}
+
+KILL_PLAN = {
+    "seed": 7,
+    "faults": [{"point": "journal.append.write", "kind": "kill", "after": 3}],
+}
+
+
+class _ServiceHarness:
+    """A live in-process service with real run children and fast retry."""
+
+    def __init__(self, spool: Path):
+        config = ServiceConfig(
+            spool=spool,
+            port=0,
+            max_running=1,
+            run_attempts=ATTEMPT_BUDGET,
+            run_backoff_base=0.05,
+            breaker_threshold=100,  # the breaker is not under test here
+        )
+        self.service = BenchmarkService(config)
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self.loop.run_forever, daemon=True)
+
+    def __enter__(self) -> ServiceClient:
+        self.thread.start()
+        host, port = asyncio.run_coroutine_threadsafe(
+            self.service.start(), self.loop
+        ).result(timeout=30)
+        return ServiceClient(host, port, timeout=30)
+
+    def __exit__(self, *exc_info):
+        asyncio.run_coroutine_threadsafe(
+            self.service.stop(), self.loop
+        ).result(timeout=30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=30)
+        self.loop.close()
+
+
+def _wait_quarantined(client: ServiceClient, run_id: str) -> dict:
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        payload = client.run(run_id)
+        if payload["state"] in ("quarantined", "done", "failed"):
+            return payload
+        time.sleep(0.05)
+    raise AssertionError(f"poison run never settled: {payload['state']}")
+
+
+def test_poison_run_containment(benchmark, tmp_path):
+    def rounds():
+        with _ServiceHarness(tmp_path / "spool") as client:
+            started = time.perf_counter()
+            accepted = client.submit("poison", MATRIX, chaos=KILL_PLAN)
+            final = _wait_quarantined(client, accepted["run_id"])
+            elapsed = time.perf_counter() - started
+        return final, elapsed
+
+    final, elapsed = benchmark.pedantic(rounds, rounds=1, iterations=1)
+
+    # Structural gates: quarantined after EXACTLY the budget.
+    assert final["state"] == "quarantined", final
+    assert final["attempts"] == ATTEMPT_BUDGET, (
+        f"supervisor launched a poison run {final['attempts']} times "
+        f"with a budget of {ATTEMPT_BUDGET} — re-enqueues are unbounded"
+    )
+
+    payload = {
+        "containment_attempt_budget": ATTEMPT_BUDGET,
+        "containment_attempts": final["attempts"],
+        "containment_seconds": round(elapsed, 3),
+        "containment_budget_seconds": CONTAINMENT_BUDGET_SECONDS,
+    }
+
+    print()
+    print("Chaos containment — poison run to quarantine")
+    print(f"  launches     {final['attempts']} (budget {ATTEMPT_BUDGET})")
+    print(f"  quarantined  {elapsed:.2f} s after submission")
+
+    if not os.environ.get("GRAPHALYTICS_SKIP_OVERHEAD_CHECK"):
+        assert elapsed <= CONTAINMENT_BUDGET_SECONDS, (
+            f"containment took {elapsed:.1f}s, over the "
+            f"{CONTAINMENT_BUDGET_SECONDS}s ceiling — relaunch backoff "
+            f"or child teardown got slower"
+        )
+    _merge(payload)
+
+
+def test_torn_write_recovery(benchmark, tmp_path):
+    config = BenchmarkConfig(**MATRIX)
+    run_dir = tmp_path / "run"
+
+    def rounds():
+        # Crash: a torn journal write mid-run (counts as the outage).
+        install_io_plan(None)
+        plan = IoFaultPlan(
+            [IoFault(point="journal.append.write", kind="torn-write", after=10)]
+        )
+        with io_faults(plan):
+            try:
+                execute_matrix(
+                    config, RuntimeConfig(workers=1), run_dir=run_dir
+                )
+            except OSError:
+                pass
+            else:  # pragma: no cover - the plan guarantees the tear
+                raise AssertionError("torn write never fired")
+
+        # Recovery: truncate-to-last-good-line replay + resume.
+        started = time.perf_counter()
+        resumed = resume_run(run_dir, RuntimeConfig(workers=1))
+        elapsed = time.perf_counter() - started
+        return resumed, elapsed
+
+    resumed, elapsed = benchmark.pedantic(rounds, rounds=1, iterations=1)
+
+    # Structural gate: the resume restored prior work, not redid it.
+    assert resumed.restored_jobs >= 1, (
+        "resume_run restored nothing — the journal prefix was lost"
+    )
+
+    payload = {
+        "recovery_seconds": round(elapsed, 3),
+        "recovery_budget_seconds": RECOVERY_BUDGET_SECONDS,
+        "recovery_restored_jobs": resumed.restored_jobs,
+        "recovery_total_jobs": len(resumed.database),
+    }
+
+    print()
+    print("Chaos recovery — torn-write crash to completed resume")
+    print(f"  restored     {resumed.restored_jobs} of "
+          f"{len(resumed.database)} jobs from the journal")
+    print(f"  recovery     {elapsed:.2f} s")
+
+    if not os.environ.get("GRAPHALYTICS_SKIP_OVERHEAD_CHECK"):
+        assert elapsed <= RECOVERY_BUDGET_SECONDS, (
+            f"recovery took {elapsed:.1f}s, over the "
+            f"{RECOVERY_BUDGET_SECONDS}s ceiling — journal replay or "
+            f"resume scheduling got slower"
+        )
+    _merge(payload)
+
+
+def _merge(payload: dict) -> None:
+    """Accumulate both scenarios' numbers into one BENCH_chaos.json."""
+    merged = {}
+    if OUTPUT.exists():
+        try:
+            merged = json.loads(OUTPUT.read_text())
+        except (OSError, json.JSONDecodeError):
+            merged = {}
+    merged.update(payload)
+    OUTPUT.write_text(json.dumps(merged, indent=1, sort_keys=True) + "\n")

@@ -349,6 +349,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--tenant-running", type=int, default=1,
         help="per-tenant concurrently-running quota",
     )
+    serve.add_argument(
+        "--run-attempts", type=int, default=3,
+        help="launches per run before quarantine (counted across "
+             "restarts via the durable attempt ledger)",
+    )
+    serve.add_argument(
+        "--run-backoff", type=float, default=0.5,
+        help="base of the exponential relaunch backoff after a run "
+             "child dies (base * 2^(attempt-1) seconds)",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive run-child deaths that open a tenant's "
+             "circuit breaker (503 on new submissions)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=float, default=30.0,
+        help="seconds an open circuit sheds a tenant's submissions",
+    )
 
     submit = sub.add_parser(
         "submit", help="submit a benchmark matrix to the service"
@@ -368,6 +387,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("--job-timeout", type=float, default=None)
     submit.add_argument(
+        "--retries", type=int, default=0,
+        help="retry 429/503/connection failures this many times with "
+             "capped exponential backoff (honors Retry-After)",
+    )
+    submit.add_argument(
+        "--chaos", default=None,
+        help="path to a JSON I/O fault plan the run child installs "
+             "(seeded, deterministic; see docs/robustness.md)",
+    )
+    submit.add_argument(
         "--watch", action="store_true",
         help="stay attached and stream the run's events after submitting",
     )
@@ -378,13 +407,19 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("run_id")
     watch.add_argument("--host", default="127.0.0.1")
     watch.add_argument("--port", type=int, default=8735)
+    watch.add_argument(
+        "--reconnects", type=int, default=5,
+        help="consecutive dropped-stream reconnects before giving up "
+             "(resumes from the last-seen offset, no duplicates)",
+    )
 
     fetch = sub.add_parser(
         "fetch", help="download a finished service run's artifacts"
     )
     fetch.add_argument("run_id")
     fetch.add_argument(
-        "--artifact", choices=("results", "archive", "trace"),
+        "--artifact",
+        choices=("results", "archive", "trace", "outcome", "quarantine"),
         default="results",
     )
     fetch.add_argument(
@@ -393,6 +428,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fetch.add_argument("--host", default="127.0.0.1")
     fetch.add_argument("--port", type=int, default=8735)
+
+    health = sub.add_parser(
+        "health", help="print the service's /v1/healthz report"
+    )
+    health.add_argument("--host", default="127.0.0.1")
+    health.add_argument("--port", type=int, default=8735)
 
     return parser
 
@@ -1029,6 +1070,10 @@ def _cmd_serve(args) -> int:
         max_running=args.max_running,
         per_tenant_depth=args.tenant_depth,
         per_tenant_running=args.tenant_running,
+        run_attempts=args.run_attempts,
+        run_backoff_base=args.run_backoff,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
     )
 
     async def serve() -> None:
@@ -1064,19 +1109,27 @@ def _load_matrix_argument(text: str):
 
 
 def _cmd_submit(args) -> int:
+    import json
+
     from repro.service import ServiceClient, ServiceError
 
     client = ServiceClient(args.host, args.port)
     matrix = _load_matrix_argument(args.matrix)
+    chaos = None
+    if args.chaos:
+        with open(args.chaos, "r", encoding="utf-8") as handle:
+            chaos = json.load(handle)
     try:
         accepted = client.submit(
             args.tenant,
             matrix,
             workers=args.workers,
             job_timeout=args.job_timeout,
+            chaos=chaos,
+            retries=args.retries,
         )
     except ServiceError as exc:
-        if exc.status == 429 and exc.retry_after is not None:
+        if exc.status in (429, 503) and exc.retry_after is not None:
             print(f"error: {exc} (retry after {exc.retry_after:g} s)",
                   file=sys.stderr)
             return 1
@@ -1090,13 +1143,13 @@ def _cmd_submit(args) -> int:
     return 0
 
 
-def _watch_run(client, run_id: str) -> int:
+def _watch_run(client, run_id: str, *, reconnects: int = 5) -> int:
     """Render a run's SSE stream: journal lines, then the span tree."""
     from repro.trace import Span, render_tree
 
     spans: List = []
     final_state: dict = {}
-    for event, payload in client.events(run_id):
+    for event, payload in client.watch_events(run_id, reconnects=reconnects):
         if event == "run":
             print(f"# run {payload.get('run_id')} [{payload.get('state')}] "
                   f"tenant={payload.get('tenant')}")
@@ -1116,16 +1169,24 @@ def _watch_run(client, run_id: str) -> int:
         print(render_tree(spans))
     state = final_state.get("state", "unknown")
     print(f"# run {run_id} finished: {state}")
-    for key in ("jobs", "failures", "sla_breaches", "elapsed_seconds"):
+    for key in ("jobs", "failures", "sla_breaches", "elapsed_seconds",
+                "attempts", "degraded"):
         if key in final_state:
             print(f"#   {key}: {_fmt(final_state[key])}")
+    quarantine = final_state.get("quarantine")
+    if isinstance(quarantine, dict):
+        print(f"#   quarantined: {quarantine.get('reason', '?')}")
     return 0 if state == "done" else 1
 
 
 def _cmd_watch(args) -> int:
     from repro.service import ServiceClient
 
-    return _watch_run(ServiceClient(args.host, args.port), args.run_id)
+    return _watch_run(
+        ServiceClient(args.host, args.port),
+        args.run_id,
+        reconnects=args.reconnects,
+    )
 
 
 def _cmd_fetch(args) -> int:
@@ -1141,6 +1202,16 @@ def _cmd_fetch(args) -> int:
     else:
         sys.stdout.write(data.decode("utf-8"))
     return 0
+
+
+def _cmd_health(args) -> int:
+    import json
+
+    from repro.service import ServiceClient
+
+    report = ServiceClient(args.host, args.port).healthz()
+    print(json.dumps(report, indent=1, sort_keys=True))
+    return 0 if report.get("status") == "ok" else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -1192,6 +1263,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_watch(args)
         if args.command == "fetch":
             return _cmd_fetch(args)
+        if args.command == "health":
+            return _cmd_health(args)
     except GraphalyticsError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

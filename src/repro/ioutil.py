@@ -20,7 +20,18 @@ crash-consistency recipe instead:
 
 Lint rule ROB001 enforces statically that run-artifact writers in
 ``harness``, ``runtime``, ``granula``, and ``lint`` go through this
-helper rather than bare ``open(..., "w")`` / ``write_text``.
+helper rather than bare ``open(..., "w")`` / ``write_text``; ROB002
+extends the same discipline to service and runtime spool writers.
+
+Every write is threaded through the named fault points of
+:mod:`repro.faults.points` (``ioutil.atomic_write.write`` / ``.fsync``
+/ ``.replace``), so chaos plans can fail the payload write, the flush,
+or the rename independently — and because the failure always lands on
+the temp file or the rename, an injected fault never tears the
+destination: the atomicity contract is exactly what the fault suite
+verifies. Callers guarding a domain artifact (spool records, cache
+spill) pass ``fault_point=`` to expose a site-specific point that fires
+before any bytes move.
 """
 
 from __future__ import annotations
@@ -28,7 +39,9 @@ from __future__ import annotations
 import os
 import tempfile
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
+
+from repro.faults import points as fault_points
 
 __all__ = ["atomic_write", "fsync_directory"]
 
@@ -58,6 +71,7 @@ def atomic_write(
     *,
     encoding: str = "utf-8",
     durable: bool = True,
+    fault_point: Optional[str] = None,
 ) -> Path:
     """Write ``data`` to ``path`` atomically; returns the path.
 
@@ -65,8 +79,14 @@ def atomic_write(
     content in full — a crash at any point never leaves a torn file.
     ``durable=False`` skips the fsyncs (for tests and scratch output
     where atomicity matters but the extra flushes do not).
+    ``fault_point`` names an additional registered injection point
+    checked before any bytes are written, so chaos plans can target
+    one artifact (the spool outcome, the cache spill) without failing
+    every atomic write in the process.
     """
     path = Path(path)
+    if fault_point is not None:
+        fault_points.check(fault_point)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = data.encode(encoding) if isinstance(data, str) else data
     fd, tmp = tempfile.mkstemp(
@@ -74,10 +94,14 @@ def atomic_write(
     )
     try:
         with os.fdopen(fd, "wb") as handle:
-            handle.write(payload)
+            fault_points.write_through(
+                "ioutil.atomic_write.write", handle, payload
+            )
             handle.flush()
             if durable:
+                fault_points.check("ioutil.atomic_write.fsync")
                 os.fsync(handle.fileno())
+        fault_points.check("ioutil.atomic_write.replace")
         os.replace(tmp, path)
     except BaseException:
         try:

@@ -1,4 +1,4 @@
-"""Harness robustness rules: EXC001, RUN001, ROB001.
+"""Harness robustness rules: EXC001, RUN001, ROB001, ROB002.
 
 The harness records modeled failures (OOM, crash, SLA breach) as data;
 what it must never do is *swallow* them. An over-broad ``except`` in a
@@ -16,6 +16,15 @@ truncated before the new bytes land, so a crash mid-write destroys the
 previous good copy. Every run artifact must go through
 :func:`repro.ioutil.atomic_write` (write-to-temp, fsync, rename);
 append-mode writes — the journal's own medium — are exempt.
+
+The fault-injection plane tightens it once more for the service and
+the concurrent runtime (ROB002): chaos testing can only exercise
+writes that flow through the registered fault points in
+:mod:`repro.ioutil` and :mod:`repro.runtime.journal`. A raw ``open``
+write in those layers — even an append — is invisible to every seeded
+chaos plan, so its ENOSPC/EIO handling is never tested and the
+supervision invariants (quarantine after N attempts, bounded
+re-enqueues) cannot be asserted over it.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ __all__ = [
     "SwallowedExceptionRule",
     "RuntimeFailureRecordRule",
     "AtomicArtifactWriteRule",
+    "FaultPointRoutedWriteRule",
 ]
 
 #: Exception names considered over-broad for a silent handler: the
@@ -323,3 +333,126 @@ class AtomicArtifactWriteRule(Rule):
                     origin[prev] = origin[current]
                     queue.append(prev)
         return origin
+
+
+#: Modules whose file writes ARE the fault-injection plane: the
+#: ``atomic_write`` helper (every write/fsync/replace is a registered
+#: fault point) and the run journal (its append path routes through
+#: ``journal.append.*``). Everything else must call into them.
+_PLANE_MODULE_STEMS = frozenset({"ioutil", "journal"})
+
+
+def _is_write_mode(mode: Optional[ast.expr]) -> bool:
+    # Any constant mode that can emit bytes: truncate ("w"), create
+    # ("x"), append ("a"), or update ("+"). Dynamic modes stay
+    # undecidable and unflagged, as in ROB001.
+    return (
+        isinstance(mode, ast.Constant)
+        and isinstance(mode.value, str)
+        and any(flag in mode.value for flag in ("w", "x", "a", "+"))
+    )
+
+
+def _raw_writes(tree: ast.AST) -> Iterator[Tuple[ast.Call, str]]:
+    """Every file-writing call under ``tree`` — including appends —
+    with a short description of the offending call."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _WRITE_METHODS:
+            yield node, f".{func.attr}()"
+            continue
+        is_open = (
+            isinstance(func, ast.Name) and func.id == "open"
+        ) or (
+            isinstance(func, ast.Attribute) and func.attr == "open"
+        )
+        if not is_open:
+            continue
+        mode = _open_mode(node, is_method=isinstance(func, ast.Attribute))
+        if _is_write_mode(mode):
+            yield node, f"open(..., {mode.value!r})"  # type: ignore[union-attr]
+
+
+@register_rule
+class FaultPointRoutedWriteRule(Rule):
+    """ROB002: service/runtime write that bypasses the fault plane.
+
+    The chaos harness can only inject ENOSPC/EIO/failed-fsync at the
+    *registered fault points* — the ones ``atomic_write`` and the run
+    journal thread every byte through. A raw ``open(..., "w")`` (or
+    append, or ``write_text``) in service or runtime code is a write
+    the seeded fault plans can never reach: its error handling is
+    untestable, and a full disk or flaky device hits it in production
+    as the first-ever exercise of that path. Unlike ROB001, append
+    modes are **not** exempt here — an unreachable append is just as
+    untested as an unreachable truncate. The sanctioned media are
+    :func:`repro.ioutil.atomic_write` (pass ``fault_point=`` for spool
+    artifacts) and :class:`repro.runtime.journal.RunJournal`.
+    """
+
+    rule_id = "ROB002"
+    severity = Severity.ERROR
+    description = (
+        "service/runtime file writes must route through the "
+        "fault-point-aware ioutil helpers or the run journal"
+    )
+    scope = ("service", "runtime")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if module.stem in _PLANE_MODULE_STEMS:
+            return  # the plane itself: its writes carry the fault points
+        for node, desc in _raw_writes(module.tree):
+            yield module.finding(
+                self, node,
+                f"`{desc}` bypasses the fault-injection plane: no chaos "
+                f"plan can reach it, so its ENOSPC/EIO handling is never "
+                f"exercised — route the write through "
+                f"repro.ioutil.atomic_write (with fault_point=...) or "
+                f"the run journal",
+            )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Interprocedural pass: a service/runtime module that hands
+        its bytes to a helper in an out-of-scope module still leaves
+        the plane — the helper's raw ``open`` is exactly as unreachable
+        for a chaos plan as one written inline. Same taint closure as
+        ROB001, over the broader any-write matcher.
+        """
+        scope = project.scope_overrides.get(self.rule_id)
+        tainted: Dict[str, str] = {}
+        for info in project.modules.values():
+            if info.module.stem in _PLANE_MODULE_STEMS:
+                continue  # atomic_write's own temp-file write is the plane
+            if self.applies_to(info.module, scope):
+                continue  # in-scope writes are the per-file pass's job
+            for node, desc in _raw_writes(info.module.tree):
+                fn = info.function_at(node)
+                if fn is not None:
+                    tainted.setdefault(fn.key, desc)
+        if not tainted:
+            return
+        sink = AtomicArtifactWriteRule._sink_origins(
+            project.call_graph, tainted
+        )
+        for site in project.call_graph.call_sites:
+            callee = project.call_graph.nodes.get(site.callee)
+            caller = project.call_graph.nodes.get(site.caller)
+            if callee is None or caller is None or site.callee not in sink:
+                continue
+            if self.applies_to(callee.module.module, scope):
+                continue  # the callee's own write is flagged directly
+            caller_module = caller.module.module
+            if not self.applies_to(caller_module, scope):
+                continue  # only flag where bytes leave scoped code
+            if caller_module.stem in _PLANE_MODULE_STEMS:
+                continue
+            root = sink[site.callee]
+            yield caller_module.finding(
+                self, site.node,
+                f"call to `{site.callee}` ends in a raw "
+                f"`{tainted[root]}` (inside `{root}`) that no chaos plan "
+                f"can reach — route the write through "
+                f"repro.ioutil.atomic_write or the run journal",
+            )

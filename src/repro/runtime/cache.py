@@ -23,6 +23,7 @@ them into the run's cache report.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -234,20 +235,29 @@ class GraphCache:
             return
         blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         # Atomic but not fsynced: entries are rebuildable, so losing one
-        # to a crash is fine — serving a torn one never is.
-        atomic_write(path, blob, durable=False)
-        manifest = {
-            "key": key,
-            "kind": kind,
-            "label": label,
-            "bytes": len(blob),
-            "format": CACHE_FORMAT_VERSION,
-        }
-        atomic_write(
-            path.with_suffix(".json"),
-            json.dumps(manifest, indent=1, sort_keys=True),
-            durable=False,
-        )
+        # to a crash is fine — serving a torn one never is. For the same
+        # reason a *full disk* downgrades to not-spilling at all rather
+        # than failing the job that built the value.
+        try:
+            atomic_write(
+                path, blob, durable=False, fault_point="cache.spill.write"
+            )
+            manifest = {
+                "key": key,
+                "kind": kind,
+                "label": label,
+                "bytes": len(blob),
+                "format": CACHE_FORMAT_VERSION,
+            }
+            atomic_write(
+                path.with_suffix(".json"),
+                json.dumps(manifest, indent=1, sort_keys=True),
+                durable=False,
+            )
+        except OSError as exc:
+            if exc.errno != errno.ENOSPC:
+                raise
+            return
         self._count(stores=1, bytes_written=len(blob))
 
     # -- lookup --------------------------------------------------------------

@@ -33,7 +33,7 @@ from repro.harness.datasets import get_dataset
 from repro.harness.results import BenchmarkResult, ResultsDatabase
 from repro.runtime.cache import CacheStats, GraphCache
 from repro.runtime.events import RuntimeEventLog
-from repro.runtime.faults import FaultPlan
+from repro.faults.plan import FaultPlan
 from repro.runtime.jobs import JobFailure, JobKind, failure_result
 from repro.runtime.journal import (
     JournalError,
@@ -159,6 +159,9 @@ class RuntimeRunResult:
     run_dir: Optional[Path] = None
     #: ``<run_dir>/trace.jsonl`` when the run was journaled, else None.
     trace_path: Optional[Path] = None
+    #: Durability-downgrade flags the run accumulated (e.g. the journal
+    #: disabling itself on ENOSPC) — empty for a fully durable run.
+    degraded: List[str] = field(default_factory=list)
 
     @property
     def lost_jobs(self) -> int:
@@ -803,6 +806,9 @@ def execute_matrix(
             if run.journal is not None:
                 run.journal.append({"type": "run-complete"})
                 run.journal.close()
+                degraded = list(run.journal.degraded)
+            else:
+                degraded = []
             if run_dir is not None:
                 database.save(run_dir / "results.json")
             GraphCache(cache_dir).write_run_stats(run.cache_stats)
@@ -836,6 +842,7 @@ def execute_matrix(
         restored_jobs=run.restored_jobs,
         run_dir=run_dir,
         trace_path=trace_path,
+        degraded=degraded,
     )
 
 

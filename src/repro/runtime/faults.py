@@ -1,119 +1,14 @@
-"""Controlled fault injection for the worker pool.
+"""Backwards-compatible alias for :mod:`repro.faults.plan`.
 
-The paper's robustness experiments (§4.6–4.7) treat failure behaviour as
-a first-class benchmark output, and a concurrent harness has failure
-modes of its own: hung jobs, killed workers, raised exceptions. A
-:class:`FaultPlan` lets tests (and chaos-style self-checks) inject those
-modes deterministically — matched by job spec and attempt number — so
-the timeout/retry/failure-record machinery is exercised on purpose
-rather than discovered in production.
-
-Plans are picklable and travel to worker processes with the run
-configuration; injection happens in the worker immediately before the
-job body runs.
+The job-scoped fault plan started life here, next to the worker pool it
+exercises. The cross-layer fault plane (PR 8) promoted it to
+:mod:`repro.faults` so job faults and I/O faults share one home; this
+module re-exports the original names for existing imports and pickled
+plans.
 """
 
 from __future__ import annotations
 
-import os
-import signal
-import time
-from dataclasses import dataclass
-from typing import Optional, Tuple
-
-from repro.exceptions import GraphalyticsError
+from repro.faults.plan import FaultPlan, FaultSpec, InjectedFaultError
 
 __all__ = ["InjectedFaultError", "FaultSpec", "FaultPlan"]
-
-
-class InjectedFaultError(GraphalyticsError):
-    """Raised by ``kind="error"`` faults; converted to a failure record."""
-
-
-@dataclass(frozen=True)
-class FaultSpec:
-    """One injection rule: which jobs, which failure mode, how often.
-
-    ``times`` bounds injection per matching job: attempts 1..times fault,
-    later attempts run normally — so ``times=1`` with a retry budget of 2
-    models a transient failure the retry recovers from, while a large
-    ``times`` models a permanent one.
-
-    ``harness-kill`` is the chaos mode: it SIGKILLs the *harness*
-    process itself (not a worker) right before the matching job would be
-    dispatched, leaving a journal whose resume the chaos suite verifies
-    (docs/robustness.md).
-    """
-
-    kind: str                      # "hang" | "crash" | "error" | "harness-kill"
-    job_kind: str = "execute"      # JobKind to match, or "*"
-    platform: str = "*"
-    dataset: str = "*"
-    algorithm: str = "*"
-    run_index: Optional[int] = None
-    times: int = 1
-    #: Seconds a "hang" sleeps; far beyond any sane job timeout.
-    hang_seconds: float = 3600.0
-
-    def matches(self, spec, attempt: int) -> bool:
-        if attempt > self.times:
-            return False
-        if self.job_kind not in ("*", spec.kind):
-            return False
-        if self.platform not in ("*", spec.platform):
-            return False
-        if self.dataset not in ("*", spec.dataset):
-            return False
-        if self.algorithm not in ("*", spec.algorithm):
-            return False
-        if self.run_index is not None and self.run_index != spec.run_index:
-            return False
-        return True
-
-
-@dataclass(frozen=True)
-class FaultPlan:
-    """An ordered set of fault rules; the first match wins."""
-
-    faults: Tuple[FaultSpec, ...] = ()
-
-    def find(self, spec, attempt: int) -> Optional[FaultSpec]:
-        for fault in self.faults:
-            if fault.matches(spec, attempt):
-                return fault
-        return None
-
-    def inject(self, spec, attempt: int) -> None:
-        """Fire the matching fault, if any. Runs inside the worker.
-
-        * ``hang``  — sleep past the job timeout (the dispatcher kills
-          the worker and records a ``timeout`` attempt);
-        * ``crash`` — hard-exit the worker process (recorded as a
-          ``crash`` attempt);
-        * ``error`` — raise :class:`InjectedFaultError` (converted by the
-          worker into an ``exception`` attempt record).
-        """
-        fault = self.find(spec, attempt)
-        if fault is None or fault.kind == "harness-kill":
-            return
-        if fault.kind == "hang":
-            time.sleep(fault.hang_seconds)
-            return
-        if fault.kind == "crash":
-            os._exit(17)
-        raise InjectedFaultError(
-            f"injected fault on {spec.job_id} (attempt {attempt})"
-        )
-
-    def inject_dispatcher(self, spec, attempt: int) -> None:
-        """Fire ``harness-kill`` faults. Runs in the *dispatcher* process.
-
-        Called immediately before a job is dispatched, so every job
-        completed earlier is already journaled durably — exactly the
-        crash point the chaos suite needs to prove resume loses nothing.
-        SIGKILL (not ``os._exit``) guarantees no atexit/finally handler
-        gets a chance to tidy up.
-        """
-        fault = self.find(spec, attempt)
-        if fault is not None and fault.kind == "harness-kill":
-            os.kill(os.getpid(), signal.SIGKILL)

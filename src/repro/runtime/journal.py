@@ -34,14 +34,17 @@ BenchmarkRunner` paths), and ``run-complete``.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
+import warnings
 import zlib
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.exceptions import GraphalyticsError
+from repro.faults import points as fault_points
 from repro.ioutil import atomic_write, fsync_directory
 from repro.trace import Clock, current_tracer
 
@@ -283,6 +286,20 @@ class RunJournal:
     one fsync); every append is durable before it returns. Readers use
     :meth:`load` / :meth:`open`, which recover from a torn tail by
     atomically rewriting the good prefix.
+
+    **Graceful degradation.** A benchmark run should not die because
+    its *log* cannot grow. When the disk fills (ENOSPC on append) the
+    journal disables itself — the run continues unjournaled, resume is
+    off the table, and the ``journal-disabled`` flag rides the run
+    result so nothing pretends otherwise. When a group-commit fsync
+    fails (full or failing device) the journal drops to flushed-only
+    durability — appends still reach the kernel; power-loss durability
+    is gone — and flags ``journal-fsync-degraded``. Both paths warn
+    once; both flags surface in ``outcome.json`` and the service's
+    ``/v1/healthz``. A failed fsync is *not* retried in place: the
+    kernel may already have dropped the dirty pages, so a later
+    "successful" fsync would prove nothing (the classic fsyncgate
+    trap).
     """
 
     #: Group-commit window: completed-job records are flushed (durable
@@ -306,6 +323,10 @@ class RunJournal:
         self._handle = None
         self._dirty = False       # flushed records awaiting an fsync
         self._last_sync = 0.0
+        #: Degradation flags accumulated this session, in order
+        #: ("journal-fsync-degraded", "journal-disabled").
+        self.degraded: List[str] = []
+        self._disabled = False
 
     # -- construction ------------------------------------------------------
 
@@ -406,11 +427,22 @@ class RunJournal:
         covers every record before it, so the at-risk bytes are always
         a pure suffix, which torn-tail recovery handles.
         """
-        if not records:
+        if not records or self._disabled:
             return
         handle = self._ensure_handle()
-        for record in records:
-            handle.write(_encode_line(record))
+        try:
+            for record in records:
+                fault_points.write_through(
+                    "journal.append.write", handle, _encode_line(record)
+                )
+        except OSError as exc:
+            if exc.errno == errno.ENOSPC:
+                # Full disk: every line written so far is intact (the
+                # failed line never hit the handle), so the log stays
+                # parseable — it just stops here.
+                self._degrade("journal-disabled", exc)
+                return
+            raise
         current_tracer().counter("journal.append", len(records))
         kinds = {record.get("type") for record in records}
         if not (kinds - RELAXED_TYPES):
@@ -424,19 +456,49 @@ class RunJournal:
             kinds & CRITICAL_TYPES
             or now - self._last_sync >= self.commit_interval
         ):
+            self._datasync_degrading(handle)
+
+    def _datasync_degrading(self, handle) -> None:
+        """One group-commit fsync; a failure downgrades the tier."""
+        try:
+            fault_points.check("journal.append.fsync")
             _datasync(handle.fileno())
-            current_tracer().counter("journal.fsync")
-            self._dirty = False
-            self._last_sync = now
+        except OSError as exc:
+            self._degrade("journal-fsync-degraded", exc)
+            return
+        current_tracer().counter("journal.fsync")
+        self._dirty = False
+        self._last_sync = self.clock.now()
+
+    def _degrade(self, flag: str, exc: OSError) -> None:
+        """Downgrade the durability tier instead of killing the run."""
+        if flag == "journal-disabled":
+            self._disabled = True
+            if self._handle is not None:
+                try:
+                    self._handle.flush()  # hand the intact prefix over
+                except OSError:
+                    pass
+        # Either way, stop fsyncing: after a failed fsync the kernel
+        # may have dropped the dirty pages, and on a full disk the
+        # flushes themselves are suspect.
+        self.durable = False
+        self._dirty = False
+        if flag not in self.degraded:
+            self.degraded.append(flag)
+            current_tracer().counter("journal.degraded")
+            warnings.warn(
+                f"run journal degraded ({flag}): {exc}; the run "
+                f"continues with reduced durability",
+                RuntimeWarning,
+                stacklevel=4,
+            )
 
     def sync(self) -> None:
         """Force any pending group-commit records to disk."""
         if self._handle is not None and self._dirty:
             self._handle.flush()
-            _datasync(self._handle.fileno())
-            current_tracer().counter("journal.fsync")
-            self._dirty = False
-            self._last_sync = self.clock.now()
+            self._datasync_degrading(self._handle)
 
     def close(self) -> None:
         if self._handle is not None:

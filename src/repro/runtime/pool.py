@@ -36,7 +36,7 @@ from repro.harness.config import BenchmarkConfig
 from repro.harness.datasets import get_dataset
 from repro.harness.runner import BenchmarkRunner
 from repro.runtime.cache import GraphCache
-from repro.runtime.faults import FaultPlan
+from repro.faults.plan import FaultPlan
 from repro.runtime.jobs import JobKind, JobSpec
 from repro.trace import Tracer, current_tracer, set_tracer
 

@@ -13,8 +13,11 @@ validated artifacts. This package is that deployment mode
   quotas (``429 Retry-After`` over quota);
 * :mod:`repro.service.runs` — spool-directory run registry; run state
   is always derivable from disk;
+* :mod:`repro.service.supervise` — run supervision: durable attempt
+  ledger, quarantine records, and the per-tenant circuit breaker
+  (``503 Retry-After`` while a tenant's runs keep dying);
 * :mod:`repro.service.worker` — the per-run child process (journal
-  resume, orphan watchdog);
+  resume, orphan watchdog, chaos-plan arming);
 * :mod:`repro.service.tail` — torn-tail-safe live tailing of the
   run journal for the SSE stream;
 * :mod:`repro.service.http` — minimal hand-rolled HTTP/1.1 + SSE over
@@ -28,11 +31,19 @@ from repro.service.http import EventStream, ProtocolError, Request, Response
 from repro.service.queue import FairShareQueue, QuotaExceeded
 from repro.service.runs import RunRecord, RunRegistry, normalize_matrix
 from repro.service.server import BenchmarkService, ServiceConfig
+from repro.service.supervise import (
+    BreakerOpen,
+    RetryPolicy,
+    TenantBreaker,
+    load_quarantine,
+    load_supervision,
+)
 from repro.service.tail import JournalTailer, decode_journal_line
 from repro.service.worker import execute_service_run
 
 __all__ = [
     "BenchmarkService",
+    "BreakerOpen",
     "EventStream",
     "FairShareQueue",
     "JournalTailer",
@@ -40,12 +51,16 @@ __all__ = [
     "QuotaExceeded",
     "Request",
     "Response",
+    "RetryPolicy",
     "RunRecord",
     "RunRegistry",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "TenantBreaker",
     "decode_journal_line",
     "execute_service_run",
+    "load_quarantine",
+    "load_supervision",
     "normalize_matrix",
 ]

@@ -11,6 +11,8 @@ Every submitted run owns one directory under the service **spool**:
         results.json    # the results database
         archive.json    # Granula archive of the run's own schedule
         outcome.json    # terminal summary written by the run process
+        supervise.json  # attempt ledger written before every launch
+        quarantine.json # terminal marker for budget-exhausted runs
         cache/          # materialized-graph spill
 
 ``request.json`` is written atomically *before* the run is queued and
@@ -26,6 +28,7 @@ from __future__ import annotations
 
 import json
 import re
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Union
@@ -33,6 +36,7 @@ from typing import Dict, List, Mapping, Optional, Union
 from repro.exceptions import ConfigurationError
 from repro.ioutil import atomic_write
 from repro.runtime.journal import config_payload
+from repro.service.supervise import load_quarantine, load_supervision
 
 __all__ = [
     "REQUEST_NAME",
@@ -45,9 +49,11 @@ __all__ = [
 REQUEST_NAME = "request.json"
 OUTCOME_NAME = "outcome.json"
 
-#: States a run moves through: queued -> running -> done | failed.
+#: States a run moves through: queued -> running -> done | failed —
+#: or, when supervision exhausts its attempt budget, -> quarantined.
 QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
-TERMINAL_STATES = frozenset({DONE, FAILED})
+QUARANTINED = "quarantined"
+TERMINAL_STATES = frozenset({DONE, FAILED, QUARANTINED})
 
 _RUN_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 _TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
@@ -120,8 +126,14 @@ class RunRecord:
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     error: str = ""
+    #: Launches recorded in the supervise.json ledger (0 = never ran).
+    attempts: int = 0
     #: Terminal summary loaded from outcome.json, if the run finished.
     outcome: Optional[Dict[str, object]] = field(default=None, repr=False)
+    #: quarantine.json payload for runs that exhausted their budget.
+    quarantine: Optional[Dict[str, object]] = field(default=None, repr=False)
+    #: Optional I/O fault plan (IoFaultPlan payload) riding the request.
+    chaos: Optional[Dict[str, object]] = field(default=None, repr=False)
 
     @property
     def terminal(self) -> bool:
@@ -140,9 +152,13 @@ class RunRecord:
         }
         if self.error:
             payload["error"] = self.error
+        if self.attempts:
+            payload["attempts"] = self.attempts
+        if self.quarantine is not None:
+            payload["quarantine"] = self.quarantine
         if self.outcome is not None:
             for key in ("jobs", "failures", "sla_breaches",
-                        "elapsed_seconds", "restored_jobs"):
+                        "elapsed_seconds", "restored_jobs", "degraded"):
                 if key in self.outcome:
                     payload[key] = self.outcome[key]
         return payload
@@ -172,12 +188,16 @@ class RunRegistry:
         workers: Union[int, str, None] = "auto",
         job_timeout: Optional[float] = None,
         submitted_at: float = 0.0,
+        chaos: Optional[Dict[str, object]] = None,
     ) -> RunRecord:
         """Validate, assign a run id, persist ``request.json``, register.
 
         The request file lands atomically before the caller enqueues
         the run, so a crash between the two leaves a resumable (never a
-        half-known) submission.
+        half-known) submission. ``chaos`` is a pre-validated
+        :class:`~repro.faults.IoFaultPlan` payload the run child
+        installs before executing — it rides the request so a resumed
+        attempt replays the same fault plan.
         """
         if not _TENANT_RE.match(tenant or ""):
             raise ConfigurationError(
@@ -193,23 +213,24 @@ class RunRegistry:
             workers=workers,
             job_timeout=job_timeout,
             submitted_at=submitted_at,
+            chaos=chaos,
         )
         run_dir = self.run_dir(run_id)
         run_dir.mkdir(parents=True, exist_ok=False)
+        request_payload = {
+            "run_id": run_id,
+            "tenant": tenant,
+            "config": config,
+            "workers": workers,
+            "job_timeout": job_timeout,
+            "submitted_at": submitted_at,
+        }
+        if chaos is not None:
+            request_payload["chaos"] = chaos
         atomic_write(
             run_dir / REQUEST_NAME,
-            json.dumps(
-                {
-                    "run_id": run_id,
-                    "tenant": tenant,
-                    "config": config,
-                    "workers": workers,
-                    "job_timeout": job_timeout,
-                    "submitted_at": submitted_at,
-                },
-                indent=1,
-                sort_keys=True,
-            ),
+            json.dumps(request_payload, indent=1, sort_keys=True),
+            fault_point="service.spool.request",
         )
         self.records[run_id] = record
         return record
@@ -223,15 +244,37 @@ class RunRegistry:
         runs with an ``outcome.json`` are terminal, everything else is
         returned (in submission order) for re-enqueueing — the journal,
         if present, makes the re-run a resume rather than a restart.
+        A corrupted or truncated ``request.json`` (unreadable, invalid
+        JSON, or not a JSON object) is **skipped with a warning**: one
+        damaged submission must never take the whole boot scan down.
+        Quarantined runs (``quarantine.json`` present) load terminal
+        and are not returned; attempt counts come from the supervision
+        ledger so budgets survive restarts.
         """
         resumable: List[RunRecord] = []
         for request_path in sorted(self.spool.glob(f"*/{REQUEST_NAME}")):
             try:
                 with open(request_path, "r", encoding="utf-8") as handle:
                     request = json.load(handle)
-            except (OSError, json.JSONDecodeError):
+            except (OSError, json.JSONDecodeError) as exc:
+                warnings.warn(
+                    f"skipping spooled run {request_path.parent.name!r}: "
+                    f"unreadable {REQUEST_NAME} ({exc})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
                 continue  # torn request: submission never completed
+            if not isinstance(request, dict):
+                warnings.warn(
+                    f"skipping spooled run {request_path.parent.name!r}: "
+                    f"{REQUEST_NAME} holds {type(request).__name__}, "
+                    f"not an object",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
             run_id = str(request.get("run_id", request_path.parent.name))
+            chaos = request.get("chaos")
             record = RunRecord(
                 run_id=run_id,
                 tenant=str(request.get("tenant", "unknown")),
@@ -239,15 +282,23 @@ class RunRegistry:
                 workers=request.get("workers", "auto"),
                 job_timeout=request.get("job_timeout"),
                 submitted_at=float(request.get("submitted_at", 0.0)),
+                chaos=chaos if isinstance(chaos, dict) else None,
             )
             match = re.match(r"^r(\d+)-", run_id)
             if match:
                 self._sequence = max(self._sequence, int(match.group(1)))
+            run_dir = request_path.parent
+            record.attempts = int(load_supervision(run_dir)["attempts"])
             outcome = self.load_outcome(run_id)
+            quarantine = load_quarantine(run_dir)
             if outcome is not None:
                 record.outcome = outcome
                 record.state = DONE if outcome.get("ok") else FAILED
                 record.error = str(outcome.get("error", ""))
+            elif quarantine is not None:
+                record.quarantine = quarantine
+                record.state = QUARANTINED
+                record.error = str(quarantine.get("reason", ""))
             else:
                 record.state = QUEUED
                 resumable.append(record)
@@ -268,12 +319,15 @@ class RunRegistry:
         return loaded if isinstance(loaded, dict) else None
 
     def artifact_path(self, run_id: str, artifact: str) -> Path:
-        """Path of a servable run artifact (results/archive/trace)."""
+        """Path of a servable run artifact (results/archive/trace/...)."""
+        from repro.service.supervise import QUARANTINE_NAME
+
         names = {
             "results": "results.json",
             "archive": "archive.json",
             "trace": "trace.jsonl",
             "outcome": OUTCOME_NAME,
+            "quarantine": QUARANTINE_NAME,
         }
         if artifact not in names:
             raise ConfigurationError(f"unknown artifact {artifact!r}")

@@ -34,11 +34,14 @@ import asyncio
 import json
 import multiprocessing
 import re
+import shutil
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Awaitable, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import ConfigurationError, GraphalyticsError
+from repro.faults import FaultPointError, IoFaultPlan
 from repro.service.http import (
     EventStream,
     ProtocolError,
@@ -50,7 +53,20 @@ from repro.service.http import (
     write_response,
 )
 from repro.service.queue import FairShareQueue, QuotaExceeded
-from repro.service.runs import RUNNING, RunRecord, RunRegistry
+from repro.service.runs import (
+    QUARANTINED,
+    QUEUED,
+    RUNNING,
+    RunRecord,
+    RunRegistry,
+)
+from repro.service.supervise import (
+    BreakerOpen,
+    RetryPolicy,
+    TenantBreaker,
+    record_attempt,
+    write_quarantine,
+)
 from repro.service.tail import JournalTailer
 from repro.service.worker import execute_service_run
 from repro.trace import current_tracer
@@ -79,12 +95,25 @@ class ServiceConfig:
     retry_after: float = 2.0
     #: SSE tail poll interval (seconds).
     poll_interval: float = 0.05
+    #: Supervision: launches per run before quarantine (across
+    #: restarts — the attempt ledger is durable), and the base of the
+    #: exponential relaunch backoff (scheduler-shaped: base * 2^(n-1)).
+    run_attempts: int = 3
+    run_backoff_base: float = 0.5
+    #: Circuit breaker: consecutive child deaths that open a tenant's
+    #: circuit, and how long it sheds submissions (503 + Retry-After).
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 30.0
 
     def __post_init__(self):
         if self.max_running < 1:
             raise ConfigurationError("max_running must be >= 1")
         if self.poll_interval <= 0:
             raise ConfigurationError("poll_interval must be positive")
+        if self.run_attempts < 1:
+            raise ConfigurationError("run_attempts must be >= 1")
+        if self.breaker_threshold < 1:
+            raise ConfigurationError("breaker_threshold must be >= 1")
 
 
 class BenchmarkService:
@@ -105,16 +134,26 @@ class BenchmarkService:
         self._server: Optional[asyncio.base_events.Server] = None
         self._stopping = False
         self.address: Optional[Tuple[str, int]] = None
+        self.retry_policy = RetryPolicy(
+            max_attempts=self.config.run_attempts,
+            backoff_base=self.config.run_backoff_base,
+        )
+        self.breaker = TenantBreaker(
+            threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown,
+        )
         self._add_route("POST", "/v1/runs", self._handle_submit)
         self._add_route("GET", "/v1/runs", self._handle_list)
         self._add_route("GET", "/v1/status", self._handle_status)
+        self._add_route("GET", "/v1/healthz", self._handle_healthz)
         self._add_route("GET", r"/v1/runs/(?P<run_id>[^/]+)", self._handle_run)
         self._add_route(
             "GET", r"/v1/runs/(?P<run_id>[^/]+)/events", self._handle_events
         )
         self._add_route(
             "GET",
-            r"/v1/runs/(?P<run_id>[^/]+)/(?P<artifact>results|archive|trace)",
+            r"/v1/runs/(?P<run_id>[^/]+)"
+            r"/(?P<artifact>results|archive|trace|outcome|quarantine)",
             self._handle_artifact,
         )
 
@@ -130,9 +169,21 @@ class BenchmarkService:
         self._wake = asyncio.Event()
         resumable = self.registry.scan()
         for record in resumable:
-            # Previously admitted work is re-enqueued unconditionally:
-            # restart recovery must not re-apply admission quotas.
-            self.queue.submit(record.tenant, record.run_id, force=True)
+            # Boot recovery routes through the same supervision
+            # decision as an in-life child death: a run that already
+            # burned its attempt budget is quarantined, not relaunched
+            # — this is what bounds a poison run's crash loop. Runs
+            # inside their budget are re-enqueued unconditionally
+            # (restart recovery must not re-apply admission quotas).
+            await self._supervise(
+                record,
+                reason=(
+                    f"attempt budget exhausted "
+                    f"({record.attempts}/{self.config.run_attempts} "
+                    f"launches) with no outcome; quarantined at boot"
+                ),
+                backoff=False,
+            )
         self._scheduler = asyncio.ensure_future(self._dispatch_loop())
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
@@ -186,6 +237,23 @@ class BenchmarkService:
 
     def _launch(self, tenant: str, run_id: str) -> None:
         record = self.registry.records[run_id]
+        record.attempts += 1
+        try:
+            # Durable *before* the child starts: if the server dies
+            # mid-run, the restarted boot scan still counts this
+            # launch against the budget.
+            record_attempt(
+                self.registry.run_dir(run_id),
+                record.attempts,
+                at=current_tracer().clock.now(),
+            )
+        except OSError as exc:
+            warnings.warn(
+                f"could not persist attempt ledger for {run_id}: {exc}; "
+                f"supervision degrades to this server's lifetime",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         record.state = RUNNING
         record.started_at = current_tracer().clock.now()
         proc = multiprocessing.Process(
@@ -206,25 +274,105 @@ class BenchmarkService:
     async def _monitor(
         self, tenant: str, run_id: str, proc: multiprocessing.process.BaseProcess
     ) -> None:
-        """Wait (off-loop) for one run child; settle its record."""
+        """Wait (off-loop) for one run child; settle or supervise it.
+
+        A child that wrote ``outcome.json`` is terminal (the outcome is
+        the commit point, ``ok`` or not) and closes the tenant's
+        breaker circuit — a clean exit, even a failing one, proves the
+        tenant's runs are not *dying*. A child that exited without one
+        died mid-run: that is a breaker strike, and the run goes
+        through the supervision decision (relaunch with backoff, or
+        quarantine when the attempt budget is spent).
+        """
         await asyncio.to_thread(proc.join)
         record = self.registry.records[run_id]
         outcome = await asyncio.to_thread(self.registry.load_outcome, run_id)
-        record.outcome = outcome
-        record.finished_at = current_tracer().clock.now()
-        if outcome is not None and outcome.get("ok"):
-            record.state = "done"
-        else:
-            record.state = "failed"
-            record.error = (
-                str(outcome.get("error", "")) if outcome
-                else f"run child exited with code {proc.exitcode} "
-                     f"and no outcome"
-            )
+        now = current_tracer().clock.now()
         self._children.pop(run_id, None)
         self.queue.release(tenant)
+        if outcome is not None:
+            record.outcome = outcome
+            record.finished_at = now
+            if outcome.get("ok"):
+                record.state = "done"
+            else:
+                record.state = "failed"
+                record.error = str(outcome.get("error", ""))
+            self.breaker.record_success(tenant)
+        elif self._stopping:
+            # Graceful shutdown terminated the child mid-run. Not a
+            # death: no strike, no budget decision — the next boot
+            # scan re-enqueues it (its launch is already in the
+            # ledger, so the budget still counts the interrupted
+            # attempt).
+            record.state = QUEUED
+        else:
+            self.breaker.record_death(tenant, now=now)
+            await self._supervise(
+                record,
+                reason=(
+                    f"run child exited with code {proc.exitcode} and "
+                    f"no outcome (attempt {record.attempts}/"
+                    f"{self.config.run_attempts})"
+                ),
+                backoff=True,
+            )
         if self._wake is not None:
             self._wake.set()
+
+    # -- supervision -------------------------------------------------------
+
+    async def _supervise(
+        self, record: RunRecord, *, reason: str, backoff: bool
+    ) -> None:
+        """THE run-recovery decision, for deaths and boot scans alike.
+
+        Within budget: back on the queue (after the scheduler-shaped
+        exponential backoff for in-life deaths; immediately at boot —
+        the old server's death already was the pause). Budget spent:
+        quarantine — durable, terminal, visible.
+        """
+        if self.retry_policy.exhausted(record.attempts):
+            await asyncio.to_thread(self._quarantine, record, reason)
+            return
+        record.state = QUEUED
+        record.error = reason
+        delay = (
+            self.retry_policy.backoff(record.attempts)
+            if backoff and record.attempts > 0
+            else 0.0
+        )
+        if delay > 0:
+            self._monitors.append(
+                asyncio.ensure_future(self._requeue_later(record, delay))
+            )
+        else:
+            self.queue.submit(record.tenant, record.run_id, force=True)
+
+    async def _requeue_later(self, record: RunRecord, delay: float) -> None:
+        """Exponential-backoff relaunch of a run whose child died."""
+        await asyncio.sleep(delay)
+        if self._stopping:
+            return
+        self.queue.submit(record.tenant, record.run_id, force=True)
+        if self._wake is not None:
+            self._wake.set()
+
+    def _quarantine(self, record: RunRecord, reason: str) -> None:
+        """Write ``quarantine.json`` and settle the record terminally."""
+        payload = {
+            "run_id": record.run_id,
+            "tenant": record.tenant,
+            "attempts": record.attempts,
+            "budget": self.config.run_attempts,
+            "reason": reason,
+            "quarantined_at": current_tracer().clock.now(),
+        }
+        write_quarantine(self.registry.run_dir(record.run_id), payload)
+        record.quarantine = payload
+        record.state = QUARANTINED
+        record.error = reason
+        record.finished_at = current_tracer().clock.now()
 
     # -- HTTP front --------------------------------------------------------
 
@@ -269,6 +417,11 @@ class BenchmarkService:
                     429, str(exc),
                     **{"Retry-After": f"{exc.retry_after:g}"},
                 )
+            except BreakerOpen as exc:
+                return error_response(
+                    503, str(exc),
+                    **{"Retry-After": f"{exc.retry_after:g}"},
+                )
             except ProtocolError as exc:
                 return error_response(400, str(exc))
             except ConfigurationError as exc:
@@ -290,9 +443,23 @@ class BenchmarkService:
         tenant = str(
             body.get("tenant") or request.headers.get("x-tenant") or ""
         )
+        # Shed before spooling: an open circuit costs the tenant one
+        # 503, not a spool directory.
+        self.breaker.check(tenant, now=current_tracer().clock.now())
         matrix = body.get("matrix")
         if matrix is None:
             raise ProtocolError("submission lacks a 'matrix' object")
+        chaos = body.get("chaos")
+        if chaos is not None:
+            if not isinstance(chaos, dict):
+                raise ProtocolError("'chaos' must be a JSON object")
+            try:
+                # Round-trip through the plan class: unknown fault
+                # points and malformed rules become a 400 here, not a
+                # crash-looping child.
+                chaos = IoFaultPlan.from_dict(chaos).as_dict()
+            except (FaultPointError, KeyError, TypeError, ValueError) as exc:
+                raise ProtocolError(f"invalid chaos plan: {exc}")
         workers = body.get("workers", self.config.workers)
         job_timeout = body.get("job_timeout", self.config.job_timeout)
         record = await asyncio.to_thread(
@@ -302,6 +469,7 @@ class BenchmarkService:
             workers=workers,
             job_timeout=job_timeout,
             submitted_at=current_tracer().clock.now(),
+            chaos=chaos,
         )
         try:
             self.queue.submit(tenant, record.run_id)
@@ -334,6 +502,7 @@ class BenchmarkService:
         atomic_write(
             self.registry.run_dir(run_id) / OUTCOME_NAME,
             json.dumps({"ok": False, "error": reason}, indent=1),
+            fault_point="service.spool.outcome",
         )
 
     async def _handle_list(
@@ -357,6 +526,55 @@ class BenchmarkService:
                 "children": len(self._children),
                 "max_running": self.config.max_running,
                 "spool": str(self.registry.spool),
+            }
+        )
+
+    async def _handle_healthz(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> Response:
+        """Liveness + degradation: queue depth, disk headroom, breaker
+        circuits, quarantined runs, and durability-downgrade flags.
+
+        ``status`` is ``"ok"`` only when nothing is shedding, nothing
+        is quarantined, and no completed run reported a durability
+        downgrade — a load balancer can alert on the word while
+        operators read the detail.
+        """
+        now = current_tracer().clock.now()
+        usage = await asyncio.to_thread(
+            shutil.disk_usage, str(self.registry.spool)
+        )
+        breakers = self.breaker.state(now=now)
+        quarantined = sorted(
+            record.run_id
+            for record in self.registry.records.values()
+            if record.state == QUARANTINED
+        )
+        degraded_runs = {
+            record.run_id: record.outcome["degraded"]
+            for record in sorted(
+                self.registry.records.values(), key=lambda r: r.run_id
+            )
+            if record.outcome is not None and record.outcome.get("degraded")
+        }
+        healthy = (
+            not quarantined
+            and not degraded_runs
+            and not any(circuit["open"] for circuit in breakers)
+        )
+        return json_response(
+            {
+                "status": "ok" if healthy else "degraded",
+                "queue": self.queue.stats(),
+                "children": len(self._children),
+                "max_running": self.config.max_running,
+                "disk": {
+                    "total_bytes": usage.total,
+                    "free_bytes": usage.free,
+                },
+                "breakers": breakers,
+                "quarantined": quarantined,
+                "degraded_runs": degraded_runs,
             }
         )
 
@@ -403,11 +621,20 @@ class BenchmarkService:
         record = self._record_or_none(run_id)
         if record is None:
             return error_response(404, f"unknown run {run_id!r}")
+        try:
+            offset = int(request.query.get("offset", "0"))
+        except ValueError:
+            return error_response(400, "offset must be an integer")
+        if offset < 0:
+            return error_response(400, "offset must be >= 0")
         stream = EventStream(writer)
         await stream.open()
         await stream.send("run", record.status_payload())
+        # ``offset`` journal records were already delivered on a prior
+        # connection; the tailer swallows them so a reconnecting
+        # watcher resumes exactly where its stream dropped.
         tailer = JournalTailer(
-            self.registry.run_dir(run_id) / "journal.jsonl"
+            self.registry.run_dir(run_id) / "journal.jsonl", skip=offset
         )
         idle_polls = 0
         while True:

@@ -48,12 +48,21 @@ class JournalTailer:
         self,
         path: Union[str, Path],
         *,
+        skip: int = 0,
         decode: Optional[Callable[[bytes], Optional[Dict[str, object]]]] = None,
     ):
         self.path = Path(path)
         self._decode = decode or decode_journal_line
         self._offset = 0          # bytes of the file already consumed
         self._emitted = 0         # records handed out so far
+        #: Valid records to swallow before emitting anything — a
+        #: reconnecting SSE client passes the count it already
+        #: received, and the stream resumes without duplicates.
+        self._skip = skip
+        #: Records consumed in any way (skipped + emitted): the replay
+        #: count a recovery rewrite must swallow, since the preserved
+        #: good prefix contains the skipped records too.
+        self._consumed = 0
         self._inode: Optional[int] = None
 
     @property
@@ -72,9 +81,9 @@ class JournalTailer:
         ):
             # Atomic rewrite (torn-tail recovery) replaced the file.
             # The good prefix is preserved byte-for-byte, so re-read
-            # from the start and swallow the records already emitted.
+            # from the start and swallow the records already consumed.
             self._offset = 0
-            replay = self._emitted
+            replay = self._consumed
         self._inode = stat.st_ino
         if stat.st_size <= self._offset:
             return []
@@ -98,7 +107,12 @@ class JournalTailer:
             cursor = newline + 1
             self._offset += len(chunk)
             if replay > 0:
+                # Already consumed before the rewrite: not re-counted.
                 replay -= 1
+                continue
+            self._consumed += 1
+            if self._skip > 0:
+                self._skip -= 1
                 continue
             out.append(record)
             self._emitted += 1

@@ -29,6 +29,7 @@ import time
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.faults import IoFaultPlan, install_io_plan
 from repro.ioutil import atomic_write
 from repro.runtime.executor import (
     RuntimeConfig,
@@ -72,7 +73,7 @@ def run_outcome_payload(result, *, elapsed: float) -> Dict[str, object]:
     """The terminal ``outcome.json`` body for a finished run."""
     database = result.database
     sla_breaches = sum(1 for row in database if not row.sla_compliant)
-    return {
+    payload = {
         "ok": True,
         "jobs": result.job_count,
         "rows": len(database),
@@ -84,6 +85,13 @@ def run_outcome_payload(result, *, elapsed: float) -> Dict[str, object]:
         "mode": result.mode,
         "elapsed_seconds": elapsed,
     }
+    degraded = getattr(result, "degraded", None)
+    if degraded:
+        # Durability downgrades (journal ENOSPC / failed fsync): the
+        # run finished, but not at full crash-safety — the flag rides
+        # the outcome into run status and /v1/healthz.
+        payload["degraded"] = list(degraded)
+    return payload
 
 
 def execute_service_run(
@@ -114,6 +122,14 @@ def execute_service_run(
         try:
             with open(run_dir / REQUEST_NAME, "r", encoding="utf-8") as handle:
                 request = json.load(handle)
+            chaos = request.get("chaos")
+            if chaos:
+                # The submission carried a seeded I/O fault plan: arm
+                # it in this child (and only this child) before any
+                # journal or artifact write happens. Riding the spooled
+                # request means a relaunched attempt re-arms the same
+                # plan — chaos follows the run, not the server.
+                install_io_plan(IoFaultPlan.from_dict(chaos))
             config = config_from_payload(request["config"])
             runtime = RuntimeConfig(
                 workers=resolve_workers(workers),
@@ -140,5 +156,6 @@ def execute_service_run(
         atomic_write(
             run_dir / OUTCOME_NAME,
             json.dumps(outcome, indent=1, sort_keys=True),
+            fault_point="service.spool.outcome",
         )
     return 0 if outcome.get("ok") else 1

@@ -1,0 +1,11 @@
+"""Journal look-alike: the plane module ROB002 must leave alone."""
+
+
+class MiniJournal:
+    def open_handle(self, path):
+        # In scope ("runtime" segment) and append-mode, but journal
+        # modules ARE the fault-point plumbing: exempt by stem.
+        self._handle = open(path, "ab")
+
+    def append(self, line):
+        self._handle.write(line)

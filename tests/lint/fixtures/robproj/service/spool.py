@@ -1,0 +1,39 @@
+"""ROB002 fixture: every write shape the service layer can get wrong."""
+
+from util.disk import dump
+
+from repro.ioutil import atomic_write
+
+
+def spool_request(path, payload):
+    with open(path, "w", encoding="utf-8") as handle:   # line 9: ROB002
+        handle.write(payload)
+
+
+def spool_outcome(path, payload):
+    path.write_text(payload)                            # line 14: ROB002
+
+
+def spool_ledger(path, line):
+    with open(path, "ab") as handle:                    # line 18: ROB002
+        handle.write(line)                              # (appends too)
+
+
+def spool_via_helper(path, payload):
+    dump(path, payload)                                 # line 23: ROB002
+
+
+def spool_atomically(path, payload):
+    atomic_write(                                       # sanctioned way
+        path, payload, fault_point="service.spool.request"
+    )
+
+
+def read_request(path):
+    with open(path, "r", encoding="utf-8") as handle:   # read: clean
+        return handle.read()
+
+
+def dynamic_mode(path, mode, payload):
+    with open(path, mode) as handle:                    # undecidable: clean
+        handle.write(payload)

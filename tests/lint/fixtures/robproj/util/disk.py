@@ -1,0 +1,11 @@
+"""Out-of-scope helper: the raw write ROB002 must trace through."""
+
+
+def dump(path, data):
+    with open(path, "w", encoding="utf-8") as handle:   # tainted writer
+        handle.write(data)
+
+
+def describe(path):
+    with open(path, "r", encoding="utf-8") as handle:   # read-only: clean
+        return len(handle.read())

@@ -1,0 +1,78 @@
+"""ROB002: service/runtime writes must ride the fault-injection plane."""
+
+from pathlib import Path
+
+from repro.lint import LintConfig, LintEngine
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _run(paths, select, project=True):
+    config = LintConfig(root=REPO_ROOT, select=list(select), project=project)
+    return LintEngine(config).run([Path(p) for p in paths])
+
+
+def _triples(findings):
+    return sorted(
+        (f.rule_id, f.path.rsplit("/", 1)[-1], f.line) for f in findings
+    )
+
+
+class TestRob002:
+    def test_exact_findings(self):
+        findings = _run([FIXTURES / "robproj"], ["ROB002"])
+        assert _triples(findings) == [
+            ("ROB002", "spool.py", 9),   # open(..., "w")
+            ("ROB002", "spool.py", 14),  # .write_text()
+            ("ROB002", "spool.py", 18),  # append open — not exempt here
+            ("ROB002", "spool.py", 23),  # helper-indirected write
+        ]
+        assert all(f.severity == "error" for f in findings)
+
+    def test_messages_point_at_the_plane(self):
+        by_line = {
+            f.line: f.message
+            for f in _run([FIXTURES / "robproj"], ["ROB002"])
+        }
+        assert "fault-injection plane" in by_line[9]
+        assert "atomic_write" in by_line[9]
+        # The interprocedural finding names the tainted helper.
+        assert "util.disk.dump" in by_line[23]
+        assert "chaos plan" in by_line[23]
+
+    def test_append_flagged_unlike_rob001(self):
+        # ROB001 exempts appends (they never tear prior records);
+        # ROB002 does not (an unreachable append is untested I/O).
+        rob1 = {f.line for f in _run([FIXTURES / "robproj"], ["ROB001"])}
+        rob2 = {f.line for f in _run([FIXTURES / "robproj"], ["ROB002"])}
+        assert 18 in rob2
+        assert 18 not in rob1
+
+    def test_journal_module_is_exempt(self):
+        findings = _run([FIXTURES / "robproj"], ["ROB002"])
+        assert all("journal.py" not in f.path for f in findings)
+
+    def test_reads_dynamic_modes_and_atomic_write_pass(self):
+        lines = {f.line for f in _run([FIXTURES / "robproj"], ["ROB002"])}
+        assert not lines & {27, 33, 38}
+
+    def test_out_of_scope_helper_not_flagged_directly(self):
+        findings = _run([FIXTURES / "robproj"], ["ROB002"])
+        assert all("disk.py" not in f.path for f in findings)
+
+    def test_interprocedural_needs_project_phase(self):
+        lines = {
+            f.line
+            for f in _run([FIXTURES / "robproj"], ["ROB002"], project=False)
+        }
+        assert 23 not in lines
+        assert {9, 14, 18} <= lines
+
+    def test_shipped_service_and_runtime_are_clean(self):
+        findings = _run(
+            [REPO_ROOT / "src" / "repro" / "service",
+             REPO_ROOT / "src" / "repro" / "runtime"],
+            ["ROB002"],
+        )
+        assert findings == []

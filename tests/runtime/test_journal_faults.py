@@ -1,0 +1,185 @@
+"""Journal behavior under injected disk faults (the ROB issue's core).
+
+The seeded fault-point plane (:mod:`repro.faults.points`) stands in for
+the real failures — full disk, dying device, power cut mid-``write`` —
+and these tests pin the journal's contract under each one: ENOSPC
+downgrades durability instead of killing the run, a failed fsync drops
+the tier exactly once (never retried — the pages may be gone), and a
+torn write leaves a log that truncate-to-last-good-line recovery turns
+into a bit-identical resume.
+"""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.faults import IoFault, IoFaultPlan, install_io_plan, io_faults
+from repro.harness.config import BenchmarkConfig
+from repro.runtime import (
+    RunJournal,
+    RuntimeConfig,
+    execute_matrix,
+    resume_run,
+)
+
+HEADER = {"kind": "matrix", "matrix_hash": "abc"}
+
+SMALL = dict(
+    platforms=["powergraph"],
+    datasets=["R1"],
+    algorithms=["bfs", "pr"],
+    repetitions=2,
+)
+
+
+def small_config(**overrides) -> BenchmarkConfig:
+    return BenchmarkConfig(**{**SMALL, **overrides})
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    install_io_plan(None)
+    yield
+    install_io_plan(None)
+
+
+def plan(*faults, seed=0):
+    return IoFaultPlan(list(faults), seed=seed)
+
+
+class TestEnospcDisablesJournal:
+    def test_full_disk_degrades_instead_of_raising(self, tmp_path):
+        journal = RunJournal.create(tmp_path, HEADER)
+        journal.append({"type": "job-done", "key": "a"})
+        with io_faults(
+            plan(IoFault(point="journal.append.write", kind="enospc"))
+        ):
+            with pytest.warns(RuntimeWarning, match="journal-disabled"):
+                journal.append({"type": "job-done", "key": "b"})
+        assert journal.degraded == ["journal-disabled"]
+        assert journal.durable is False
+        # Appends after the downgrade are silent no-ops, not errors.
+        journal.append({"type": "job-done", "key": "c"})
+        journal.close()
+
+        replay = RunJournal.load(tmp_path)
+        assert [r.get("key") for r in replay.records] == ["a"]
+        assert replay.truncated_bytes == 0  # the prefix stayed parseable
+
+    def test_degrades_only_once(self, tmp_path):
+        journal = RunJournal.create(tmp_path, HEADER)
+        with io_faults(
+            plan(IoFault(point="journal.append.write", kind="enospc"))
+        ):
+            with pytest.warns(RuntimeWarning):
+                journal.append({"type": "job-done", "key": "a"})
+        journal.append({"type": "job-done", "key": "b"})  # no second warning
+        assert journal.degraded == ["journal-disabled"]
+        journal.close()
+
+
+class TestFsyncFailureDegradesTier:
+    def test_failed_group_commit_downgrades_durability(self, tmp_path):
+        journal = RunJournal.create(tmp_path, HEADER)
+        with io_faults(
+            plan(IoFault(point="journal.append.fsync", kind="fsync-fail"))
+        ):
+            with pytest.warns(RuntimeWarning, match="journal-fsync-degraded"):
+                # job-failed is a CRITICAL_TYPES record: immediate fsync.
+                journal.append({"type": "job-failed", "key": "a"})
+        assert journal.degraded == ["journal-fsync-degraded"]
+        assert journal.durable is False
+        journal.close()
+
+        # The bytes themselves were accepted: nothing is lost on a
+        # clean shutdown, only the power-loss guarantee was dropped.
+        replay = RunJournal.load(tmp_path)
+        assert [r["type"] for r in replay.records] == ["job-failed"]
+
+    def test_fsync_never_retried_after_failure(self, tmp_path):
+        # fsyncgate semantics: after one failed fsync the dirty pages
+        # may be gone, so the journal must not fsync again and claim
+        # durability it cannot have.
+        journal = RunJournal.create(tmp_path, HEADER)
+        armed = plan(
+            IoFault(point="journal.append.fsync", kind="fsync-fail", times=5)
+        )
+        with io_faults(armed) as active:
+            with pytest.warns(RuntimeWarning):
+                journal.append({"type": "job-failed", "key": "a"})
+            journal.append({"type": "job-failed", "key": "b"})
+            journal.sync()
+            journal.close()
+            # Only the first arrival reached the fsync point at all.
+            assert active.injected() == {0: 1}
+
+
+class TestTornWriteRecovery:
+    def test_torn_append_truncates_to_last_good_line(self, tmp_path):
+        journal = RunJournal.create(tmp_path, HEADER)
+        journal.append({"type": "job-done", "key": "a"})
+        with io_faults(
+            plan(IoFault(point="journal.append.write", kind="torn-write"))
+        ):
+            with pytest.raises(OSError) as excinfo:
+                journal.append({"type": "job-done", "key": "b"})
+        assert excinfo.value.errno == errno.EIO
+        journal._handle.close()  # the crash the tear stands in for
+
+        replay = RunJournal.load(tmp_path)
+        assert replay.truncated_bytes > 0
+        assert [r.get("key") for r in replay.records] == ["a"]
+        # Recovery rewrote the log: the second load is clean.
+        assert RunJournal.load(tmp_path).truncated_bytes == 0
+
+
+class TestRunsUnderInjectedFaults:
+    def test_enospc_mid_run_completes_bit_identical_and_degraded(
+        self, tmp_path
+    ):
+        uninterrupted = execute_matrix(small_config(), RuntimeConfig())
+        with io_faults(
+            plan(
+                IoFault(
+                    point="journal.append.write", kind="enospc", after=10
+                )
+            )
+        ):
+            with pytest.warns(RuntimeWarning, match="journal-disabled"):
+                result = execute_matrix(
+                    small_config(),
+                    RuntimeConfig(workers=1),
+                    run_dir=tmp_path / "run",
+                )
+        assert result.degraded == ["journal-disabled"]
+        assert (
+            result.database.canonical_json()
+            == uninterrupted.database.canonical_json()
+        )
+
+    def test_torn_write_crash_resumes_bit_identical(self, tmp_path):
+        run_dir = tmp_path / "run"
+        with io_faults(
+            plan(
+                IoFault(
+                    point="journal.append.write", kind="torn-write", after=10
+                )
+            )
+        ):
+            with pytest.raises(OSError):
+                execute_matrix(
+                    small_config(), RuntimeConfig(workers=1), run_dir=run_dir
+                )
+        assert RunJournal.journal_path(run_dir).exists()
+        assert not RunJournal.load(run_dir).complete
+
+        uninterrupted = execute_matrix(small_config(), RuntimeConfig())
+        resumed = resume_run(run_dir, RuntimeConfig(workers=1))
+        assert resumed.restored_jobs >= 1
+        assert (
+            resumed.database.canonical_json()
+            == uninterrupted.database.canonical_json()
+        )
+        assert RunJournal.load(run_dir).complete

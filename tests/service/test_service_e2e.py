@@ -39,7 +39,7 @@ MATRIX = {
 _DEADLINE = 120.0
 
 
-def _spawn_server(spool: Path) -> subprocess.Popen:
+def _spawn_server(spool: Path, *extra: str) -> subprocess.Popen:
     env = dict(os.environ)
     env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
     env["PYTHONUNBUFFERED"] = "1"
@@ -47,6 +47,7 @@ def _spawn_server(spool: Path) -> subprocess.Popen:
         [
             sys.executable, "-m", "repro.cli", "serve",
             "--spool", str(spool), "--port", "0", "--max-running", "2",
+            *extra,
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -232,5 +233,162 @@ def test_cli_submit_watch_fetch_round_trip(tmp_path):
         assert fetched.returncode == 0, fetched.stdout + fetched.stderr
         rows = json.loads(out_path.read_text())
         assert rows and rows[0]["status"] == "succeeded"
+    finally:
+        _terminate(server)
+
+
+# ---------------------------------------------------------------------------
+# Chaos acceptance: seeded fault plans against real server processes.
+# ---------------------------------------------------------------------------
+
+#: Small enough to finish fast, big enough to write journal records.
+CHAOS_MATRIX = {
+    "platforms": ["powergraph"],
+    "datasets": ["R1"],
+    "algorithms": ["bfs", "pr"],
+    "repetitions": 2,
+}
+
+#: SIGKILLs the run child after 3 journal appends — every attempt, since
+#: fault counters are per process and each relaunch re-arms the plan.
+KILL_PLAN = {
+    "seed": 7,
+    "faults": [{"point": "journal.append.write", "kind": "kill", "after": 3}],
+}
+
+#: Fails the journal's first group-commit fsync: the run completes with
+#: a durability downgrade instead of dying.
+FSYNC_PLAN = {
+    "seed": 7,
+    "faults": [{"point": "journal.append.fsync", "kind": "fsync-fail"}],
+}
+
+_SUPERVISION_FLAGS = (
+    "--run-attempts", "3", "--run-backoff", "0.2",
+    "--breaker-threshold", "10",  # keep the breaker out of this scenario
+)
+
+
+def _wait_ledger_attempts(run_dir: Path, minimum: int) -> None:
+    """Block until the durable attempt ledger has counted ``minimum``."""
+    path = run_dir / "supervise.json"
+    limit = time.monotonic() + _DEADLINE
+    while time.monotonic() < limit:
+        try:
+            ledger = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            ledger = {}
+        if isinstance(ledger, dict) and ledger.get("attempts", 0) >= minimum:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"ledger at {path} never reached {minimum} attempts")
+
+
+def _wait_quarantined(client: ServiceClient, run_id: str) -> dict:
+    limit = time.monotonic() + _DEADLINE
+    while time.monotonic() < limit:
+        payload = client.run(run_id)
+        if payload["state"] in ("quarantined", "done", "failed"):
+            return payload
+        time.sleep(0.1)
+    raise AssertionError(f"run {run_id} never settled: {payload['state']}")
+
+
+@pytest.mark.slow
+def test_chaos_quarantine_and_degradation_survive_restart(tmp_path):
+    """The robustness acceptance scenario over real server processes.
+
+    A poison run (chaos plan kills its child every attempt) burns its
+    launch budget — counted in the durable ledger across a server
+    SIGKILL + restart — and lands in quarantine, never relaunched
+    again.  A run with an injected fsync failure *completes*, flagged,
+    bit-identical in canonical form to an unfaulted run, with no
+    duplicate ``job-done`` records; ``/v1/healthz`` and the CLI
+    ``health`` subcommand report both degradations.
+    """
+    spool = tmp_path / "spool"
+    server = _spawn_server(spool, *_SUPERVISION_FLAGS)
+    try:
+        client = _read_address(server)
+        poison = client.submit("poison", CHAOS_MATRIX, chaos=KILL_PLAN)
+        flaky = client.submit("fsync", CHAOS_MATRIX, chaos=FSYNC_PLAN)
+        clean = client.submit("clean", CHAOS_MATRIX)
+        poison_id = poison["run_id"]
+
+        # The degraded and clean runs complete despite the chaos plan.
+        final_flaky = _wait_terminal(client, flaky["run_id"])
+        final_clean = _wait_terminal(client, clean["run_id"])
+        assert final_flaky["state"] == "done", final_flaky
+        assert final_flaky["degraded"] == ["journal-fsync-degraded"]
+        assert final_clean["state"] == "done", final_clean
+        assert "degraded" not in final_clean
+
+        # The poison child killed itself at least twice (pre-launch
+        # ledger writes make the count durable), then the server dies.
+        _wait_ledger_attempts(spool / poison_id, 2)
+        os.kill(server.pid, signal.SIGKILL)
+        server.wait(timeout=30)
+        time.sleep(1.0)  # parent-death watchdog reaps the orphan child
+    finally:
+        _terminate(server)
+
+    server = _spawn_server(spool, *_SUPERVISION_FLAGS)
+    try:
+        client = _read_address(server)
+
+        # The restarted supervisor reads the ledger: at most ONE more
+        # launch (the third) before quarantine — never a fresh budget.
+        payload = _wait_quarantined(client, poison_id)
+        assert payload["state"] == "quarantined", payload
+        assert payload["attempts"] == 3  # exactly the budget, not 2x it
+        assert payload["quarantine"]["budget"] == 3
+        ledger = json.loads(
+            (spool / poison_id / "supervise.json").read_text(encoding="utf-8")
+        )
+        assert ledger["attempts"] == 3
+
+        # Completed runs stayed terminal across the restart, and no
+        # journal re-recorded finished work.
+        for run_id in (flaky["run_id"], clean["run_id"]):
+            assert client.run(run_id)["state"] == "done"
+            replay = RunJournal.load(spool / run_id)
+            done_keys = [
+                record["key"] for record in replay.records
+                if record["type"] == "job-done"
+            ]
+            assert len(done_keys) == len(set(done_keys)), (
+                f"duplicate job-done records in {run_id}"
+            )
+
+        # Bit-identical canonical results: the fsync fault cost a
+        # durability tier, not a bit of output.
+        flaky_db = ResultsDatabase.load(
+            spool / flaky["run_id"] / "results.json"
+        )
+        clean_db = ResultsDatabase.load(
+            spool / clean["run_id"] / "results.json"
+        )
+        assert flaky_db.canonical_json() == clean_db.canonical_json()
+
+        # healthz carries both degradations over real HTTP...
+        health = client.healthz()
+        assert health["status"] == "degraded"
+        assert poison_id in health["quarantined"]
+        assert health["degraded_runs"][flaky["run_id"]] == [
+            "journal-fsync-degraded"
+        ]
+
+        # ...and the CLI health subcommand exits non-zero on it.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        probe = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "health",
+             "--host", client.host, "--port", str(client.port)],
+            capture_output=True, text=True, env=env,
+            cwd=str(Path(__file__).resolve().parents[2]),
+            timeout=_DEADLINE,
+        )
+        assert probe.returncode == 1, probe.stdout + probe.stderr
+        assert "degraded" in probe.stdout
     finally:
         _terminate(server)

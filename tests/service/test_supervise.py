@@ -1,0 +1,127 @@
+"""Unit tests for run supervision: ledger, quarantine, policy, breaker."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.supervise import (
+    QUARANTINE_NAME,
+    SUPERVISE_NAME,
+    BreakerOpen,
+    RetryPolicy,
+    TenantBreaker,
+    load_quarantine,
+    load_supervision,
+    record_attempt,
+    write_quarantine,
+)
+
+
+class TestAttemptLedger:
+    def test_round_trip_accumulates_history(self, tmp_path):
+        record_attempt(tmp_path, 1, at=10.0)
+        ledger = record_attempt(tmp_path, 2, at=20.0)
+        assert ledger["attempts"] == 2
+        assert [h["attempt"] for h in ledger["history"]] == [1, 2]
+        assert load_supervision(tmp_path) == ledger
+
+    def test_absent_ledger_is_zero_attempts(self, tmp_path):
+        assert load_supervision(tmp_path) == {"attempts": 0, "history": []}
+
+    @pytest.mark.parametrize(
+        "payload",
+        [b"{torn", b"[1, 2]", b'{"attempts": "many"}'],
+        ids=["torn-json", "non-dict", "non-int-attempts"],
+    )
+    def test_corrupt_ledger_tolerated(self, tmp_path, payload):
+        (tmp_path / SUPERVISE_NAME).write_bytes(payload)
+        assert load_supervision(tmp_path)["attempts"] == 0
+
+    def test_corrupt_ledger_restarts_counting(self, tmp_path):
+        (tmp_path / SUPERVISE_NAME).write_bytes(b"{torn")
+        ledger = record_attempt(tmp_path, 1, at=1.0)
+        assert ledger == {
+            "attempts": 1,
+            "history": [{"attempt": 1, "at": 1.0}],
+        }
+
+
+class TestQuarantineRecord:
+    def test_round_trip(self, tmp_path):
+        payload = {"run_id": "r1", "reason": "budget exhausted"}
+        write_quarantine(tmp_path, payload)
+        assert load_quarantine(tmp_path) == payload
+        on_disk = json.loads(
+            (tmp_path / QUARANTINE_NAME).read_text(encoding="utf-8")
+        )
+        assert on_disk == payload
+
+    def test_absent_and_corrupt_are_none(self, tmp_path):
+        assert load_quarantine(tmp_path) is None
+        (tmp_path / QUARANTINE_NAME).write_bytes(b"{torn")
+        assert load_quarantine(tmp_path) is None
+        (tmp_path / QUARANTINE_NAME).write_bytes(b"[]")
+        assert load_quarantine(tmp_path) is None
+
+
+class TestRetryPolicy:
+    def test_budget_boundary(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+        assert policy.exhausted(4)
+
+    def test_backoff_is_the_scheduler_curve(self):
+        policy = RetryPolicy(backoff_base=0.5)
+        assert [policy.backoff(n) for n in (1, 2, 3, 4)] == [
+            0.5, 1.0, 2.0, 4.0,
+        ]
+
+    def test_backoff_clamps_attempt_floor(self):
+        assert RetryPolicy(backoff_base=0.5).backoff(0) == 0.5
+
+
+class TestTenantBreaker:
+    def test_opens_after_threshold_consecutive_deaths(self):
+        breaker = TenantBreaker(threshold=3, cooldown=30.0)
+        breaker.record_death("acme", now=1.0)
+        breaker.record_death("acme", now=2.0)
+        assert breaker.open_for("acme", now=3.0) == 0.0
+        breaker.record_death("acme", now=3.0)
+        assert breaker.open_for("acme", now=4.0) == pytest.approx(29.0)
+
+    def test_check_raises_with_retry_after(self):
+        breaker = TenantBreaker(threshold=1, cooldown=10.0)
+        breaker.record_death("acme", now=0.0)
+        with pytest.raises(BreakerOpen) as excinfo:
+            breaker.check("acme", now=4.0)
+        assert excinfo.value.retry_after == pytest.approx(6.0)
+        breaker.check("other", now=4.0)  # circuits are per tenant
+
+    def test_success_closes_and_resets_strikes(self):
+        breaker = TenantBreaker(threshold=2, cooldown=30.0)
+        breaker.record_death("acme", now=0.0)
+        breaker.record_success("acme")
+        breaker.record_death("acme", now=1.0)
+        # Not consecutive across the success: still below threshold.
+        assert breaker.open_for("acme", now=2.0) == 0.0
+
+    def test_cooldown_elapse_closes_and_forgets(self):
+        breaker = TenantBreaker(threshold=1, cooldown=5.0)
+        breaker.record_death("acme", now=0.0)
+        assert breaker.open_for("acme", now=1.0) > 0
+        assert breaker.open_for("acme", now=6.0) == 0.0
+        # The elapsed cooldown forgot the strikes entirely.
+        assert breaker.state(now=7.0) == []
+
+    def test_state_for_healthz(self):
+        breaker = TenantBreaker(threshold=2, cooldown=30.0)
+        breaker.record_death("acme", now=0.0)
+        breaker.record_death("acme", now=1.0)
+        breaker.record_death("zeta", now=1.0)
+        assert breaker.state(now=2.0) == [
+            {"tenant": "acme", "strikes": 2, "open": True},
+            {"tenant": "zeta", "strikes": 1, "open": False},
+        ]

@@ -181,3 +181,40 @@ class TestAgainstRealJournal:
         resumed.close()
         tail = [r.get("key", r["type"]) for r in tailer.poll()]
         assert tail == ["b", "run-complete"]  # exactly once, nothing lost
+
+
+class TestSkipOffset:
+    """The reconnect handle: skip N already-delivered records."""
+
+    def test_skip_swallows_the_prefix(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _write(path, _records(5))
+        tailer = JournalTailer(path, skip=2)
+        assert [r["seq"] for r in tailer.poll()] == [2, 3, 4]
+        assert tailer.emitted == 3
+
+    def test_skip_spans_polls(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _write(path, _records(3))
+        tailer = JournalTailer(path, skip=5)
+        assert tailer.poll() == []  # still two records short of the skip
+        _append(path, _records(4, start=3))
+        assert [r["seq"] for r in tailer.poll()] == [5, 6]
+
+    def test_rewrite_replay_counts_skipped_records_too(self, tmp_path):
+        # The recovery rewrite preserves the good prefix — including
+        # the records this tailer skipped rather than emitted. The
+        # replay swallow must cover both, or the reconnecting client
+        # would see its skipped records resurrected as duplicates.
+        path = tmp_path / "journal.jsonl"
+        _write(path, _records(3))
+        tailer = JournalTailer(path, skip=2)
+        assert [r["seq"] for r in tailer.poll()] == [2]
+        _rewrite(path, _records(5))  # recovery rewrite + two new records
+        assert [r["seq"] for r in tailer.poll()] == [3, 4]
+        assert tailer.emitted == 3
+
+    def test_zero_skip_is_the_default_stream(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _write(path, _records(2))
+        assert [r["seq"] for r in JournalTailer(path, skip=0).poll()] == [0, 1]
