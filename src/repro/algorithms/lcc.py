@@ -27,13 +27,19 @@ from repro.graph.graph import Graph
 __all__ = ["local_clustering_coefficient"]
 
 
-def local_clustering_coefficient(graph: Graph) -> np.ndarray:
+def local_clustering_coefficient(graph: Graph, vertices=None) -> np.ndarray:
     """LCC of every vertex; returns a float64 array of values in [0, 1].
 
     Per vertex, the neighborhood's out-edges are gathered in one
     vectorized pass and membership-tested against the (sorted)
     neighborhood with a single ``searchsorted`` — the Python-level loop
     is only over vertices, not over the degree-squared edge pairs.
+
+    ``vertices`` restricts computation to the given dense indices (the
+    partitioned engine computes each shard's owned vertices this way);
+    the returned array is still full-length, zero elsewhere. Each
+    vertex's value depends only on its own neighborhood, so a sharded
+    union over any vertex partition is bit-identical to the full run.
     """
     n = graph.num_vertices
     result = np.zeros(n, dtype=np.float64)
@@ -44,7 +50,8 @@ def local_clustering_coefficient(graph: Graph) -> np.ndarray:
     in_indptr, in_indices = graph.in_indptr, graph.in_indices
     directed = graph.directed
 
-    for v in range(n):
+    targets = range(n) if vertices is None else [int(v) for v in vertices]
+    for v in targets:
         out_nb = out_indices[out_indptr[v]:out_indptr[v + 1]]
         if directed:
             in_nb = in_indices[in_indptr[v]:in_indptr[v + 1]]

@@ -50,6 +50,20 @@ def _workers_type(value: str):
         )
 
 
+def _add_partition_arguments(parser) -> None:
+    """``--partitions``/``--partition-strategy``: sharded pythonref runs."""
+    parser.add_argument(
+        "--partitions", type=_workers_type, default=None,
+        help="shard the measured pythonref platform across this many "
+             "partition workers ('auto' = the host CPU count; outputs "
+             "are bit-identical at any shard count, see docs/scaling.md)",
+    )
+    parser.add_argument(
+        "--partition-strategy", choices=("hash", "range"), default="hash",
+        help="edge-cut partitioning strategy for --partitions",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="graphalytics",
@@ -80,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="journal the experiment under this directory; re-running "
              "with the same directory resumes a crashed run",
     )
+    _add_partition_arguments(run)
 
     job = sub.add_parser("job", help="run a single benchmark job")
     job.add_argument("platform")
@@ -141,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="journal the run under this directory (crash-safe; an "
              "existing journal of the same matrix is resumed)",
     )
+    _add_partition_arguments(report)
 
     val = sub.add_parser(
         "validate",
@@ -268,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="journal the suite under this directory; re-running with "
              "the same directory resumes a crashed run",
     )
+    _add_partition_arguments(full)
 
     resume = sub.add_parser(
         "resume",
@@ -368,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--breaker-cooldown", type=float, default=30.0,
         help="seconds an open circuit sheds a tenant's submissions",
     )
+    _add_partition_arguments(serve)
 
     submit = sub.add_parser(
         "submit", help="submit a benchmark matrix to the service"
@@ -400,6 +418,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--watch", action="store_true",
         help="stay attached and stream the run's events after submitting",
     )
+    _add_partition_arguments(submit)
 
     watch = sub.add_parser(
         "watch", help="stream a service run's journal + trace as it executes"
@@ -491,19 +510,29 @@ def _cmd_experiments() -> int:
 def _cmd_run(args) -> int:
     from repro.harness.experiments import get_experiment
 
-    from repro.runtime.executor import resolve_workers
+    from repro.runtime.executor import resolve_partitions, resolve_workers
 
     experiment = get_experiment(args.experiment)
     print(f"running experiment {experiment.experiment_id} "
           f"({experiment.title}, paper §{experiment.section}) ...")
     runner = None
     workers = resolve_workers(args.workers)
-    if workers > 1:
+    partitions = resolve_partitions(args.partitions)
+    if workers > 1 or partitions is not None:
         from repro.harness.config import BenchmarkConfig
         from repro.harness.runner import BenchmarkRunner
+
+        runner = BenchmarkRunner(BenchmarkConfig(
+            seed=args.seed,
+            partitions=partitions,
+            partition_strategy=args.partition_strategy,
+        ))
+        if partitions is not None:
+            print(f"# pythonref jobs run sharded: {partitions} "
+                  f"partition(s), {args.partition_strategy} strategy")
+    if workers > 1:
         from repro.runtime.executor import RuntimeConfig, prefetch_into_runner
 
-        runner = BenchmarkRunner(BenchmarkConfig(seed=args.seed))
         prefetch = prefetch_into_runner(
             runner,
             datasets=list(experiment.datasets),
@@ -633,9 +662,14 @@ def _cmd_report(args) -> int:
         overrides["datasets"] = args.datasets
     if args.algorithms:
         overrides["algorithms"] = args.algorithms
-    from repro.runtime.executor import resolve_workers
+    from repro.runtime.executor import resolve_partitions, resolve_workers
 
-    config = BenchmarkConfig(seed=args.seed, **overrides)
+    config = BenchmarkConfig(
+        seed=args.seed,
+        partitions=resolve_partitions(args.partitions),
+        partition_strategy=args.partition_strategy,
+        **overrides,
+    )
     runner = BenchmarkRunner(config)
     workers = resolve_workers(args.workers)
     if workers > 1 or args.cache_dir or args.job_timeout or args.run_dir:
@@ -889,7 +923,7 @@ def _cmd_lint(args) -> int:
 def _cmd_full_run(args) -> int:
     from repro.harness.full_run import run_full_benchmark
     from repro.harness.repository import ResultsRepository
-    from repro.runtime.executor import resolve_workers
+    from repro.runtime.executor import resolve_partitions, resolve_workers
 
     repository = ResultsRepository(args.repository) if args.repository else None
     result = run_full_benchmark(
@@ -899,6 +933,8 @@ def _cmd_full_run(args) -> int:
         repository=repository,
         workers=resolve_workers(args.workers),
         run_dir=args.run_dir,
+        partitions=resolve_partitions(args.partitions),
+        partition_strategy=args.partition_strategy,
     )
     print(
         f"ran {len(result.reports)} experiments, {result.job_count} jobs"
@@ -949,6 +985,10 @@ def _cmd_resume(args) -> int:
             report_path=replay.header.get("report"),
             workers=resolve_workers(args.workers),
             run_dir=args.run_dir,
+            partitions=replay.header.get("partitions"),
+            partition_strategy=str(
+                replay.header.get("partition_strategy") or "hash"
+            ),
         )
         print(f"ran {len(result.reports)} experiments, "
               f"{result.job_count} jobs")
@@ -1074,6 +1114,8 @@ def _cmd_serve(args) -> int:
         run_backoff_base=args.run_backoff,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
+        partitions=args.partitions,
+        partition_strategy=args.partition_strategy,
     )
 
     async def serve() -> None:
@@ -1115,6 +1157,11 @@ def _cmd_submit(args) -> int:
 
     client = ServiceClient(args.host, args.port)
     matrix = _load_matrix_argument(args.matrix)
+    if args.partitions is not None and isinstance(matrix, dict):
+        # Partitioning rides the matrix payload itself: the run child
+        # rebuilds the config via config_from_payload, no protocol change.
+        matrix["partitions"] = args.partitions
+        matrix["partition_strategy"] = args.partition_strategy
     chaos = None
     if args.chaos:
         with open(args.chaos, "r", encoding="utf-8") as handle:

@@ -29,6 +29,10 @@ from repro.graph.graph import Graph
 __all__ = [
     "GASProgram",
     "GASEngine",
+    "bfs_gas_program",
+    "sssp_gas_program",
+    "wcc_gas_program",
+    "cdlp_gas_program",
     "run_bfs",
     "run_sssp",
     "run_wcc",
@@ -173,7 +177,7 @@ class GASEngine:
 _UNREACHED = np.iinfo(np.int64).max
 
 
-def run_bfs(graph: Graph, source: int) -> np.ndarray:
+def bfs_gas_program(graph: Graph, source: int) -> Tuple[GASProgram, Callable]:
     """BFS as min-gather over in-edges: d(v) = min(d(u) + 1)."""
     if not graph.has_vertex(source):
         raise GraphFormatError(f"BFS source vertex {source} not in graph")
@@ -188,11 +192,10 @@ def run_bfs(graph: Graph, source: int) -> np.ndarray:
         gather_zero=_UNREACHED,
         apply=lambda old, gathered: min(old, gathered),
     )
-    values, _ = GASEngine(graph).run_active_set(program)
-    return np.array(values, dtype=np.int64)
+    return program, lambda values: np.array(values, dtype=np.int64)
 
 
-def run_sssp(graph: Graph, source: int) -> np.ndarray:
+def sssp_gas_program(graph: Graph, source: int) -> Tuple[GASProgram, Callable]:
     """SSSP as min-plus gather: d(v) = min(d(u) + w(u,v))."""
     if not graph.is_weighted:
         raise GraphFormatError("SSSP requires a weighted graph")
@@ -207,11 +210,10 @@ def run_sssp(graph: Graph, source: int) -> np.ndarray:
         gather_zero=float("inf"),
         apply=lambda old, gathered: min(old, gathered),
     )
-    values, _ = GASEngine(graph).run_active_set(program)
-    return np.array(values, dtype=np.float64)
+    return program, lambda values: np.array(values, dtype=np.float64)
 
 
-def run_wcc(graph: Graph) -> np.ndarray:
+def wcc_gas_program(graph: Graph) -> Tuple[GASProgram, Callable]:
     """WCC as min-label gather over both edge directions."""
     program = GASProgram(
         name="wcc",
@@ -222,8 +224,25 @@ def run_wcc(graph: Graph) -> np.ndarray:
         apply=lambda old, gathered: min(old, gathered),
         both_directions=True,
     )
+    return program, lambda values: np.array(values, dtype=np.int64)
+
+
+def run_bfs(graph: Graph, source: int) -> np.ndarray:
+    program, finalize = bfs_gas_program(graph, source)
     values, _ = GASEngine(graph).run_active_set(program)
-    return np.array(values, dtype=np.int64)
+    return finalize(values)
+
+
+def run_sssp(graph: Graph, source: int) -> np.ndarray:
+    program, finalize = sssp_gas_program(graph, source)
+    values, _ = GASEngine(graph).run_active_set(program)
+    return finalize(values)
+
+
+def run_wcc(graph: Graph) -> np.ndarray:
+    program, finalize = wcc_gas_program(graph)
+    values, _ = GASEngine(graph).run_active_set(program)
+    return finalize(values)
 
 
 def run_pagerank(
@@ -262,7 +281,7 @@ def run_pagerank(
     return rank
 
 
-def run_cdlp(graph: Graph, iterations: int = 10) -> np.ndarray:
+def cdlp_gas_program(graph: Graph, iterations: int = 10) -> Tuple[GASProgram, Callable]:
     """CDLP with a histogram gather (Counter merge is the gather sum)."""
 
     def gather(u_value, w):
@@ -290,5 +309,10 @@ def run_cdlp(graph: Graph, iterations: int = 10) -> np.ndarray:
         apply=apply,
         both_directions=True,
     )
+    return program, lambda values: np.array(values, dtype=np.int64)
+
+
+def run_cdlp(graph: Graph, iterations: int = 10) -> np.ndarray:
+    program, finalize = cdlp_gas_program(graph, iterations)
     values = GASEngine(graph).run_synchronous(program, iterations)
-    return np.array(values, dtype=np.int64)
+    return finalize(values)

@@ -1,0 +1,175 @@
+"""Per-superstep message exchange: outboxes, wire batches, delivery.
+
+The exchange protocol is what makes the partitioned engine bit-identical
+to the sequential one. Two wire formats, chosen by the program:
+
+* **Combined** — the program declares an exact
+  :class:`~repro.engines.pregel.Combiner` (min, integer histogram), so
+  messages bound for one target vertex are merged *before* the wire and
+  again across sender shards at delivery. Exactness (bit-for-bit
+  order-independence of ``merge``) is the contract that lets delivery
+  ignore batch arrival order entirely.
+* **Tagged** — the program's message reduction is inexact (PageRank's
+  float sum), so every message travels individually tagged with
+  ``(sender, seq)``: the sender's dense index and the emission sequence
+  within that sender. Delivery sorts by that tag, which reproduces the
+  sequential engine's inbox order exactly — it processes senders in
+  ascending dense-index order and appends each sender's messages in
+  emission order.
+
+Either way, :func:`deliver` is a pure function of the batch *set*, never
+the batch *order*; the determinism suite permutes delivery order and
+asserts identical superstep state.
+
+Everything that crosses a pipe here is plain data — ints, floats,
+``Counter`` objects, lists, dataclasses of those — per lint rule
+RACE002.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engines.pregel import Combiner
+
+__all__ = ["MessageBatch", "Outbox", "deliver"]
+
+
+@dataclass
+class MessageBatch:
+    """Messages from one shard to one shard, for one superstep.
+
+    Exactly one of ``combined`` / ``tagged`` is populated. ``combined``
+    maps target vertex -> wire value (the combiner-merged representation
+    of every message this sender shard produced for that target).
+    ``tagged`` is a flat list of ``(target, sender, seq, message)``.
+    """
+
+    src_shard: int
+    dst_shard: int
+    superstep: int
+    combined: Optional[Dict[int, object]] = None
+    tagged: Optional[List[Tuple[int, int, int, object]]] = None
+
+    def message_count(self) -> int:
+        """Logical (pre-combine) messages this batch represents."""
+        if self.tagged is not None:
+            return len(self.tagged)
+        return len(self.combined or {})
+
+    def wire_size(self) -> int:
+        """Entries actually crossing the pipe (post-combine)."""
+        if self.tagged is not None:
+            return len(self.tagged)
+        return len(self.combined or {})
+
+
+class Outbox:
+    """Collects one shard's sends for a superstep, pre-combined per
+    destination shard.
+
+    ``send`` is the single message-send entrypoint of the shard side
+    (the ``partitionedproj`` lint fixture mirrors it): it routes the
+    target through the ownership array and either merges into the
+    destination's wire dict (combiner programs) or appends a tagged
+    record. Senders must call ``send`` in compute order — the tag's
+    ``seq`` is assigned here.
+    """
+
+    def __init__(
+        self,
+        owner: np.ndarray,
+        num_shards: int,
+        src_shard: int,
+        superstep: int,
+        combiner: Optional[Combiner],
+    ):
+        self.owner = owner
+        self.num_shards = num_shards
+        self.src_shard = src_shard
+        self.superstep = superstep
+        self.combiner = combiner
+        self.messages_sent = 0
+        self._seq: Dict[int, int] = {}
+        self._combined: Dict[int, Dict[int, object]] = {}
+        self._tagged: Dict[int, List[Tuple[int, int, int, object]]] = {}
+
+    def send(self, sender: int, target: int, message: object) -> None:
+        target = int(target)
+        shard = int(self.owner[target])
+        self.messages_sent += 1
+        combiner = self.combiner
+        if combiner is not None:
+            wire = self._combined.setdefault(shard, {})
+            lifted = combiner.lift(message)
+            existing = wire.get(target)
+            wire[target] = (
+                lifted if existing is None else combiner.merge(existing, lifted)
+            )
+            return
+        seq = self._seq.get(sender, 0)
+        self._seq[sender] = seq + 1
+        self._tagged.setdefault(shard, []).append(
+            (target, int(sender), seq, message)
+        )
+
+    def batches(self) -> List[MessageBatch]:
+        """One batch per destination shard with traffic, ascending."""
+        out: List[MessageBatch] = []
+        if self.combiner is not None:
+            for shard in sorted(self._combined):
+                out.append(
+                    MessageBatch(
+                        src_shard=self.src_shard,
+                        dst_shard=shard,
+                        superstep=self.superstep,
+                        combined=self._combined[shard],
+                    )
+                )
+        else:
+            for shard in sorted(self._tagged):
+                out.append(
+                    MessageBatch(
+                        src_shard=self.src_shard,
+                        dst_shard=shard,
+                        superstep=self.superstep,
+                        tagged=self._tagged[shard],
+                    )
+                )
+        return out
+
+
+def deliver(
+    batches: Sequence[MessageBatch], combiner: Optional[Combiner]
+) -> Dict[int, List[object]]:
+    """Merge inbound batches into per-vertex inboxes, order-independently.
+
+    Combiner programs: wire values for the same target are merged across
+    batches (exact merge — any order), then expanded once into the
+    message list ``compute`` observes. Tagged programs: all records are
+    sorted by ``(sender, seq)``, which is the sequential engine's
+    delivery order regardless of which shard each sender lived on.
+    """
+    inbox: Dict[int, List[object]] = {}
+    if combiner is not None:
+        wire: Dict[int, object] = {}
+        for batch in batches:
+            for target, value in sorted((batch.combined or {}).items()):
+                existing = wire.get(target)
+                wire[target] = (
+                    value if existing is None else combiner.merge(existing, value)
+                )
+        for target, value in sorted(wire.items()):
+            inbox[target] = combiner.expand(value)
+        return inbox
+    staged: Dict[int, List[Tuple[int, int, object]]] = {}
+    for batch in batches:
+        for target, sender, seq, message in batch.tagged or []:
+            staged.setdefault(target, []).append((sender, seq, message))
+    for target, records in sorted(staged.items()):
+        records.sort(key=lambda record: (record[0], record[1]))
+        inbox[target] = [message for _, _, message in records]
+    return inbox

@@ -1,0 +1,153 @@
+"""Picklable program specs and their per-process builders.
+
+Vertex programs and GAS programs are built from closures (a BFS program
+closes over its root index), so the program *objects* cannot cross a
+``Pipe`` (lint rule RACE002 forbids unpicklable payloads in sends). The
+partitioned engine therefore ships a :class:`ProgramSpec` — pure data:
+execution model, algorithm acronym, parameters — and every shard
+rebuilds its program locally from the spec and its own copy of the
+graph. Determinism is free: the builders are pure functions of
+(graph, spec), so every shard and the coordinator agree on the program
+byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.engines import gas, pregel
+from repro.exceptions import ConfigurationError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "PREGEL_ALGORITHMS",
+    "GAS_ALGORITHMS",
+    "ProgramSpec",
+    "GasPlan",
+    "build_pregel_program",
+    "build_gas_plan",
+    "spec_for",
+]
+
+#: Algorithms each model can execute in partitioned mode.
+PREGEL_ALGORITHMS = ("bfs", "pr", "wcc", "cdlp", "sssp")
+GAS_ALGORITHMS = ("bfs", "pr", "wcc", "cdlp", "sssp")
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """One partitioned-execution request, as pure picklable data.
+
+    ``params`` is a sorted tuple of (name, value) pairs so specs hash
+    and compare structurally (and survive pickling unchanged).
+    """
+
+    model: str                # "pregel" | "gas" | "lcc"
+    algorithm: str            # Graphalytics acronym
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, model: str, algorithm: str, **params: object) -> "ProgramSpec":
+        return cls(
+            model=model,
+            algorithm=algorithm.lower(),
+            params=tuple(sorted(params.items())),
+        )
+
+    def param(self, name: str, default: object = None) -> object:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def require(self, name: str) -> object:
+        value = self.param(name, default=None)
+        if value is None:
+            raise ConfigurationError(
+                f"{self.model}/{self.algorithm} requires parameter {name!r}"
+            )
+        return value
+
+
+def build_pregel_program(
+    spec: ProgramSpec, graph: Graph
+) -> Tuple[pregel.VertexProgram, Callable]:
+    """(VertexProgram, finalize) for a spec — identical on every process."""
+    algorithm = spec.algorithm
+    if algorithm == "bfs":
+        return pregel.bfs_program(graph, int(spec.require("source_vertex")))
+    if algorithm == "sssp":
+        return pregel.sssp_program(graph, int(spec.require("source_vertex")))
+    if algorithm == "wcc":
+        return pregel.wcc_program(graph)
+    if algorithm == "cdlp":
+        return pregel.cdlp_program(graph, int(spec.param("iterations", 10)))
+    if algorithm == "pr":
+        return pregel.pagerank_program(
+            graph,
+            int(spec.param("iterations", 30)),
+            float(spec.param("damping", 0.85)),
+        )
+    raise ConfigurationError(
+        f"pregel model cannot execute algorithm {algorithm!r}; "
+        f"known: {', '.join(PREGEL_ALGORITHMS)}"
+    )
+
+
+@dataclass(frozen=True)
+class GasPlan:
+    """A GAS execution plan: the program plus how to drive it.
+
+    ``mode`` selects the engine loop — ``active`` (label-correcting
+    rounds until the active set drains) or ``sync`` (fixed synchronous
+    sweeps). PageRank is coordinator-driven (``mode="pr"``): the global
+    dangling-mass fold between sweeps belongs to the coordinator, so
+    shards only run the gather kernel and carry no program.
+    """
+
+    mode: str                                  # "active" | "sync" | "pr"
+    program: Optional[gas.GASProgram]
+    iterations: int
+    finalize: Callable
+
+
+def build_gas_plan(spec: ProgramSpec, graph: Graph) -> GasPlan:
+    algorithm = spec.algorithm
+    if algorithm == "bfs":
+        program, finalize = gas.bfs_gas_program(
+            graph, int(spec.require("source_vertex"))
+        )
+        return GasPlan("active", program, 0, finalize)
+    if algorithm == "sssp":
+        program, finalize = gas.sssp_gas_program(
+            graph, int(spec.require("source_vertex"))
+        )
+        return GasPlan("active", program, 0, finalize)
+    if algorithm == "wcc":
+        program, finalize = gas.wcc_gas_program(graph)
+        return GasPlan("active", program, 0, finalize)
+    if algorithm == "cdlp":
+        iterations = int(spec.param("iterations", 10))
+        program, finalize = gas.cdlp_gas_program(graph, iterations)
+        return GasPlan("sync", program, iterations, finalize)
+    if algorithm == "pr":
+        return GasPlan(
+            "pr", None, int(spec.param("iterations", 30)),
+            lambda values: np.asarray(values, dtype=np.float64),
+        )
+    raise ConfigurationError(
+        f"gas model cannot execute algorithm {algorithm!r}; "
+        f"known: {', '.join(GAS_ALGORITHMS)}"
+    )
+
+
+def spec_for(algorithm: str, params: Optional[Dict[str, object]] = None,
+             *, model: str = "auto") -> ProgramSpec:
+    """Default spec for an algorithm acronym (CLI/driver entry path)."""
+    algorithm = algorithm.lower()
+    if model == "auto":
+        model = "lcc" if algorithm == "lcc" else "pregel"
+    return ProgramSpec.make(model, algorithm, **dict(params or {}))

@@ -172,6 +172,11 @@ FAULT_POINTS: Dict[str, str] = {
     "service.spool.supervise": (
         "service supervision ledger and quarantine records"
     ),
+    "partitioned.shard.step": (
+        "per-command chaos hook in a partitioned shard worker, checked "
+        "before each superstep/round executes (kind=kill simulates a "
+        "shard dying mid-superstep)"
+    ),
 }
 for _name, _description in FAULT_POINTS.items():
     register_fault_point(_name, _description)
@@ -317,11 +322,13 @@ def active_io_plan() -> Optional[IoFaultPlan]:
     """The installed plan, loading ``GRAPHALYTICS_FAULT_PLAN`` lazily."""
     global _ACTIVE_PLAN, _ENV_CHECKED
     if _ACTIVE_PLAN is None and not _ENV_CHECKED:
-        _ENV_CHECKED = True
+        # Lazy per-process env load, like install_io_plan: each worker
+        # (pool, service child, partitioned shard) arms its own copy.
+        _ENV_CHECKED = True  # lint: disable=RACE001
         path = os.environ.get(PLAN_ENV)
         if path:
             payload = json.loads(Path(path).read_text(encoding="utf-8"))
-            _ACTIVE_PLAN = IoFaultPlan.from_dict(payload)
+            _ACTIVE_PLAN = IoFaultPlan.from_dict(payload)  # lint: disable=RACE001
     return _ACTIVE_PLAN
 
 

@@ -51,6 +51,8 @@ def run_full_benchmark(
     run_metadata: Optional[RunMetadata] = None,
     workers: int = 1,
     run_dir: Optional[Union[str, Path]] = None,
+    partitions: Optional[int] = None,
+    partition_strategy: str = "hash",
 ) -> FullRunResult:
     """Run the (selected) experiment suite end to end.
 
@@ -68,7 +70,11 @@ def run_full_benchmark(
     same directory (or ``graphalytics resume <run_dir>``) replays the
     recorded jobs and executes only the remainder (docs/robustness.md).
     """
-    runner = BenchmarkRunner(BenchmarkConfig(seed=seed))
+    runner = BenchmarkRunner(BenchmarkConfig(
+        seed=seed,
+        partitions=partitions,
+        partition_strategy=partition_strategy,
+    ))
     result = FullRunResult(database=runner.database)
     selected = [EXPERIMENTS[eid] for eid in experiment_ids or list(EXPERIMENTS)]
     tracer = current_tracer()
@@ -106,6 +112,8 @@ def run_full_benchmark(
                     "seed": seed,
                     "experiments": [e.experiment_id for e in selected],
                     "report": str(report_path) if report_path else None,
+                    "partitions": runner.config.partitions,
+                    "partition_strategy": runner.config.partition_strategy,
                 },
             )
             runner.attach_journal(journal)

@@ -55,7 +55,15 @@ class BenchmarkRunner:
     def driver(self, platform: str) -> PlatformDriver:
         platform = platform.lower()
         if platform not in self._drivers:
-            self._drivers[platform] = create_driver(platform)
+            kwargs = {}
+            if platform == "pythonref" and self.config.partitions is not None:
+                # Only the measured reference platform executes for real;
+                # the modeled Table-5 drivers have nothing to shard.
+                kwargs = {
+                    "partitions": self.config.partitions,
+                    "partition_strategy": self.config.partition_strategy,
+                }
+            self._drivers[platform] = create_driver(platform, **kwargs)
         return self._drivers[platform]
 
     def _handle(self, platform: str, dataset: Dataset) -> UploadHandle:

@@ -233,7 +233,9 @@ class UnpicklablePayloadRule(Rule):
         "job payloads / Pipe sends must carry plain picklable data, "
         "not lambdas, nested functions, generators, or open handles"
     )
-    scope = ("runtime",)
+    # The two subsystems that marshal payloads across process forks:
+    # the runtime pool/service plane and the partitioned shard engine.
+    scope = ("runtime", "partitioned")
 
     def check(self, module: Module) -> Iterator[Finding]:
         for node in ast.walk(module.tree):

@@ -62,10 +62,44 @@ _REFERENCE_MODEL = PerformanceModel(
 
 
 class ReferenceDriver(PlatformDriver):
-    """Runs the reference kernels for real; Tproc is the measured time."""
+    """Runs the reference kernels for real; Tproc is the measured time.
 
-    def __init__(self):
+    With ``partitions`` set, execution routes through the sharded engine
+    in :mod:`repro.engines.partitioned` instead of the single-process
+    kernels. Outputs are bit-identical either way (the partitioned
+    engine's core contract), so the switch changes only *how* the
+    measured wall-clock is produced — which is exactly what the scaling
+    experiments need.
+    """
+
+    def __init__(
+        self,
+        partitions: Optional[int] = None,
+        partition_strategy: str = "hash",
+    ):
         super().__init__(REFERENCE_INFO, _REFERENCE_MODEL)
+        self.partitions = partitions
+        self.partition_strategy = partition_strategy
+
+    def _run_algorithm(self, algorithm: str, graph, params):
+        if self.partitions is None:
+            return super()._run_algorithm(algorithm, graph, params)
+        # Imported lazily: the partitioned coordinator pulls in the
+        # runtime pool, whose import chain reaches back to this module.
+        from repro.engines.partitioned import run_algorithm as run_partitioned
+
+        # PageRank goes through the GAS model: its sharded sweeps repeat
+        # the reference kernel's numpy reductions exactly, so the driver
+        # keeps bit-identical outputs (the Pregel formulation rounds
+        # differently at the last ulp).
+        return run_partitioned(
+            graph,
+            algorithm,
+            dict(params or {}),
+            partitions=self.partitions,
+            strategy=self.partition_strategy,
+            model="gas" if algorithm == "pr" else "auto",
+        )
 
     def execute(
         self,

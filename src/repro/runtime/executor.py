@@ -54,6 +54,7 @@ __all__ = [
     "execute_matrix",
     "example_matrix",
     "prefetch_into_runner",
+    "resolve_partitions",
     "resolve_workers",
     "resume_run",
 ]
@@ -99,6 +100,24 @@ def resolve_workers(
         )
         return available
     return count
+
+
+def resolve_partitions(
+    requested: Union[int, str, None], *, available: Optional[int] = None
+) -> Optional[int]:
+    """Effective shard count for the partitioned engine.
+
+    ``None`` means "no partitioning" (the single-process engines run);
+    ``"auto"`` or an integer delegate to :func:`resolve_workers`, so
+    shard sizing follows the same host-adaptive policy as the worker
+    pool — sized to the CPUs for ``"auto"``, capped with a warning when
+    a request oversubscribes the host. Because partitioned outputs are
+    bit-identical at any shard count, the cap changes only performance,
+    never results.
+    """
+    if requested is None:
+        return None
+    return resolve_workers(requested, available=available)
 
 
 @dataclass

@@ -148,6 +148,8 @@ def config_payload(config) -> Dict[str, object]:
         "validate_outputs": config.validate_outputs,
         "sla_seconds": config.sla_seconds,
         "skip_impossible": config.skip_impossible,
+        "partitions": config.partitions,
+        "partition_strategy": config.partition_strategy,
         "resources": {
             "machines": config.resources.machines,
             "threads": config.resources.threads,
@@ -174,6 +176,10 @@ def config_from_payload(payload: Dict[str, object]):
         validate_outputs=bool(payload["validate_outputs"]),
         sla_seconds=float(payload["sla_seconds"]),
         skip_impossible=bool(payload["skip_impossible"]),
+        # Passed through raw: BenchmarkConfig normalizes "auto"/ints and
+        # rejects garbage, so submitted matrices share one validation path.
+        partitions=payload.get("partitions"),
+        partition_strategy=str(payload.get("partition_strategy", "hash")),
     )
 
 

@@ -40,7 +40,7 @@ from repro.faults.plan import FaultPlan
 from repro.runtime.jobs import JobKind, JobSpec
 from repro.trace import Tracer, current_tracer, set_tracer
 
-__all__ = ["CacheBackedRunner", "run_job_spec", "WorkerPool"]
+__all__ = ["CacheBackedRunner", "run_job_spec", "WorkerPool", "default_mp_context"]
 
 
 class CacheBackedRunner(BenchmarkRunner):
@@ -194,12 +194,21 @@ def _failure_envelope(
     }
 
 
-def _default_context():
-    """Prefer fork (fast, shares warm module state); fall back portably."""
+def default_mp_context():
+    """Prefer fork (fast, shares warm module state); fall back portably.
+
+    Public because every process-spawning layer (this pool, the
+    partitioned engine's shard transport) must agree on one start-method
+    policy.
+    """
     methods = multiprocessing.get_all_start_methods()
     if "fork" in methods:
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context()
+
+
+#: Backwards-compatible private alias (pre-existing internal callers).
+_default_context = default_mp_context
 
 
 class _WorkerHandle:

@@ -9,6 +9,8 @@ from repro.engines.spmv import MIN_PLUS, OR_AND, PLUS_TIMES, SpMVEngine
 from repro.graph.generators import path_graph, star_graph
 from repro.graph.graph import Graph
 
+from tests.engines.conftest import min_id_gas_program
+
 
 class TestPregelMechanics:
     def test_supersteps_counted(self, path5):
@@ -66,14 +68,7 @@ class TestPregelMechanics:
 
 class TestGASMechanics:
     def test_active_set_drains(self, path5):
-        program = GASProgram(
-            name="min-id",
-            init=lambda g, v: int(g.vertex_ids[v]),
-            gather=lambda u, w: u,
-            gather_sum=min,
-            gather_zero=np.iinfo(np.int64).max,
-            apply=lambda old, gathered: min(old, gathered),
-        )
+        program = min_id_gas_program()
         values, rounds = GASEngine(path5).run_active_set(program)
         assert values == [0] * 5
         assert rounds <= 6

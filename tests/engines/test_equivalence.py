@@ -17,17 +17,10 @@ from repro.algorithms.pagerank import pagerank
 from repro.algorithms.sssp import single_source_shortest_paths
 from repro.algorithms.validation import validate_output
 from repro.algorithms.wcc import weakly_connected_components
-from repro.engines import gas, pregel, spmv
 from repro.exceptions import GraphFormatError
 
 from tests.algorithms.test_properties import random_graphs
-
-ENGINES = {"pregel": pregel, "gas": gas, "spmv": spmv}
-
-
-@pytest.fixture(params=sorted(ENGINES))
-def engine(request):
-    return ENGINES[request.param]
+from tests.engines.conftest import ENGINES
 
 
 class TestBfs:

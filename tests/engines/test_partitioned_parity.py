@@ -1,0 +1,357 @@
+"""Parity oracle for the sharded engine (ROADMAP item 3).
+
+The partitioned engine's core contract: for every core algorithm, ANY
+shard count, either partitioning strategy, and either transport, the
+finalized output is **byte-identical** (through the canonical output
+codec) to the single-process engine it shards. This suite is the
+oracle:
+
+* the full matrix — six algorithms x miniature graphs x shard counts
+  {1,2,3,4} x both strategies — on the inline transport;
+* a real-process subset on the pipes transport;
+* partitioner invariants on seeded random graphs (every vertex owned
+  exactly once, every cut edge mirrored on both sides, shard sizes
+  within the strategy's balance bound);
+* exchange determinism: permuting batch delivery order cannot change
+  the delivered state;
+* chaos: a shard SIGKILLed mid-superstep is relaunched by the
+  supervisor and the run still completes bit-identically.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.lcc import local_clustering_coefficient
+from repro.engines import gas, pregel
+from repro.engines.partitioned import (
+    PARTITION_STRATEGIES,
+    STEP_FAULT_POINT,
+    Outbox,
+    PartitionedEngine,
+    deliver,
+    partition_graph,
+    run_algorithm,
+    spec_for,
+)
+from repro.engines.pregel import HISTOGRAM_COMBINER, MIN_COMBINER
+from repro.exceptions import ConfigurationError
+
+from tests.algorithms.test_properties import random_graphs
+
+SHARD_COUNTS = (1, 2, 3, 4)
+
+#: name -> (model, algorithm, params, baseline runner, graph fixtures).
+#: Baselines are the single-process engines the partitioned engine
+#: shards — the bit-identity contract is against them, per model.
+CASES = {
+    "pregel-bfs": (
+        "pregel", "bfs", lambda g: {"source_vertex": int(g.vertex_ids[0])},
+        lambda g: pregel.run_bfs(g, int(g.vertex_ids[0])),
+        ("er_undirected", "er_directed", "two_triangles"),
+    ),
+    "pregel-sssp": (
+        "pregel", "sssp", lambda g: {"source_vertex": int(g.vertex_ids[0])},
+        lambda g: pregel.run_sssp(g, int(g.vertex_ids[0])),
+        ("er_weighted",),
+    ),
+    "pregel-wcc": (
+        "pregel", "wcc", lambda g: {},
+        pregel.run_wcc,
+        ("er_undirected", "er_directed", "two_triangles"),
+    ),
+    "pregel-cdlp": (
+        "pregel", "cdlp", lambda g: {"iterations": 5},
+        lambda g: pregel.run_cdlp(g, 5),
+        ("er_undirected", "er_directed"),
+    ),
+    "pregel-pr": (
+        "pregel", "pr", lambda g: {"iterations": 20},
+        lambda g: pregel.run_pagerank(g, 20),
+        ("er_undirected", "er_directed"),
+    ),
+    "gas-bfs": (
+        "gas", "bfs", lambda g: {"source_vertex": int(g.vertex_ids[0])},
+        lambda g: gas.run_bfs(g, int(g.vertex_ids[0])),
+        ("er_undirected", "er_directed", "two_triangles"),
+    ),
+    "gas-sssp": (
+        "gas", "sssp", lambda g: {"source_vertex": int(g.vertex_ids[0])},
+        lambda g: gas.run_sssp(g, int(g.vertex_ids[0])),
+        ("er_weighted",),
+    ),
+    "gas-wcc": (
+        "gas", "wcc", lambda g: {},
+        gas.run_wcc,
+        ("er_undirected", "er_directed"),
+    ),
+    "gas-cdlp": (
+        "gas", "cdlp", lambda g: {"iterations": 5},
+        lambda g: gas.run_cdlp(g, 5),
+        ("er_undirected", "er_directed"),
+    ),
+    "gas-pr": (
+        "gas", "pr", lambda g: {"iterations": 20},
+        lambda g: gas.run_pagerank(g, 20),
+        ("er_undirected", "er_directed"),
+    ),
+    "lcc": (
+        "lcc", "lcc", lambda g: {},
+        local_clustering_coefficient,
+        ("er_undirected", "grid4x5", "two_triangles"),
+    ),
+}
+
+
+class TestParityMatrix:
+    """All six algorithms x miniatures x shards 1-4 x both strategies."""
+
+    @pytest.mark.parametrize("case", sorted(CASES))
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+    def test_bit_identical(
+        self, case, shards, strategy, request, canonical_bytes
+    ):
+        model, algorithm, make_params, baseline, fixtures = CASES[case]
+        for fixture in fixtures:
+            graph = request.getfixturevalue(fixture)
+            expected = baseline(graph)
+            actual = run_algorithm(
+                graph,
+                algorithm,
+                make_params(graph),
+                partitions=shards,
+                strategy=strategy,
+                model=model,
+                transport="inline",
+            )
+            assert actual.dtype == expected.dtype, fixture
+            assert canonical_bytes(graph, actual, algorithm) == \
+                canonical_bytes(graph, expected, algorithm), (
+                f"{case} on {fixture}: {shards} {strategy} shard(s) "
+                f"diverged from the single-process engine"
+            )
+
+
+class TestPipesTransport:
+    """Real worker processes: the same contract over the wire."""
+
+    @pytest.mark.parametrize("case", ["pregel-bfs", "pregel-cdlp", "gas-pr"])
+    @pytest.mark.parametrize("shards", [2, 3])
+    def test_bit_identical_over_pipes(
+        self, case, shards, er_undirected, canonical_bytes
+    ):
+        model, algorithm, make_params, baseline, _ = CASES[case]
+        graph = er_undirected
+        expected = baseline(graph)
+        actual = run_algorithm(
+            graph,
+            algorithm,
+            make_params(graph),
+            partitions=shards,
+            model=model,
+            transport="pipes",
+        )
+        assert canonical_bytes(graph, actual, algorithm) == \
+            canonical_bytes(graph, expected, algorithm)
+
+    def test_sssp_weighted_over_pipes(self, er_weighted, canonical_bytes):
+        source = int(er_weighted.vertex_ids[0])
+        expected = pregel.run_sssp(er_weighted, source)
+        actual = run_algorithm(
+            er_weighted,
+            "sssp",
+            {"source_vertex": source},
+            partitions=2,
+            transport="pipes",
+        )
+        assert canonical_bytes(er_weighted, actual, "sssp") == \
+            canonical_bytes(er_weighted, expected, "sssp")
+
+
+class TestPartitionerInvariants:
+    """Property tests over seeded random graphs (satellite 1)."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_graphs(max_vertices=24))
+    def test_invariants_hold(self, graph):
+        for shards in (1, 2, 3):
+            for strategy in PARTITION_STRATEGIES:
+                pset = partition_graph(graph, shards, strategy)
+                self._check(graph, pset)
+
+    @pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_invariants_on_miniatures(
+        self, er_directed, shards, strategy
+    ):
+        self._check(er_directed, partition_graph(er_directed, shards, strategy))
+
+    @staticmethod
+    def _check(graph, pset):
+        n = graph.num_vertices
+        # Every vertex owned exactly once: the shards' owned arrays
+        # partition [0, n), and the owner map agrees with them.
+        seen = np.concatenate([s.owned for s in pset.shards]) \
+            if pset.shards else np.empty(0, dtype=np.int64)
+        assert sorted(seen.tolist()) == list(range(n))
+        for shard in pset.shards:
+            assert all(pset.owner_of(int(v)) == shard.shard_id
+                       for v in shard.owned)
+            # Shard sizes within the strategy's balance bound.
+            assert shard.size <= pset.balance_bound()
+        # Every cut edge mirrored on BOTH incident shards.
+        mirrors = [set(s.mirrors.tolist()) for s in pset.shards]
+        counted = 0
+        for u, v in zip(graph.edge_src.tolist(), graph.edge_dst.tolist()):
+            if pset.owner_of(u) == pset.owner_of(v):
+                continue
+            counted += 1
+            assert v in mirrors[pset.owner_of(u)]
+            assert u in mirrors[pset.owner_of(v)]
+        assert counted == pset.cut_edges
+        assert 0.0 <= pset.cut_fraction <= 1.0
+        # Mirrors are never owned by the shard that mirrors them.
+        for shard in pset.shards:
+            assert not set(shard.owned.tolist()) & set(shard.mirrors.tolist())
+
+    def test_single_shard_owns_everything(self, er_undirected):
+        pset = partition_graph(er_undirected, 1)
+        assert pset.shards[0].size == er_undirected.num_vertices
+        assert pset.cut_edges == 0
+        assert len(pset.shards[0].mirrors) == 0
+
+    def test_hash_stable_across_calls(self, er_undirected):
+        a = partition_graph(er_undirected, 3, "hash")
+        b = partition_graph(er_undirected, 3, "hash")
+        assert np.array_equal(a.owner, b.owner)
+
+    def test_range_blocks_contiguous(self, er_undirected):
+        pset = partition_graph(er_undirected, 3, "range")
+        for shard in pset.shards:
+            owned = shard.owned
+            assert np.array_equal(
+                owned, np.arange(owned[0], owned[-1] + 1)
+            )
+
+    def test_rejects_bad_inputs(self, er_undirected):
+        with pytest.raises(ConfigurationError):
+            partition_graph(er_undirected, 0)
+        with pytest.raises(ConfigurationError):
+            partition_graph(er_undirected, 2, "random")
+
+
+class TestExchangeDeterminism:
+    """Permuting batch arrival order cannot change delivered state."""
+
+    @staticmethod
+    def _batches(combiner, sends):
+        outboxes = {}
+        for src_shard, sender, target, message in sends:
+            outbox = outboxes.get(src_shard)
+            if outbox is None:
+                owner = np.zeros(64, dtype=np.int64)  # everything -> shard 0
+                outbox = Outbox(
+                    owner=owner, num_shards=4, src_shard=src_shard,
+                    superstep=0, combiner=combiner,
+                )
+                outboxes[src_shard] = outbox
+            outbox.send(sender, target, message)
+        batches = []
+        for outbox in outboxes.values():
+            batches.extend(outbox.batches())
+        return batches
+
+    def test_combined_delivery_order_independent(self):
+        sends = [
+            (1, 10, 3, 7), (1, 11, 3, 4), (2, 20, 3, 9),
+            (2, 21, 5, 2), (3, 30, 5, 8), (3, 31, 3, 1),
+        ]
+        batches = self._batches(MIN_COMBINER, sends)
+        forward = deliver(batches, MIN_COMBINER)
+        backward = deliver(list(reversed(batches)), MIN_COMBINER)
+        rotated = deliver(batches[1:] + batches[:1], MIN_COMBINER)
+        assert forward == backward == rotated
+        assert forward[3] == [1]  # min across all three source shards
+
+    def test_histogram_delivery_order_independent(self):
+        sends = [
+            (1, 10, 3, "a"), (1, 11, 3, "b"), (2, 20, 3, "a"),
+            (3, 30, 3, "b"), (3, 31, 3, "a"),
+        ]
+        batches = self._batches(HISTOGRAM_COMBINER, sends)
+        forward = deliver(batches, HISTOGRAM_COMBINER)
+        backward = deliver(list(reversed(batches)), HISTOGRAM_COMBINER)
+        assert forward == backward
+        # The exact merged multiset, independent of arrival order.
+        assert sorted(forward[3]) == ["a", "a", "a", "b", "b"]
+
+    def test_tagged_delivery_sorts_by_sender_seq(self):
+        sends = [
+            (1, 10, 3, 0.5), (1, 10, 3, 0.25), (2, 20, 3, 0.125),
+            (2, 9, 3, 1.0),
+        ]
+        batches = self._batches(None, sends)
+        forward = deliver(batches, None)
+        backward = deliver(list(reversed(batches)), None)
+        assert forward == backward
+        # (sender, seq) order: sender 9 first, then 10's two messages in
+        # send order, then 20 — regardless of batch arrival order.
+        assert forward[3] == [1.0, 0.5, 0.25, 0.125]
+
+    def test_engine_state_identical_across_strategies_and_shards(
+        self, er_undirected
+    ):
+        # End-to-end restatement: the delivered-state determinism above
+        # is what makes every placement agree bitwise.
+        outputs = {
+            run_algorithm(
+                er_undirected, "pr", {"iterations": 15},
+                partitions=shards, strategy=strategy, transport="inline",
+            ).tobytes()
+            for shards in SHARD_COUNTS
+            for strategy in PARTITION_STRATEGIES
+        }
+        assert len(outputs) == 1
+
+
+class TestChaosSupervision:
+    """SIGKILL a shard mid-superstep; the run must still be bit-perfect."""
+
+    def _chaos_plan(self, after):
+        return {
+            "seed": 1,
+            "faults": [
+                {
+                    "point": STEP_FAULT_POINT,
+                    "kind": "kill",
+                    "after": after,
+                    "times": 1,
+                }
+            ],
+        }
+
+    def test_killed_shard_relaunched_bit_identical(self, er_undirected):
+        expected = pregel.run_pagerank(er_undirected, 20)
+        engine = PartitionedEngine(
+            er_undirected,
+            partitions=2,
+            transport="pipes",
+            chaos_plan=self._chaos_plan(after=2),
+        )
+        actual = engine.run(spec_for("pr", {"iterations": 20}))
+        assert engine.respawns >= 1, "chaos plan never fired"
+        assert actual.tobytes() == expected.tobytes()
+        assert actual.dtype == expected.dtype
+
+    def test_kill_during_gas_rounds(self, er_undirected):
+        expected = gas.run_wcc(er_undirected)
+        engine = PartitionedEngine(
+            er_undirected,
+            partitions=2,
+            transport="pipes",
+            chaos_plan=self._chaos_plan(after=1),
+        )
+        actual = engine.run(spec_for("wcc", None, model="gas"))
+        assert engine.respawns >= 1
+        assert actual.tobytes() == expected.tobytes()

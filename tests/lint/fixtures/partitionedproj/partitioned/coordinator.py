@@ -1,0 +1,23 @@
+"""The fork boundary: ``Process(target=shard_main)`` marks shard workers."""
+
+import multiprocessing as mp
+
+from partitioned.shard import shard_main
+from partitioned.state import OUTBOX
+
+
+def launch_shard(task_conn, result_conn):
+    ctx = mp.get_context("fork")
+    process = ctx.Process(
+        target=shard_main, args=(task_conn, result_conn), daemon=True
+    )
+    process.start()
+    return process
+
+
+def drain_coordinator_side():
+    # Dispatcher-side mutation of the same module state: nothing on the
+    # worker side of the fork calls this, so it must stay unflagged.
+    batches = list(OUTBOX)
+    OUTBOX.clear()
+    return batches

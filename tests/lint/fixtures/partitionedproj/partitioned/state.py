@@ -1,0 +1,5 @@
+"""Module-level exchange state shared by the fixture's shard modules."""
+
+OUTBOX = []
+SEQ_COUNTERS = {}
+NUM_SHARDS = 4

@@ -97,6 +97,52 @@ class TestRace003ForkUnsafeImportResources:
         assert all("STATE_LOCK" not in f.message for f in findings)
 
 
+class TestPartitionedFixtureProject:
+    """``partitionedproj`` mirrors the shard engine's message-send
+    entrypoints: a ``Process(target=shard_main)`` fork boundary, a racy
+    module-state send path, the clean per-process ``Outbox``, and pipe
+    payload shapes — the RACE family must split them exactly."""
+
+    def test_shard_reachable_module_state_flagged(self):
+        findings = _run([FIXTURES / "partitionedproj"], ["RACE001"])
+        assert _triples(findings) == [
+            ("RACE001", "exchange.py", 9),
+            ("RACE001", "exchange.py", 10),
+        ]
+        by_line = {f.line: f.message for f in findings}
+        assert "`SEQ_COUNTERS`" in by_line[9] and "shard_main" in by_line[9]
+        assert "`.append()`" in by_line[10] and "`OUTBOX`" in by_line[10]
+
+    def test_per_process_outbox_and_coordinator_side_stay_clean(self):
+        # Outbox.send mutates only instance state, and
+        # drain_coordinator_side mutates OUTBOX on the dispatcher side
+        # of the fork: neither is a finding.
+        findings = _run([FIXTURES / "partitionedproj"], ["RACE001"])
+        assert {f.symbol for f in findings} == {"send_shared"}
+
+    def test_pipe_payloads_must_be_plain_data(self):
+        findings = _run([FIXTURES / "partitionedproj"], ["RACE002"])
+        assert _triples(findings) == [
+            ("RACE002", "shard.py", 18),
+            ("RACE002", "shard.py", 22),
+        ]
+        assert {f.symbol for f in findings} == {
+            "stream_batches", "send_progress_callback"
+        }
+        # The shard loop's plain-dict result send stays silent.
+        assert all(f.symbol != "shard_main" for f in findings)
+
+    def test_no_import_time_fork_unsafe_resources(self):
+        assert _run([FIXTURES / "partitionedproj"], ["RACE003"]) == []
+
+    def test_live_partitioned_engine_passes_the_family(self):
+        findings = _run(
+            [REPO_ROOT / "src" / "repro" / "engines" / "partitioned"],
+            ["RACE001", "RACE002", "RACE003"],
+        )
+        assert findings == []
+
+
 class TestRob001Interprocedural:
     @pytest.fixture
     def miniproject(self, tmp_path):
