@@ -33,7 +33,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.exceptions import GraphalyticsError
+from repro.exceptions import ConfigurationError, GraphalyticsError
 
 __all__ = ["main", "build_parser"]
 
@@ -218,6 +218,58 @@ def build_parser() -> argparse.ArgumentParser:
     regress.add_argument("old_run")
     regress.add_argument("new_run")
     regress.add_argument("--threshold", type=float, default=1.10)
+
+    db = sub.add_parser(
+        "db", help="canned queries over the SQLite results store"
+    )
+    db.add_argument(
+        "--store", default=None,
+        help="results.db path, or a repository/spool directory holding "
+             "one (required for every subcommand except import, which "
+             "defaults to <directory>/results.db)",
+    )
+    db_sub = db.add_subparsers(dest="db_command", required=True)
+    db_top = db_sub.add_parser(
+        "top", help="platform leaderboard for one workload"
+    )
+    db_top.add_argument("algorithm")
+    db_top.add_argument("dataset")
+    db_top.add_argument(
+        "--limit", type=int, default=None, help="show only the first N rows"
+    )
+    db_trend = db_sub.add_parser(
+        "trend",
+        help="one platform x algorithm x dataset cell across stored runs",
+    )
+    db_trend.add_argument("platform")
+    db_trend.add_argument("algorithm")
+    db_trend.add_argument("dataset")
+    db_trend.add_argument("--machines", type=int, default=None)
+    db_trend.add_argument("--threads", type=int, default=None)
+    db_regress = db_sub.add_parser(
+        "regressions", help="workloads slower in a newer stored run"
+    )
+    db_regress.add_argument("old_run")
+    db_regress.add_argument("new_run")
+    db_regress.add_argument("--threshold", type=float, default=1.10)
+    db_import = db_sub.add_parser(
+        "import",
+        help="migrate a legacy JSON repository directory into the store",
+    )
+    db_import.add_argument("directory")
+    db_import.add_argument(
+        "--replace", action="store_true",
+        help="overwrite runs the store already holds",
+    )
+    db_import.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the byte-identical round-trip check",
+    )
+    db_timeline = db_sub.add_parser(
+        "timeline", help="render a stored run's trace spans as a phase tree"
+    )
+    db_timeline.add_argument("run_id")
+    db_sub.add_parser("stats", help="store row counts and database size")
 
     lint = sub.add_parser(
         "lint",
@@ -854,6 +906,111 @@ def _cmd_repository(args) -> int:
     return 1
 
 
+def _resolve_store_path(value, *, must_exist: bool = True):
+    """``--store`` -> a ``results.db`` path; accepts a directory too."""
+    from pathlib import Path
+
+    from repro.resultsdb.store import STORE_NAME
+
+    if value is None:
+        raise ConfigurationError(
+            "this db subcommand needs --store (a results.db path or a "
+            "directory containing one)"
+        )
+    path = Path(value)
+    if path.is_dir():
+        path = path / STORE_NAME
+    if must_exist and not path.exists():
+        raise ConfigurationError(f"no results store at {path}")
+    return path
+
+
+def _cmd_db(args) -> int:
+    from repro.resultsdb import queries
+    from repro.resultsdb.migrate import import_json_repository
+    from repro.resultsdb.store import ResultsStore
+
+    if args.db_command == "import":
+        store_path = (
+            _resolve_store_path(args.store, must_exist=False)
+            if args.store else None
+        )
+        summary = import_json_repository(
+            args.directory,
+            store_path,
+            replace=args.replace,
+            verify=not args.no_verify,
+        )
+        verified = " (byte-identical)" if summary["verified"] else ""
+        print(
+            f"imported {len(summary['imported'])} run(s) into "
+            f"{summary['store']}{verified}"
+        )
+        for run_id in summary["imported"]:
+            print(f"  {run_id}")
+        for name in summary["skipped"]:
+            print(f"  retired legacy sidecar left behind: {name}")
+        return 0
+
+    with ResultsStore(_resolve_store_path(args.store)) as store:
+        if args.db_command == "top":
+            entries = queries.top(
+                store, args.algorithm, args.dataset, limit=args.limit
+            )
+            if not entries:
+                print("no compliant result for that workload")
+                return 1
+            for entry in entries:
+                print(
+                    f"{entry.rank:2d}. {entry.platform:16s} "
+                    f"{entry.tproc:.3g} s  (run {entry.run_id})"
+                )
+            return 0
+        if args.db_command == "trend":
+            points = queries.trend(
+                store, args.platform, args.algorithm, args.dataset,
+                machines=args.machines, threads=args.threads,
+            )
+            if not points:
+                print("no stored runs hold that workload cell")
+                return 1
+            for point in points:
+                commit = f" @{point.commit_sha[:12]}" if point.commit_sha else ""
+                tproc = (
+                    f"{point.tproc:.3g} s" if point.tproc is not None
+                    else f"({point.status})"
+                )
+                print(f"{point.run_id:24s}{commit} {tproc}")
+            return 0
+        if args.db_command == "regressions":
+            from repro.granula.visualizer import render_store_regressions
+
+            found = queries.regressions(
+                store, args.old_run, args.new_run, threshold=args.threshold
+            )
+            print(
+                render_store_regressions(
+                    store, args.old_run, args.new_run,
+                    threshold=args.threshold,
+                )
+            )
+            return 1 if found else 0
+        if args.db_command == "timeline":
+            from repro.granula.visualizer import render_store_run
+
+            print(render_store_run(store, args.run_id))
+            return 0
+        # stats
+        stats = store.stats()
+        print(f"store:        {stats['path']}")
+        print(f"runs:         {stats['runs']}")
+        print(f"jobs:         {stats['jobs']}")
+        print(f"spans:        {stats['spans']}")
+        print(f"sla_breaches: {stats['sla_breaches']}")
+        print(f"db_bytes:     {stats['db_bytes']}")
+        return 0
+
+
 def _cmd_lint(args) -> int:
     from pathlib import Path
 
@@ -1290,6 +1447,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_estimate(args)
         if args.command == "repository":
             return _cmd_repository(args)
+        if args.command == "db":
+            return _cmd_db(args)
         if args.command == "analyze":
             return _cmd_analyze(args)
         if args.command == "lint":

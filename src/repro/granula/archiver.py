@@ -24,6 +24,7 @@ __all__ = [
     "PerformanceArchive",
     "build_archive",
     "attach_superstep_breakdown",
+    "phases_from_spans",
 ]
 
 
@@ -110,6 +111,44 @@ class PerformanceArchive:
 
     def save(self, path: Union[str, Path]) -> Path:
         return atomic_write(path, json.dumps(self.as_dict(), indent=1))
+
+
+def phases_from_spans(spans: List[Dict[str, object]]) -> List[PhaseRecord]:
+    """Flat parent-linked span dicts -> a measured ``PhaseRecord`` forest.
+
+    The bridge between the results store's ``spans`` table (or any
+    span-dict list in :meth:`repro.trace.Span.as_dict` shape) and the
+    Granula views: each span becomes a phase with ``source="measured"``
+    and its attributes as metadata, re-parented by span id. Spans whose
+    parent is absent from the list (cross-process roots, truncated
+    traces) become roots rather than being dropped — the archive
+    contract says *complete*. Input order is preserved among siblings.
+    """
+    records: Dict[str, PhaseRecord] = {}
+    links: List[tuple] = []
+    for span in spans:
+        span_id = str(span.get("id"))
+        start = float(span.get("start") or 0.0)
+        end = span.get("end")
+        status = str(span.get("status", "ok"))
+        record = PhaseRecord(
+            name=str(span.get("name", "")),
+            start=start,
+            end=float(end) if end is not None else start,
+            description="" if status == "ok" else f"status: {status}",
+            source="measured",
+            metadata=dict(span.get("attrs") or {}),
+        )
+        records[span_id] = record
+        parent = span.get("parent")
+        links.append((span_id, None if parent is None else str(parent)))
+    roots: List[PhaseRecord] = []
+    for span_id, parent_id in links:
+        if parent_id is not None and parent_id in records:
+            records[parent_id].children.append(records[span_id])
+        else:
+            roots.append(records[span_id])
+    return roots
 
 
 def _derive_children(record: PhaseRecord, model: PlatformPerformanceModel) -> None:

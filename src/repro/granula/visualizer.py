@@ -11,10 +11,21 @@ import html
 from pathlib import Path
 from typing import List, Union
 
-from repro.granula.archiver import PerformanceArchive, PhaseRecord
+from repro.granula.archiver import (
+    PerformanceArchive,
+    PhaseRecord,
+    phases_from_spans,
+)
 from repro.ioutil import atomic_write
 
-__all__ = ["render_text", "render_html", "save_html", "render_comparison"]
+__all__ = [
+    "render_text",
+    "render_html",
+    "save_html",
+    "render_comparison",
+    "render_store_run",
+    "render_store_regressions",
+]
 
 
 def _format_seconds(seconds: float) -> str:
@@ -105,6 +116,57 @@ Tproc {_format_seconds(archive.processing_time)}
 
 def save_html(archive: PerformanceArchive, path: Union[str, Path]) -> Path:
     return atomic_write(path, render_html(archive))
+
+
+def render_store_run(store, run_id: str) -> str:
+    """A stored run's span timeline, read straight from SQL.
+
+    The store's ``spans`` table holds the run's exported trace; this
+    renders it as the same indented tree :func:`render_text` gives a
+    performance archive — no archive re-parsing, no run directory
+    needed. ``store`` is a :class:`repro.resultsdb.store.ResultsStore`
+    (typed loosely so the Granula layer stays importable without it).
+    """
+    metadata = store.run_metadata(run_id)
+    breaches = store.run_breaches(run_id)
+    lines = [
+        f"run {run_id} — {metadata['system_under_test']} "
+        f"({metadata['job_count']} jobs, {len(breaches)} SLA breaches)"
+    ]
+    spans = store.run_spans(run_id)
+    if not spans:
+        lines.append("  (no trace spans stored for this run)")
+    for root in phases_from_spans(spans):
+        _text_lines(root, 1, lines)
+    return "\n".join(lines)
+
+
+def render_store_regressions(
+    store, old_run: str, new_run: str, *, threshold: float = 1.10
+) -> str:
+    """Regression table between two stored runs, from the canned query."""
+    # Lazy import: granula must stay importable without the store layer.
+    from repro.resultsdb.queries import regressions
+
+    found = regressions(store, old_run, new_run, threshold=threshold)
+    if not found:
+        return (
+            f"no regressions: {new_run} vs {old_run} "
+            f"(threshold {threshold:.2f}x)"
+        )
+    lines = [
+        f"{len(found)} regression(s): {new_run} vs {old_run} "
+        f"(threshold {threshold:.2f}x)"
+    ]
+    for regression in found:
+        lines.append(
+            f"  {regression.platform} {regression.algorithm} on "
+            f"{regression.dataset}: "
+            f"{_format_seconds(regression.old_seconds)} -> "
+            f"{_format_seconds(regression.new_seconds)} "
+            f"({regression.slowdown:.2f}x)"
+        )
+    return "\n".join(lines)
 
 
 def render_comparison(archives: List[PerformanceArchive], *, width: int = 50) -> str:

@@ -1,39 +1,48 @@
 """Public results repository (paper Figure 1, boxes 11–12).
 
 "Validated results are stored in an online repository to track benchmark
-results across platforms." This module implements the repository as a
-directory of JSON run archives with structural validation on submission,
-plus cross-run queries: best platform per workload, and regression
-detection between two runs of the same platform.
+results across platforms." Through PR 9 the repository was a directory
+of JSON run archives with an ``.index.json`` shadow index and an
+``flock`` sidecar serializing writers; this module is now a thin facade
+over :mod:`repro.resultsdb` — every run lives in one WAL-mode SQLite
+database (``results.db`` inside the repository directory) and a
+submission is one ``BEGIN IMMEDIATE`` transaction, so concurrent
+writers serialize on SQLite's own lock. That retires the flock sidecar,
+the shadow index, and — crucially — the non-POSIX hole the old design
+had: on platforms without ``fcntl`` the lock degraded to *no mutual
+exclusion at all*, while a transaction is exclusive on every platform
+SQLite runs on. This module no longer imports ``fcntl`` for anything.
+
+A directory holding legacy ``{run_id}.json`` archives keeps working:
+the facade imports any archive the store does not know yet on first
+contact (non-destructively — the JSON files stay where they are), so
+pre-existing repositories answer through the same API without an
+explicit migration step. ``graphalytics db import`` does the same thing
+with verification and reporting for deliberate migrations.
+
+The cross-run queries (:meth:`ResultsRepository.best_platform`,
+:meth:`ResultsRepository.regressions`) delegate to the canned queries
+in :mod:`repro.resultsdb.queries`, which preserve the JSON backend's
+exact answers.
 """
 
 from __future__ import annotations
 
 import json
-import os
 import re
-from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-try:  # POSIX advisory locking; absent on some platforms.
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX fallback
-    fcntl = None
-
 from repro.exceptions import ConfigurationError, ValidationError
-from repro.ioutil import atomic_write
 from repro.harness.results import BenchmarkResult, ResultsDatabase
+from repro.resultsdb import queries as _queries
+from repro.resultsdb.queries import Regression
+from repro.resultsdb.store import STORE_NAME, ResultsStore
 
 __all__ = ["RunMetadata", "ResultsRepository", "Regression"]
 
 _RUN_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
-
-#: Shared-index file name. Dot-prefixed so :meth:`ResultsRepository.run_ids`
-#: can tell it apart from run archives (run ids never start with a dot).
-_INDEX_NAME = ".index.json"
-_LOCK_NAME = ".lock"
 
 
 @dataclass(frozen=True)
@@ -54,56 +63,53 @@ class RunMetadata:
             raise ConfigurationError("system_under_test must be non-empty")
 
 
-@dataclass(frozen=True)
-class Regression:
-    """One workload where a newer run is slower than an older one."""
-
-    platform: str
-    algorithm: str
-    dataset: str
-    old_seconds: float
-    new_seconds: float
-
-    @property
-    def slowdown(self) -> float:
-        return self.new_seconds / self.old_seconds
-
-
 class ResultsRepository:
-    """A directory of validated benchmark runs."""
+    """A directory-rooted repository of validated benchmark runs.
+
+    The root directory holds one ``results.db`` store; legacy JSON run
+    archives found next to it are absorbed (read-only) on first use.
+    """
 
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._store = ResultsStore(self.root / STORE_NAME)
+        self._absorb_legacy_archives()
 
-    def _run_path(self, run_id: str) -> Path:
-        return self.root / f"{run_id}.json"
+    @property
+    def store(self) -> ResultsStore:
+        """The underlying results store (for canned queries, stats)."""
+        return self._store
 
-    # -- mutual exclusion ---------------------------------------------------
+    def _absorb_legacy_archives(self) -> None:
+        """Import pre-store ``{run_id}.json`` archives, at most once each.
 
-    @contextmanager
-    def _lock(self):
-        """Exclusive advisory lock over repository mutations.
-
-        The benchmark service submits runs from overlapping requests;
-        without the lock two submitters can interleave the
-        exists-check/read-index/write-index sequence and one update
-        silently vanishes (or a duplicate run id slips through the
-        duplicate check). ``flock`` on a sidecar file serializes
-        writers across processes; readers stay lock-free because every
-        artifact is written via :func:`atomic_write` (they see the old
-        or the new file, never a torn one).
+        Dot-prefixed files are the legacy layout's sidecars
+        (``.index.json``, ``.lock``) — never run archives, since run
+        ids cannot start with a dot. Absorption is non-destructive and
+        idempotent: archives already known to the store are skipped, so
+        a repository that mixes eras (old JSON runs, new store runs)
+        settles into one query surface.
         """
-        if fcntl is None:  # pragma: no cover - non-POSIX fallback
-            yield
-            return
-        fd = os.open(str(self.root / _LOCK_NAME), os.O_RDWR | os.O_CREAT, 0o644)
-        try:
-            fcntl.flock(fd, fcntl.LOCK_EX)
-            yield
-        finally:
-            fcntl.flock(fd, fcntl.LOCK_UN)
-            os.close(fd)
+        known = set(self._store.run_ids())
+        payloads = []
+        for path in sorted(self.root.glob("*.json")):
+            if path.name.startswith(".") or path.stem in known:
+                continue
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue  # foreign or torn file; not a legacy archive
+            metadata = payload.get("metadata")
+            if not isinstance(metadata, dict):
+                continue
+            if str(metadata.get("run_id", "")) != path.stem:
+                continue
+            if not payload.get("results"):
+                continue
+            payloads.append(payload)
+        if payloads:
+            self._store.submit_payloads(payloads)
 
     # -- submission ---------------------------------------------------------
 
@@ -120,11 +126,12 @@ class ResultsRepository:
         validated results enter the public repository: every *successful*
         job must have passed output validation.
 
-        Submission is safe under concurrent writers: the duplicate
-        check, the run write, and the shared-index update all happen
-        under an exclusive advisory lock (see :meth:`_lock`), so two
-        overlapping service requests cannot both claim one run id or
-        lose each other's index entry.
+        Submission is one SQLite transaction opened with ``BEGIN
+        IMMEDIATE``: concurrent submitters — service run children,
+        parallel harness processes, even on platforms without POSIX
+        ``fcntl`` — serialize on the database's write lock, so exactly
+        one claims a given run id and none can lose another's rows.
+        Returns the store's database path.
         """
         if len(database) == 0:
             raise ConfigurationError("refusing to store an empty run")
@@ -138,124 +145,56 @@ class ResultsRepository:
                     f"validation; submit with require_validation=False only "
                     f"for private runs"
                 )
-        payload = {
-            "metadata": {
+        self._store.submit_run(
+            {
                 "run_id": metadata.run_id,
                 "system_under_test": metadata.system_under_test,
                 "submitter": metadata.submitter,
                 "description": metadata.description,
             },
-            "results": [r.as_dict() for r in database],
-        }
-        path = self._run_path(metadata.run_id)
-        with self._lock():
-            if path.exists():
-                raise ConfigurationError(
-                    f"run {metadata.run_id!r} already exists"
-                )
-            atomic_write(path, json.dumps(payload, indent=1))
-            index = self._read_index()
-            index[metadata.run_id] = {
-                "system_under_test": metadata.system_under_test,
-                "jobs": len(database),
-            }
-            atomic_write(
-                self.root / _INDEX_NAME,
-                json.dumps(index, indent=1, sort_keys=True),
-            )
-        return path
+            [r.as_dict() for r in database],
+        )
+        return self._store.path
 
-    def _read_index(self) -> Dict[str, Dict[str, object]]:
-        """The shared run index; tolerates a missing or foreign file."""
-        path = self.root / _INDEX_NAME
-        if not path.exists():
-            return {}
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                loaded = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            return {}
-        return loaded if isinstance(loaded, dict) else {}
-
-    def index(self) -> Dict[str, Dict[str, object]]:
-        """Run id -> summary, as maintained by locked submissions."""
-        return self._read_index()
-
-    # -- retrieval --------------------------------------------------------------
+    # -- retrieval ----------------------------------------------------------
 
     def run_ids(self) -> List[str]:
-        return sorted(
-            p.stem for p in self.root.glob("*.json")
-            if not p.name.startswith(".")
-        )
+        return self._store.run_ids()
 
     def metadata(self, run_id: str) -> RunMetadata:
-        payload = self._load(run_id)
+        payload = self._store.canonical_payload(run_id)
         return RunMetadata(**payload["metadata"])
 
     def load(self, run_id: str) -> ResultsDatabase:
-        payload = self._load(run_id)
         return ResultsDatabase(
-            [BenchmarkResult(**record) for record in payload["results"]]
+            [
+                BenchmarkResult(**record)
+                for record in self._store.run_records(run_id)
+            ]
         )
 
-    def _load(self, run_id: str) -> Dict:
-        path = self._run_path(run_id)
-        if not path.exists():
-            raise ConfigurationError(f"unknown run {run_id!r}")
-        with open(path, "r", encoding="utf-8") as handle:
-            return json.load(handle)
+    def index(self) -> Dict[str, Dict[str, object]]:
+        """Run id -> summary; derived from the store, no shadow file."""
+        return {
+            run_id: {"system_under_test": sut, "jobs": jobs}
+            for run_id, sut, jobs in self._store.query(
+                "SELECT run_id, system_under_test, job_count FROM runs"
+                " ORDER BY run_id"
+            )
+        }
 
-    # -- cross-run analysis --------------------------------------------------------
+    # -- cross-run analysis -------------------------------------------------
 
     def best_platform(
         self, algorithm: str, dataset: str
     ) -> Optional[Dict[str, object]]:
         """Across all stored runs: the fastest compliant job for a workload."""
-        best: Optional[Dict[str, object]] = None
-        for run_id in self.run_ids():
-            for r in self.load(run_id):
-                if (
-                    r.algorithm == algorithm.lower()
-                    and r.dataset == dataset
-                    and r.succeeded
-                    and r.sla_compliant
-                    and r.modeled_processing_time is not None
-                ):
-                    if best is None or r.modeled_processing_time < best["tproc"]:
-                        best = {
-                            "run_id": run_id,
-                            "platform": r.platform,
-                            "tproc": r.modeled_processing_time,
-                        }
-        return best
+        return _queries.best_platform(self._store, algorithm, dataset)
 
     def regressions(
         self, old_run: str, new_run: str, *, threshold: float = 1.10
     ) -> List[Regression]:
         """Workloads at least ``threshold`` times slower in the new run."""
-        old = self.load(old_run)
-        new = self.load(new_run)
-        old_index: Dict[tuple, float] = {}
-        for r in old:
-            if r.succeeded and r.modeled_processing_time:
-                key = (r.platform, r.algorithm, r.dataset, r.machines, r.threads)
-                old_index[key] = r.modeled_processing_time
-        found: List[Regression] = []
-        for r in new:
-            if not (r.succeeded and r.modeled_processing_time):
-                continue
-            key = (r.platform, r.algorithm, r.dataset, r.machines, r.threads)
-            if key in old_index:
-                old_time = old_index[key]
-                if r.modeled_processing_time > threshold * old_time:
-                    found.append(
-                        Regression(
-                            platform=r.platform,
-                            algorithm=r.algorithm,
-                            dataset=r.dataset,
-                            old_seconds=old_time,
-                            new_seconds=r.modeled_processing_time,
-                        )
-                    )
-        return sorted(found, key=lambda reg: -reg.slowdown)
+        return _queries.regressions(
+            self._store, old_run, new_run, threshold=threshold
+        )

@@ -11,6 +11,8 @@ rule id      severity  invariant
 ``EXC001``   warning   no broad except swallowing benchmark failures
 ``RUN001``   error     runtime entrypoints convert exceptions into records
 ``ROB001``   error     run artifacts are written via ``atomic_write``
+``ROB002``   error     service/runtime writes ride the fault-point plane
+``ROB003``   error     ``sqlite3.connect`` only inside ``repro.resultsdb``
 ``REG001``   error     algorithm registry ↔ validation/experiment wiring
 ``REP001``   warning   reporters emit metered numbers via harness.metrics
 ``OBS001``   error     timing goes through the ``repro.trace`` clock
@@ -34,7 +36,9 @@ from repro.lint.rules.contracts import (  # noqa: F401
 )
 from repro.lint.rules.robustness import (  # noqa: F401
     AtomicArtifactWriteRule,
+    FaultPointRoutedWriteRule,
     RuntimeFailureRecordRule,
+    SanctionedSqliteConnectRule,
     SwallowedExceptionRule,
 )
 from repro.lint.rules.consistency import RegistryConsistencyRule  # noqa: F401
@@ -56,6 +60,8 @@ __all__ = [
     "SwallowedExceptionRule",
     "RuntimeFailureRecordRule",
     "AtomicArtifactWriteRule",
+    "FaultPointRoutedWriteRule",
+    "SanctionedSqliteConnectRule",
     "RegistryConsistencyRule",
     "UnmeteredRateRule",
     "BareClockCallRule",

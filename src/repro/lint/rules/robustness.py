@@ -1,4 +1,4 @@
-"""Harness robustness rules: EXC001, RUN001, ROB001, ROB002.
+"""Harness robustness rules: EXC001, RUN001, ROB001, ROB002, ROB003.
 
 The harness records modeled failures (OOM, crash, SLA breach) as data;
 what it must never do is *swallow* them. An over-broad ``except`` in a
@@ -25,6 +25,14 @@ write in those layers — even an append — is invisible to every seeded
 chaos plan, so its ENOSPC/EIO handling is never tested and the
 supervision invariants (quarantine after N attempts, bounded
 re-enqueues) cannot be asserted over it.
+
+The results store closes the set (ROB003): SQLite connections carry
+their own durability contract — WAL, ``synchronous=FULL``, ``BEGIN
+IMMEDIATE`` writer serialization, the ``resultsdb.commit`` fault point
+— and that contract lives in exactly one place,
+:class:`repro.resultsdb.store.ResultsStore`. A ``sqlite3.connect``
+anywhere else is a second, incompatible opinion about the same
+database file.
 """
 
 from __future__ import annotations
@@ -47,6 +55,7 @@ __all__ = [
     "RuntimeFailureRecordRule",
     "AtomicArtifactWriteRule",
     "FaultPointRoutedWriteRule",
+    "SanctionedSqliteConnectRule",
 ]
 
 #: Exception names considered over-broad for a silent handler: the
@@ -373,6 +382,137 @@ def _raw_writes(tree: ast.AST) -> Iterator[Tuple[ast.Call, str]]:
         mode = _open_mode(node, is_method=isinstance(func, ast.Attribute))
         if _is_write_mode(mode):
             yield node, f"open(..., {mode.value!r})"  # type: ignore[union-attr]
+
+
+#: The one package allowed to open SQLite connections: the results
+#: store owns the pragmas (WAL, synchronous=FULL), the BEGIN IMMEDIATE
+#: transaction discipline, and the ``resultsdb.commit`` fault point. A
+#: connection opened anywhere else silently opts out of all three.
+_SQLITE_SANCTUARY = "resultsdb"
+
+
+def _in_resultsdb(module: Module) -> bool:
+    return _SQLITE_SANCTUARY in module.segments
+
+
+def _sqlite_connect_calls(tree: ast.AST) -> Iterator[Tuple[ast.Call, str]]:
+    """Every call under ``tree`` that resolves to ``sqlite3.connect``,
+    with a short description — shared by the per-file pass and the
+    interprocedural taint pass. Tracks ``import sqlite3`` aliases and
+    ``from sqlite3 import connect`` (with renames); attribute calls on
+    other receivers (``client.connect()``) are not sqlite."""
+    module_aliases = {"sqlite3"}
+    connect_aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "sqlite3":
+                    module_aliases.add(alias.asname or "sqlite3")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "sqlite3":
+                for alias in node.names:
+                    if alias.name == "connect":
+                        connect_aliases.add(alias.asname or "connect")
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "connect"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in module_aliases
+        ):
+            yield node, f"{func.value.id}.connect(...)"
+        elif isinstance(func, ast.Name) and func.id in connect_aliases:
+            yield node, f"{func.id}(...)"
+
+
+@register_rule
+class SanctionedSqliteConnectRule(Rule):
+    """ROB003: SQLite connection opened outside ``repro.resultsdb``.
+
+    The results store is *one* database with one durability contract:
+    WAL mode, ``synchronous=FULL``, writers serialized by ``BEGIN
+    IMMEDIATE``, and every COMMIT threaded through the registered
+    ``resultsdb.commit`` fault point. A ``sqlite3.connect`` anywhere
+    else produces a connection with none of those properties — default
+    journal mode, autocommit surprises, and writes no chaos plan can
+    reach — silently forking the store's semantics. Like ROB002, the
+    rule is interprocedural: handing the path to an out-of-scope helper
+    that opens the connection for you is the same hole.
+    """
+
+    rule_id = "ROB003"
+    severity = Severity.ERROR
+    description = (
+        "sqlite3 connections may only be opened inside repro.resultsdb; "
+        "everywhere else must go through ResultsStore"
+    )
+    scope = (
+        "harness", "service", "granula", "runtime", "cli", "faults",
+        "engines", "benchmarks",
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if _in_resultsdb(module):
+            return  # the sanctioned layer: connections live here
+        for node, desc in _sqlite_connect_calls(module.tree):
+            yield module.finding(
+                self, node,
+                f"`{desc}` opens a raw SQLite connection outside "
+                f"repro.resultsdb: it skips the store's WAL/synchronous "
+                f"pragmas, its BEGIN IMMEDIATE writer discipline, and "
+                f"the resultsdb.commit fault point — go through "
+                f"repro.resultsdb.ResultsStore",
+            )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Interprocedural pass: an in-scope module that opens its
+        connection through a helper in an out-of-scope module (``from
+        repro.util.db import open_db``) forks the store's semantics
+        just the same — the per-file pass never sees the helper's
+        ``connect``. Same taint closure as ROB001/ROB002; helpers
+        inside ``repro.resultsdb`` are the sanctioned surface and never
+        taint their callers.
+        """
+        scope = project.scope_overrides.get(self.rule_id)
+        tainted: Dict[str, str] = {}
+        for info in project.modules.values():
+            if _in_resultsdb(info.module):
+                continue  # ResultsStore's own connect is the point
+            if self.applies_to(info.module, scope):
+                continue  # in-scope connects are the per-file pass's job
+            for node, desc in _sqlite_connect_calls(info.module.tree):
+                fn = info.function_at(node)
+                if fn is not None:
+                    tainted.setdefault(fn.key, desc)
+        if not tainted:
+            return
+        sink = AtomicArtifactWriteRule._sink_origins(
+            project.call_graph, tainted
+        )
+        for site in project.call_graph.call_sites:
+            callee = project.call_graph.nodes.get(site.callee)
+            caller = project.call_graph.nodes.get(site.caller)
+            if callee is None or caller is None or site.callee not in sink:
+                continue
+            if self.applies_to(callee.module.module, scope):
+                continue  # the callee's own connect is flagged directly
+            caller_module = caller.module.module
+            if not self.applies_to(caller_module, scope):
+                continue  # only flag where the connection enters scoped code
+            if _in_resultsdb(caller_module):
+                continue
+            root = sink[site.callee]
+            yield caller_module.finding(
+                self, site.node,
+                f"call to `{site.callee}` ends in a raw "
+                f"`{tainted[root]}` (inside `{root}`) outside "
+                f"repro.resultsdb — the connection skips the store's "
+                f"pragmas, transactions, and the resultsdb.commit fault "
+                f"point; go through repro.resultsdb.ResultsStore",
+            )
 
 
 @register_rule

@@ -561,6 +561,9 @@ class BenchmarkService:
         usage = await asyncio.to_thread(
             shutil.disk_usage, str(self.registry.spool)
         )
+        store_stats = await asyncio.to_thread(
+            _store_stats, self.registry.spool
+        )
         breakers = self.breaker.state(now=now)
         quarantined = sorted(
             record.run_id
@@ -592,6 +595,7 @@ class BenchmarkService:
                 "breakers": breakers,
                 "quarantined": quarantined,
                 "degraded_runs": degraded_runs,
+                "results_store": store_stats,
             }
         )
 
@@ -673,6 +677,27 @@ class BenchmarkService:
             await stream.send("span", span)
         await stream.send("end", record.status_payload())
         return None  # the stream was the response
+
+
+def _store_stats(spool: Path) -> Dict[str, object]:
+    """The spool results-store statistics for ``/v1/healthz``.
+
+    Run children create ``<spool>/results.db`` at their terminal
+    commit; before any run has finished the store does not exist and
+    healthz reports zeros without creating the file. Runs on a
+    ``to_thread`` worker: opening and counting is filesystem work the
+    event loop must not wait on.
+    """
+    from repro.resultsdb.store import STORE_NAME, ResultsStore
+
+    path = spool / STORE_NAME
+    if not path.exists():
+        return {
+            "path": str(path), "runs": 0, "jobs": 0, "spans": 0,
+            "sla_breaches": 0, "db_bytes": 0,
+        }
+    with ResultsStore(path) as store:
+        return store.stats()
 
 
 def _read_artifact(path: Path) -> Optional[bytes]:

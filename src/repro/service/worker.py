@@ -31,6 +31,7 @@ from typing import Dict, Optional, Union
 
 from repro.faults import IoFaultPlan, install_io_plan
 from repro.ioutil import atomic_write
+from repro.resultsdb.store import STORE_NAME, commit_service_run
 from repro.runtime.executor import (
     RuntimeConfig,
     execute_matrix,
@@ -94,6 +95,36 @@ def run_outcome_payload(result, *, elapsed: float) -> Dict[str, object]:
     return payload
 
 
+def _commit_to_store(run_dir: Path, request, result, outcome) -> None:
+    """Commit the finished run into the spool's shared results store.
+
+    Part of the run's terminal commit: the job rows, the exported
+    ``trace.jsonl`` spans, and the SLA breaches enter
+    ``<spool>/results.db`` in one transaction right before
+    ``outcome.json`` lands. ``replace`` semantics (inside
+    :func:`~repro.resultsdb.store.commit_service_run`) make the write
+    idempotent across relaunches — a child SIGKILLed at the
+    ``resultsdb.commit`` fault point re-commits the run whole on its
+    next attempt. A store failure must not fail a finished benchmark
+    run: it downgrades to a ``degraded`` flag that rides the outcome
+    into run status and ``/v1/healthz``, like a journal durability
+    downgrade.
+    """
+    try:
+        stats = commit_service_run(
+            run_dir.parent / STORE_NAME,
+            run_id=str(request.get("run_id") or run_dir.name),
+            tenant=str(request.get("tenant") or ""),
+            database=result.database,
+            trace_path=run_dir / "trace.jsonl",
+        )
+    except Exception as exc:
+        outcome.setdefault("degraded", []).append("resultsdb-commit-failed")
+        outcome["resultsdb_error"] = f"{type(exc).__name__}: {exc}"
+        return
+    outcome["resultsdb"] = {"runs": stats["runs"], "jobs": stats["jobs"]}
+
+
 def execute_service_run(
     run_dir: Union[str, Path],
     *,
@@ -107,9 +138,10 @@ def execute_service_run(
     runtime — resuming from ``journal.jsonl`` when one exists, so a
     rerun after a crash completes the remainder instead of starting
     over — then writes ``archive.json`` (the run's Granula performance
-    archive) and finally ``outcome.json``. The outcome write is the
-    commit point: the server treats a run directory without one as
-    unfinished work to re-enqueue.
+    archive), commits the run's rows, spans, and SLA breaches into the
+    spool's shared results store, and finally writes ``outcome.json``.
+    The outcome write is the commit point: the server treats a run
+    directory without one as unfinished work to re-enqueue.
     """
     run_dir = Path(run_dir)
     if watchdog:
@@ -147,6 +179,7 @@ def execute_service_run(
             outcome = run_outcome_payload(
                 result, elapsed=tracer.clock.now() - started
             )
+            _commit_to_store(run_dir, request, result, outcome)
         except Exception as exc:
             outcome = {
                 "ok": False,

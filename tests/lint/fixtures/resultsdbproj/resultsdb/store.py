@@ -1,0 +1,9 @@
+"""The sanctioned layer: SQLite connections live here and only here."""
+
+import sqlite3
+
+
+def open_store(path):
+    conn = sqlite3.connect(str(path))                   # exempt: the store
+    conn.execute("PRAGMA journal_mode=WAL")
+    return conn

@@ -1,0 +1,32 @@
+"""ROB003 fixture: every way service code can open SQLite directly."""
+
+import sqlite3
+import sqlite3 as sq
+from sqlite3 import connect
+
+from resultsdb.store import open_store
+from util.db import open_db
+
+
+def direct(path):
+    return sqlite3.connect(path)                        # line 12: ROB003
+
+
+def aliased(path):
+    return sq.connect(str(path))                        # line 16: ROB003
+
+
+def from_imported(path):
+    return connect(path)                                # line 20: ROB003
+
+
+def via_helper(path):
+    return open_db(path)                                # line 24: ROB003
+
+
+def sanctioned(path):
+    return open_store(path)                             # clean: resultsdb
+
+
+def unrelated_connect(client):
+    return client.connect()                             # clean: not sqlite

@@ -1,0 +1,11 @@
+"""Out-of-scope helper: the raw connection ROB003 must trace through."""
+
+import sqlite3
+
+
+def open_db(path):
+    return sqlite3.connect(str(path))                   # tainted opener
+
+
+def row_count(conn, table):
+    return conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]

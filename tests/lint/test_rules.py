@@ -14,11 +14,12 @@ def _triples(findings):
 
 
 class TestRuleRegistry:
-    def test_all_sixteen_rules_registered(self):
+    def test_all_seventeen_rules_registered(self):
         assert sorted(all_rules()) == [
             "CON001", "CON002", "DET001", "DET002", "DET003",
             "EXC001", "OBS001", "RACE001", "RACE002", "RACE003",
-            "REG001", "REP001", "ROB001", "ROB002", "RUN001", "SRV001",
+            "REG001", "REP001", "ROB001", "ROB002", "ROB003",
+            "RUN001", "SRV001",
         ]
 
     def test_rules_have_descriptions_and_severities(self):

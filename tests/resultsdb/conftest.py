@@ -1,0 +1,42 @@
+"""Shared builders for the results-store suites."""
+
+import pytest
+
+from repro.harness.results import BenchmarkResult
+
+
+def make_record(**overrides):
+    """One job record in ``BenchmarkResult.as_dict`` shape."""
+    defaults = dict(
+        platform="GraphMat",
+        algorithm="bfs",
+        dataset="D300",
+        machines=1,
+        threads=32,
+        status="succeeded",
+        modeled_processing_time=0.3,
+        modeled_makespan=1.2,
+        sla_compliant=True,
+        validated=True,
+    )
+    defaults.update(overrides)
+    return BenchmarkResult(**defaults).as_dict()
+
+
+def make_metadata(run_id, **overrides):
+    metadata = {
+        "run_id": run_id,
+        "system_under_test": "GraphMat on DAS-5",
+        "submitter": "",
+        "description": "",
+    }
+    metadata.update(overrides)
+    return metadata
+
+
+@pytest.fixture
+def store(tmp_path):
+    from repro.resultsdb.store import ResultsStore
+
+    with ResultsStore(tmp_path / "results.db") as handle:
+        yield handle

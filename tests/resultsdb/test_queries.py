@@ -1,0 +1,218 @@
+"""Canned-query semantics: top, trend, regressions.
+
+Byte-level answer identity against the retired JSON backend is proved
+in ``test_migrate.py``; this module pins each query's own contract —
+ordering, tie-breaking, filters, and which rows count as usable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resultsdb import queries
+from tests.resultsdb.conftest import make_metadata, make_record
+
+
+def _submit(store, run_id, records, **kwargs):
+    store.submit_run(make_metadata(run_id), records, **kwargs)
+
+
+class TestTop:
+    def test_leaderboard_ranks_platform_bests(self, store):
+        _submit(store, "run-a", [
+            make_record(platform="GraphMat", modeled_processing_time=0.5),
+            make_record(platform="Giraph", modeled_processing_time=0.9),
+            make_record(platform="GraphMat", modeled_processing_time=0.3),
+        ])
+        _submit(store, "run-b", [
+            make_record(platform="Giraph", modeled_processing_time=0.4),
+            make_record(platform="PGX.D", modeled_processing_time=0.2),
+        ])
+        entries = queries.top(store, "bfs", "D300")
+        assert [(e.rank, e.platform, e.tproc) for e in entries] == [
+            (1, "PGX.D", 0.2),
+            (2, "GraphMat", 0.3),
+            (3, "Giraph", 0.4),
+        ]
+        assert entries[0].run_id == "run-b"
+        assert entries[1].run_id == "run-a"
+
+    def test_limit_truncates_after_ranking(self, store):
+        _submit(store, "run-a", [
+            make_record(platform="A", modeled_processing_time=0.5),
+            make_record(platform="B", modeled_processing_time=0.1),
+        ])
+        entries = queries.top(store, "bfs", "D300", limit=1)
+        assert [(e.rank, e.platform) for e in entries] == [(1, "B")]
+
+    def test_equal_times_rank_by_platform_name(self, store):
+        _submit(store, "run-a", [
+            make_record(platform="Zeta", modeled_processing_time=0.3),
+            make_record(platform="Alpha", modeled_processing_time=0.3),
+        ])
+        entries = queries.top(store, "bfs", "D300")
+        assert [e.platform for e in entries] == ["Alpha", "Zeta"]
+
+    def test_failed_noncompliant_and_timeless_rows_excluded(self, store):
+        _submit(store, "run-a", [
+            make_record(platform="A", status="failed"),
+            make_record(platform="B", sla_compliant=False),
+            make_record(platform="C", modeled_processing_time=None,
+                        status="skipped"),
+            make_record(platform="D", modeled_processing_time=1.0),
+        ])
+        entries = queries.top(store, "bfs", "D300")
+        assert [e.platform for e in entries] == ["D"]
+
+    def test_algorithm_case_folded(self, store):
+        _submit(store, "run-a", [make_record(algorithm="bfs")])
+        assert queries.top(store, "BFS", "D300")
+        assert queries.top(store, "bfs", "other") == []
+
+
+class TestBestPlatform:
+    def test_first_strictly_lower_wins_ties(self, store):
+        # Two equal times: the earlier (run_id, position) keeps the
+        # crown — the JSON backend's first-strictly-lower rule.
+        _submit(store, "run-a", [
+            make_record(platform="First", modeled_processing_time=0.3),
+        ])
+        _submit(store, "run-b", [
+            make_record(platform="Second", modeled_processing_time=0.3),
+        ])
+        best = queries.best_platform(store, "bfs", "D300")
+        assert best == {"run_id": "run-a", "platform": "First", "tproc": 0.3}
+
+    def test_none_when_nothing_compliant(self, store):
+        _submit(store, "run-a", [make_record(status="failed")])
+        assert queries.best_platform(store, "bfs", "D300") is None
+
+
+class TestTrend:
+    def test_points_follow_insertion_order_not_run_id_sort(self, store):
+        # run-z submitted before run-a: the trend axis is submission
+        # (rowid) order, unlike the lexicographic run_id order the
+        # leaderboard queries use.
+        _submit(store, "run-z", [
+            make_record(modeled_processing_time=0.5),
+        ])
+        _submit(store, "run-a", [
+            make_record(modeled_processing_time=0.4),
+        ])
+        points = queries.trend(store, "GraphMat", "bfs", "D300")
+        assert [p.run_id for p in points] == ["run-z", "run-a"]
+        assert [p.tproc for p in points] == [0.5, 0.4]
+
+    def test_best_time_per_run_and_visible_gaps(self, store):
+        _submit(store, "run-1", [
+            make_record(modeled_processing_time=0.9),
+            make_record(modeled_processing_time=0.4),
+        ])
+        _submit(store, "run-2", [
+            make_record(status="failed", modeled_processing_time=None),
+        ])
+        points = queries.trend(store, "GraphMat", "bfs", "D300")
+        assert points[0].tproc == 0.4
+        # The all-failed run is a visible gap, not a dropped point.
+        assert points[1].tproc is None
+        assert points[1].status == "failed"
+
+    def test_machines_and_threads_filters(self, store):
+        _submit(store, "run-1", [
+            make_record(machines=1, threads=16, modeled_processing_time=0.2),
+            make_record(machines=4, threads=32, modeled_processing_time=0.8),
+        ])
+        points = queries.trend(
+            store, "GraphMat", "bfs", "D300", machines=4, threads=32
+        )
+        assert [p.tproc for p in points] == [0.8]
+        assert queries.trend(
+            store, "GraphMat", "bfs", "D300", machines=9
+        ) == []
+
+    def test_commit_sha_rides_along(self, store):
+        store.submit_run(
+            make_metadata("run-1"), [make_record()],
+            commit_sha="abc123", submitted_at=42.0,
+        )
+        point = queries.trend(store, "GraphMat", "bfs", "D300")[0]
+        assert point.commit_sha == "abc123"
+        assert point.submitted_at == 42.0
+
+
+class TestRegressions:
+    def test_threshold_and_descending_slowdown(self, store):
+        _submit(store, "run-old", [
+            make_record(algorithm="bfs", modeled_processing_time=1.0),
+            make_record(algorithm="pr", modeled_processing_time=1.0),
+            make_record(algorithm="wcc", modeled_processing_time=1.0),
+        ])
+        _submit(store, "run-new", [
+            make_record(algorithm="bfs", modeled_processing_time=1.5),
+            make_record(algorithm="pr", modeled_processing_time=3.0),
+            make_record(algorithm="wcc", modeled_processing_time=1.05),
+        ])
+        found = queries.regressions(store, "run-old", "run-new")
+        assert [(r.algorithm, r.slowdown) for r in found] == [
+            ("pr", 3.0), ("bfs", 1.5),
+        ]
+        assert found[0].old_seconds == 1.0
+        assert found[0].new_seconds == 3.0
+
+    def test_custom_threshold(self, store):
+        _submit(store, "run-old", [make_record(modeled_processing_time=1.0)])
+        _submit(store, "run-new", [make_record(modeled_processing_time=1.5)])
+        assert queries.regressions(
+            store, "run-old", "run-new", threshold=2.0
+        ) == []
+        assert len(queries.regressions(
+            store, "run-old", "run-new", threshold=1.2
+        )) == 1
+
+    def test_last_write_wins_old_index(self, store):
+        # Duplicate workload rows in the old run: the later row is the
+        # baseline (the JSON backend's dict-overwrite semantics).
+        _submit(store, "run-old", [
+            make_record(modeled_processing_time=10.0),
+            make_record(modeled_processing_time=1.0),
+        ])
+        _submit(store, "run-new", [
+            make_record(modeled_processing_time=2.0),
+        ])
+        found = queries.regressions(store, "run-old", "run-new")
+        assert [(r.old_seconds, r.new_seconds) for r in found] == [(1.0, 2.0)]
+
+    def test_failed_and_zero_time_rows_ignored(self, store):
+        _submit(store, "run-old", [
+            make_record(modeled_processing_time=1.0),
+        ])
+        _submit(store, "run-new", [
+            make_record(status="failed", modeled_processing_time=99.0),
+            make_record(algorithm="pr", modeled_processing_time=0.0),
+        ])
+        assert queries.regressions(store, "run-old", "run-new") == []
+
+    def test_unmatched_workloads_are_not_regressions(self, store):
+        _submit(store, "run-old", [
+            make_record(dataset="D300", modeled_processing_time=1.0),
+        ])
+        _submit(store, "run-new", [
+            make_record(dataset="D1000", modeled_processing_time=50.0),
+        ])
+        assert queries.regressions(store, "run-old", "run-new") == []
+
+    def test_regression_query_bundles_inputs(self, store):
+        _submit(store, "run-old", [make_record(modeled_processing_time=1.0)])
+        _submit(store, "run-new", [make_record(modeled_processing_time=2.0)])
+        bundle = queries.regression_query(store, "run-old", "run-new")
+        assert bundle.old_run == "run-old"
+        assert bundle.new_run == "run-new"
+        assert bundle.threshold == 1.10
+        assert len(bundle.regressions) == 1
+
+    def test_unknown_run_errors(self, store):
+        from repro.exceptions import ConfigurationError
+
+        _submit(store, "run-old", [make_record()])
+        with pytest.raises(ConfigurationError, match="unknown run"):
+            queries.regressions(store, "run-old", "ghost")

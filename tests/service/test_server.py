@@ -250,3 +250,29 @@ class TestRestartRecovery:
             payload = client.run(record.run_id)
             assert payload["state"] == "done"
             assert service.queue.pending() == 0
+
+
+class TestExampleMatrixSubmission:
+    def test_full_example_matrix_payload_is_accepted(self, tmp_path):
+        # The CLI's `submit example` sends config_payload(example_matrix())
+        # verbatim — every BenchmarkConfig field, including the
+        # partitioned-engine knobs — and the validator must know them all.
+        from repro.runtime.executor import example_matrix
+        from repro.runtime.journal import config_payload
+
+        payload = dict(config_payload(example_matrix()))
+        payload.pop("resources", None)
+        payload.update(TINY_MATRIX)
+        with running_service(tmp_path) as (_service, client):
+            accepted = client.submit("alice", payload)
+            assert accepted["state"] == "queued"
+
+    def test_explicit_partitions_survive_normalization(self, tmp_path):
+        from repro.service.runs import normalize_matrix
+
+        payload = dict(TINY_MATRIX)
+        payload["partitions"] = 2
+        payload["partition_strategy"] = "range"
+        normalized = normalize_matrix(payload)
+        assert normalized["partitions"] == 2
+        assert normalized["partition_strategy"] == "range"

@@ -185,7 +185,10 @@ class TestFullRunCommand:
         out = capsys.readouterr().out
         assert "ran 1 experiments" in out
         assert (tmp_path / "report.md").exists()
-        assert list((tmp_path / "repo").glob("*.json"))
+        assert (tmp_path / "repo" / "results.db").exists()
+        from repro.harness.repository import ResultsRepository
+
+        assert ResultsRepository(tmp_path / "repo").run_ids()
 
 
 class TestGenerateGraph500:
@@ -357,3 +360,161 @@ class TestModuleEntryPoint:
         )
         assert completed.returncode == 0, completed.stderr[-1000:]
         assert "all 7 checks passed" in completed.stdout
+
+
+class TestDbCommand:
+    """`graphalytics db`: canned queries over the SQLite results store."""
+
+    def _seed_store(self, tmp_path):
+        from repro.resultsdb.store import ResultsStore
+
+        path = tmp_path / "results.db"
+        with ResultsStore(path) as store:
+            store.submit_run(
+                {
+                    "run_id": "run-old",
+                    "system_under_test": "GraphMat on DAS-5",
+                    "submitter": "", "description": "",
+                },
+                [
+                    {"platform": "GraphMat", "algorithm": "bfs",
+                     "dataset": "D300", "machines": 1, "threads": 32,
+                     "status": "succeeded", "modeled_processing_time": 1.0,
+                     "modeled_makespan": 2.0, "sla_compliant": True,
+                     "validated": True},
+                    {"platform": "Giraph", "algorithm": "bfs",
+                     "dataset": "D300", "machines": 1, "threads": 32,
+                     "status": "succeeded", "modeled_processing_time": 0.5,
+                     "modeled_makespan": 2.0, "sla_compliant": True,
+                     "validated": True},
+                ],
+                commit_sha="aaaa1111",
+            )
+            store.submit_run(
+                {
+                    "run_id": "run-new",
+                    "system_under_test": "GraphMat on DAS-5",
+                    "submitter": "", "description": "",
+                },
+                [
+                    {"platform": "GraphMat", "algorithm": "bfs",
+                     "dataset": "D300", "machines": 1, "threads": 32,
+                     "status": "succeeded", "modeled_processing_time": 3.0,
+                     "modeled_makespan": 4.0, "sla_compliant": True,
+                     "validated": True},
+                ],
+                commit_sha="bbbb2222",
+                spans=[{"id": "s1", "name": "run", "start": 0.0, "end": 9.0}],
+            )
+        return path
+
+    def test_top_leaderboard(self, tmp_path, capsys):
+        path = self._seed_store(tmp_path)
+        assert main(["db", "--store", str(path), "top", "bfs", "D300"]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert lines[0].startswith(" 1. Giraph")
+        assert "run run-old" in lines[0]
+        assert lines[1].startswith(" 2. GraphMat")
+
+    def test_top_accepts_a_directory_store(self, tmp_path, capsys):
+        path = self._seed_store(tmp_path)
+        assert path.parent == tmp_path
+        assert main(
+            ["db", "--store", str(tmp_path), "top", "bfs", "D300"]
+        ) == 0
+        assert "Giraph" in capsys.readouterr().out
+
+    def test_top_empty_workload_exits_one(self, tmp_path, capsys):
+        path = self._seed_store(tmp_path)
+        assert main(["db", "--store", str(path), "top", "wcc", "D300"]) == 1
+        assert "no compliant result" in capsys.readouterr().out
+
+    def test_trend_shows_commit_and_gap_markers(self, tmp_path, capsys):
+        path = self._seed_store(tmp_path)
+        assert main(
+            ["db", "--store", str(path), "trend", "GraphMat", "bfs", "D300"]
+        ) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("run-old")
+        assert "@aaaa1111" in lines[0] and "1 s" in lines[0]
+        assert lines[1].startswith("run-new")
+        assert "3 s" in lines[1]
+
+    def test_regressions_found_exits_one(self, tmp_path, capsys):
+        path = self._seed_store(tmp_path)
+        code = main(
+            ["db", "--store", str(path), "regressions", "run-old", "run-new"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "1 regression(s): run-new vs run-old" in out
+        assert "(3.00x)" in out
+
+    def test_regressions_clean_exits_zero(self, tmp_path, capsys):
+        path = self._seed_store(tmp_path)
+        code = main(
+            ["db", "--store", str(path), "regressions", "run-new", "run-old"]
+        )
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_timeline_renders_spans(self, tmp_path, capsys):
+        path = self._seed_store(tmp_path)
+        assert main(["db", "--store", str(path), "timeline", "run-new"]) == 0
+        out = capsys.readouterr().out
+        assert "run run-new" in out
+        assert "1 jobs" in out
+
+    def test_stats(self, tmp_path, capsys):
+        path = self._seed_store(tmp_path)
+        assert main(["db", "--store", str(path), "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "runs:         2" in out
+        assert "jobs:         3" in out
+        assert "spans:        1" in out
+
+    def test_missing_store_errors(self, tmp_path, capsys):
+        code = main(
+            ["db", "--store", str(tmp_path / "nope.db"), "stats"]
+        )
+        assert code == 1
+        assert "no results store" in capsys.readouterr().err
+
+    def test_import_migrates_a_legacy_repository(self, tmp_path, capsys):
+        import json
+
+        legacy = tmp_path / "legacy"
+        legacy.mkdir()
+        payload = {
+            "metadata": {
+                "run_id": "run-a",
+                "system_under_test": "GraphMat on DAS-5",
+                "submitter": "", "description": "",
+            },
+            "results": [
+                {"platform": "GraphMat", "algorithm": "bfs",
+                 "dataset": "D300", "machines": 1, "threads": 32,
+                 "status": "succeeded", "modeled_processing_time": 1.0,
+                 "modeled_makespan": 2.0, "sla_compliant": True,
+                 "validated": True},
+            ],
+        }
+        (legacy / "run-a.json").write_text(
+            json.dumps(payload, indent=1), encoding="utf-8"
+        )
+        (legacy / ".index.json").write_text("{}", encoding="utf-8")
+
+        assert main(["db", "import", str(legacy)]) == 0
+        out = capsys.readouterr().out
+        assert "imported 1 run(s)" in out
+        assert "(byte-identical)" in out
+        assert "retired legacy sidecar left behind: .index.json" in out
+        assert (legacy / "results.db").exists()
+
+        # The migrated store answers through the same CLI.
+        assert main(
+            ["db", "--store", str(legacy), "top", "bfs", "D300"]
+        ) == 0
+        assert "GraphMat" in capsys.readouterr().out
